@@ -1,0 +1,316 @@
+//! Physical description of a cache: logical geometry, array organisation,
+//! and RAM cell type.
+//!
+//! These types are shared between the area model (this crate) and the
+//! access-time model (`tlc-timing`): the time model searches over
+//! [`ArrayOrg`] values for the fastest organisation, and the area model
+//! prices exactly that organisation — reproducing the paper's coupling
+//! ("based on the memory array organization parameters from the time
+//! model, we always organized the memories to give the highest
+//! performance", §2.4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical geometry of one cache, as both models see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Capacity in bytes (power of two).
+    pub size_bytes: u64,
+    /// Line length in bytes (power of two).
+    pub line_bytes: u64,
+    /// Ways per set (1 = direct-mapped).
+    pub ways: u32,
+    /// Physical address width in bits (32 for the paper's machines).
+    pub addr_bits: u32,
+}
+
+impl CacheGeometry {
+    /// The paper's standard geometry: 16-byte lines, 32-bit addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a power of two, `ways` is zero / not
+    /// a power of two, or the cache holds fewer than one line per way.
+    pub fn paper(size_bytes: u64, ways: u32) -> Self {
+        let g = CacheGeometry { size_bytes, line_bytes: 16, ways, addr_bits: 32 };
+        g.validate();
+        g
+    }
+
+    fn validate(&self) {
+        assert!(self.size_bytes.is_power_of_two(), "size must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.ways > 0 && self.ways.is_power_of_two(),
+            "ways must be a positive power of two"
+        );
+        assert!(self.lines() >= self.ways as u64, "fewer lines than ways");
+        assert!(self.addr_bits >= 8 && self.addr_bits <= 64, "implausible address width");
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.lines() / self.ways as u64
+    }
+
+    /// Tag width in bits: address bits minus set-index and line-offset
+    /// bits.
+    pub fn tag_bits(&self) -> u32 {
+        let offset_bits = self.line_bytes.trailing_zeros();
+        let index_bits = self.sets().trailing_zeros();
+        self.addr_bits.saturating_sub(offset_bits + index_bits)
+    }
+
+    /// Status bits per line (valid + dirty, as in Mulder's model).
+    pub fn status_bits(&self) -> u32 {
+        2
+    }
+
+    /// Bits in the data array.
+    pub fn data_bits(&self) -> u64 {
+        self.size_bytes * 8
+    }
+
+    /// Bits in the tag array (tag + status per line).
+    pub fn tag_array_bits(&self) -> u64 {
+        self.lines() * (self.tag_bits() + self.status_bits()) as u64
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B-line/{}-way",
+            self.size_bytes as f64 / 1024.0,
+            self.line_bytes,
+            self.ways
+        )
+    }
+}
+
+/// Array-organisation parameters, in the Wada / Wilton–Jouppi style:
+///
+/// * `ndwl` — times the data array is split with vertical cut lines
+///   (reduces wordline length);
+/// * `ndbl` — times it is split with horizontal cut lines (reduces
+///   bitline length);
+/// * `nspd` — sets mapped to a single wordline (widens rows, shortens
+///   columns);
+/// * `ntwl`, `ntbl`, `ntspd` — the same for the tag array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayOrg {
+    /// Data-array wordline divisions.
+    pub ndwl: u32,
+    /// Data-array bitline divisions.
+    pub ndbl: u32,
+    /// Sets per data wordline.
+    pub nspd: u32,
+    /// Tag-array wordline divisions.
+    pub ntwl: u32,
+    /// Tag-array bitline divisions.
+    pub ntbl: u32,
+    /// Sets per tag wordline.
+    pub ntspd: u32,
+}
+
+impl ArrayOrg {
+    /// The trivial organisation: one monolithic array each for data and
+    /// tags.
+    pub const UNIT: ArrayOrg = ArrayOrg { ndwl: 1, ndbl: 1, nspd: 1, ntwl: 1, ntbl: 1, ntspd: 1 };
+
+    /// Number of data subarrays.
+    pub fn data_subarrays(&self) -> u32 {
+        self.ndwl * self.ndbl
+    }
+
+    /// Number of tag subarrays.
+    pub fn tag_subarrays(&self) -> u32 {
+        self.ntwl * self.ntbl
+    }
+
+    /// Rows per data subarray for `geom`, as in the Wada model:
+    /// `C / (B · A · Ndbl · Nspd)`.
+    pub fn data_rows(&self, geom: &CacheGeometry) -> f64 {
+        geom.size_bytes as f64
+            / (geom.line_bytes as f64
+                * geom.ways as f64
+                * self.ndbl as f64
+                * self.nspd as f64)
+    }
+
+    /// Columns (bitline pairs) per data subarray:
+    /// `8 · B · A · Nspd / Ndwl`.
+    pub fn data_cols(&self, geom: &CacheGeometry) -> f64 {
+        8.0 * geom.line_bytes as f64 * geom.ways as f64 * self.nspd as f64 / self.ndwl as f64
+    }
+
+    /// Rows per tag subarray.
+    pub fn tag_rows(&self, geom: &CacheGeometry) -> f64 {
+        geom.sets() as f64 / (self.ntbl as f64 * self.ntspd as f64)
+    }
+
+    /// Columns per tag subarray.
+    pub fn tag_cols(&self, geom: &CacheGeometry) -> f64 {
+        (geom.tag_bits() + geom.status_bits()) as f64
+            * geom.ways as f64
+            * self.ntspd as f64
+            / self.ntwl as f64
+    }
+
+    /// Whether this organisation is physically meaningful for `geom`
+    /// (at least one full row and column in each subarray, and splits
+    /// that do not exceed the array's extent).
+    pub fn is_valid_for(&self, geom: &CacheGeometry) -> bool {
+        let all_pow2 = [self.ndwl, self.ndbl, self.nspd, self.ntwl, self.ntbl, self.ntspd]
+            .iter()
+            .all(|&x| x > 0 && x.is_power_of_two());
+        all_pow2
+            && self.data_rows(geom) >= 1.0
+            && self.data_cols(geom) >= 1.0
+            && self.tag_rows(geom) >= 1.0
+            && self.tag_cols(geom) >= 1.0
+    }
+}
+
+impl fmt::Display for ArrayOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ndwl={} Ndbl={} Nspd={} | Ntwl={} Ntbl={} Ntspd={}",
+            self.ndwl, self.ndbl, self.nspd, self.ntwl, self.ntbl, self.ntspd
+        )
+    }
+}
+
+/// RAM cell type of a cache (paper §6 studies dual-ported first levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Standard 6-transistor single-ported cell: one read *or* write per
+    /// cycle.
+    SinglePorted,
+    /// Dual-ported cell: "requires twice the area but can support twice
+    /// the access bandwidth" (§6).
+    DualPorted,
+}
+
+impl CellKind {
+    /// Area multiplier relative to the single-ported cell ("A cache with
+    /// two ports typically requires twice the area of a cache with one
+    /// port", §6).
+    pub fn area_factor(self) -> f64 {
+        match self {
+            CellKind::SinglePorted => 1.0,
+            CellKind::DualPorted => 2.0,
+        }
+    }
+
+    /// Linear dimension multiplier: a 2× area cell is √2 longer on each
+    /// side, which lengthens wordlines and bitlines in the time model.
+    pub fn wire_factor(self) -> f64 {
+        match self {
+            CellKind::SinglePorted => 1.0,
+            CellKind::DualPorted => std::f64::consts::SQRT_2,
+        }
+    }
+
+    /// Relative access bandwidth (issue-rate multiplier in §6).
+    pub fn bandwidth_factor(self) -> f64 {
+        match self {
+            CellKind::SinglePorted => 1.0,
+            CellKind::DualPorted => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CellKind::SinglePorted => "single-ported",
+            CellKind::DualPorted => "dual-ported",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_derivations() {
+        let g = CacheGeometry::paper(32 * 1024, 1);
+        assert_eq!(g.lines(), 2048);
+        assert_eq!(g.sets(), 2048);
+        // 32-bit address, 4 offset bits, 11 index bits → 17 tag bits.
+        assert_eq!(g.tag_bits(), 17);
+        assert_eq!(g.data_bits(), 262_144);
+        assert_eq!(g.tag_array_bits(), 2048 * 19);
+    }
+
+    #[test]
+    fn set_assoc_has_wider_tags() {
+        let dm = CacheGeometry::paper(64 * 1024, 1);
+        let sa = CacheGeometry::paper(64 * 1024, 4);
+        // 4-way: 2 fewer index bits → 2 more tag bits.
+        assert_eq!(sa.tag_bits(), dm.tag_bits() + 2);
+        assert_eq!(sa.sets(), dm.sets() / 4);
+    }
+
+    #[test]
+    fn unit_org_dimensions() {
+        let g = CacheGeometry::paper(4 * 1024, 1);
+        let o = ArrayOrg::UNIT;
+        assert_eq!(o.data_rows(&g), 256.0); // 4KB/16B lines = 256 sets
+        assert_eq!(o.data_cols(&g), 128.0); // 16B × 8 bits
+        assert_eq!(o.tag_rows(&g), 256.0);
+        assert_eq!(o.tag_cols(&g), (g.tag_bits() + 2) as f64);
+        assert!(o.is_valid_for(&g));
+    }
+
+    #[test]
+    fn org_splits_divide_dimensions() {
+        let g = CacheGeometry::paper(16 * 1024, 1);
+        let o = ArrayOrg { ndwl: 2, ndbl: 4, nspd: 2, ntwl: 1, ntbl: 2, ntspd: 1 };
+        assert_eq!(o.data_rows(&g), 1024.0 / 8.0);
+        assert_eq!(o.data_cols(&g), 128.0 * 2.0 / 2.0);
+        assert_eq!(o.data_subarrays(), 8);
+        assert!(o.is_valid_for(&g));
+    }
+
+    #[test]
+    fn invalid_orgs_detected() {
+        let g = CacheGeometry::paper(1024, 1); // 64 sets, 128 data cols
+        // Splitting bitlines 128× leaves <1 row per subarray.
+        let too_split = ArrayOrg { ndbl: 128, ..ArrayOrg::UNIT };
+        assert!(!too_split.is_valid_for(&g));
+        let non_pow2 = ArrayOrg { ndwl: 3, ..ArrayOrg::UNIT };
+        assert!(!non_pow2.is_valid_for(&g));
+    }
+
+    #[test]
+    fn cell_kind_factors() {
+        assert_eq!(CellKind::SinglePorted.area_factor(), 1.0);
+        assert_eq!(CellKind::DualPorted.area_factor(), 2.0);
+        assert!((CellKind::DualPorted.wire_factor() - 1.414).abs() < 1e-3);
+        assert_eq!(CellKind::DualPorted.bandwidth_factor(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        let _ = CacheGeometry::paper(3000, 1);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CacheGeometry::paper(2048, 2).to_string(), "2KB/16B-line/2-way");
+        assert!(ArrayOrg::UNIT.to_string().contains("Ndwl=1"));
+        assert_eq!(CellKind::DualPorted.to_string(), "dual-ported");
+    }
+}

@@ -1,0 +1,34 @@
+//! # tlc-area — register-bit-equivalent cache area model
+//!
+//! Area-model substrate for the reproduction of Jouppi & Wilton,
+//! *Tradeoffs in Two-Level On-Chip Caching* (WRL 93/3 / ISCA 1994),
+//! following Mulder, Quach & Flynn, *An Area Model for On-Chip Memories
+//! and its Application* (IEEE JSSC 26(2), 1991).
+//!
+//! Areas are expressed in technology-independent **register-bit
+//! equivalents** ([`Rbe`]); a 6-transistor SRAM cell is 0.6 rbe. The model
+//! prices data and tag arrays, comparators, sense amps, drivers and
+//! control for any [`CacheGeometry`] laid out as a given [`ArrayOrg`] —
+//! the same organisation the `tlc-timing` crate selects for speed, so the
+//! area/time coupling of the paper's §2.4 is preserved.
+//!
+//! ```
+//! use tlc_area::{AreaModel, ArrayOrg, CacheGeometry, CellKind};
+//!
+//! let model = AreaModel::new();
+//! let l1 = CacheGeometry::paper(8 * 1024, 1);
+//! let area = model.cache_area(&l1, &ArrayOrg::UNIT, CellKind::SinglePorted);
+//! println!("8KB direct-mapped cache: {}", area.total());
+//! assert!(area.overhead_fraction() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod geometry;
+mod model;
+mod rbe;
+
+pub use geometry::{ArrayOrg, CacheGeometry, CellKind};
+pub use model::{AreaBreakdown, AreaModel, AreaParams};
+pub use rbe::Rbe;

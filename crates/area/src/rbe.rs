@@ -1,0 +1,162 @@
+//! The register-bit-equivalent (rbe) area unit.
+//!
+//! Mulder, Quach & Flynn define the *register bit equivalent*: the area of
+//! a one-bit storage cell in a register file, independent of technology.
+//! All areas in this study are expressed in rbe; a 6-transistor SRAM cell
+//! is 0.6 rbe (paper §2.4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An area in register-bit equivalents.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_area::Rbe;
+///
+/// let cell = Rbe::SRAM_CELL;
+/// let array = cell * 8192.0;
+/// assert!((array.value() - 4915.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Rbe(f64);
+
+impl Rbe {
+    /// Area of one 6-transistor single-ported SRAM cell (paper §2.4).
+    pub const SRAM_CELL: Rbe = Rbe(0.6);
+
+    /// Area of one register cell — the unit itself.
+    pub const REGISTER_CELL: Rbe = Rbe(1.0);
+
+    /// Zero area.
+    pub const ZERO: Rbe = Rbe(0.0);
+
+    /// Creates an area from a raw rbe count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "area must be a finite non-negative number");
+        Rbe(value)
+    }
+
+    /// The raw rbe count.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Rbe {
+    type Output = Rbe;
+    fn add(self, rhs: Rbe) -> Rbe {
+        Rbe(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rbe {
+    fn add_assign(&mut self, rhs: Rbe) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rbe {
+    type Output = Rbe;
+    fn sub(self, rhs: Rbe) -> Rbe {
+        Rbe((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Rbe {
+    type Output = Rbe;
+    fn mul(self, rhs: f64) -> Rbe {
+        Rbe(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rbe {
+    type Output = Rbe;
+    fn div(self, rhs: f64) -> Rbe {
+        Rbe(self.0 / rhs)
+    }
+}
+
+impl Div for Rbe {
+    type Output = f64;
+    fn div(self, rhs: Rbe) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Rbe {
+    fn sum<I: Iterator<Item = Rbe>>(iter: I) -> Rbe {
+        Rbe(iter.map(|r| r.0).sum())
+    }
+}
+
+impl fmt::Display for Rbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000.0 {
+            write!(f, "{:.2}M rbe", self.0 / 1_000_000.0)
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.1}K rbe", self.0 / 1_000.0)
+        } else {
+            write!(f, "{:.1} rbe", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Rbe::new(10.0);
+        let b = Rbe::new(4.0);
+        assert_eq!((a + b).value(), 14.0);
+        assert_eq!((a - b).value(), 6.0);
+        assert_eq!((b - a).value(), 0.0, "subtraction saturates at zero");
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 2.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.value(), 14.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Rbe = (0..4).map(|i| Rbe::new(i as f64)).sum();
+        assert_eq!(total.value(), 6.0);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Rbe::SRAM_CELL.value(), 0.6);
+        assert_eq!(Rbe::REGISTER_CELL.value(), 1.0);
+        assert_eq!(Rbe::ZERO.value(), 0.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Rbe::new(12.34).to_string(), "12.3 rbe");
+        assert_eq!(Rbe::new(12_340.0).to_string(), "12.3K rbe");
+        assert_eq!(Rbe::new(12_340_000.0).to_string(), "12.34M rbe");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Rbe::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Rbe::new(f64::NAN);
+    }
+}

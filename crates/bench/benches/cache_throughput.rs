@@ -1,0 +1,105 @@
+//! Simulator-throughput micro-benchmarks: accesses per second through a
+//! bare cache and through each hierarchy organisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlc_cache::{
+    Associativity, Cache, CacheConfig, ConventionalTwoLevel, ExclusiveTwoLevel,
+    InclusiveTwoLevel, MemorySystem, SingleLevel, StackDistanceProfiler, StreamBufferSystem,
+    VictimCacheSystem,
+};
+use tlc_trace::{Addr, LineAddr, MemRef};
+
+/// A cheap deterministic address stream (xorshift) shared by all benches.
+fn addresses(n: usize, span: u64) -> Vec<u64> {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % span) & !0xF
+        })
+        .collect()
+}
+
+fn bench_bare_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bare_cache");
+    let addrs = addresses(10_000, 1 << 20);
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (name, assoc) in [
+        ("direct_mapped_32k", Associativity::Direct),
+        ("4way_32k", Associativity::SetAssoc(4)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::new(CacheConfig::paper(32 * 1024, assoc).expect("valid"));
+                let mut hits = 0u64;
+                for &a in &addrs {
+                    let line = LineAddr(a >> 4);
+                    if cache.access(line, false) {
+                        hits += 1;
+                    } else {
+                        cache.fill(line, false);
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    let addrs = addresses(10_000, 1 << 20);
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let l1 = CacheConfig::paper(8 * 1024, Associativity::Direct).expect("valid");
+    let l2 = CacheConfig::paper(64 * 1024, Associativity::SetAssoc(4)).expect("valid");
+
+    let run = |sys: &mut dyn MemorySystem, addrs: &[u64]| {
+        for &a in addrs {
+            sys.access(MemRef::load(Addr::new(a)));
+        }
+        sys.stats().l2_misses
+    };
+
+    group.bench_function("single_level", |b| {
+        b.iter(|| run(&mut SingleLevel::new(l1), &addrs))
+    });
+    group.bench_function("conventional_two_level", |b| {
+        b.iter(|| run(&mut ConventionalTwoLevel::new(l1, l2), &addrs))
+    });
+    group.bench_function("exclusive_two_level", |b| {
+        b.iter(|| run(&mut ExclusiveTwoLevel::new(l1, l2), &addrs))
+    });
+    group.bench_function("victim_cache", |b| {
+        b.iter(|| run(&mut VictimCacheSystem::new(l1, 8).expect("valid"), &addrs))
+    });
+    group.bench_function("inclusive_two_level", |b| {
+        b.iter(|| run(&mut InclusiveTwoLevel::new(l1, l2), &addrs))
+    });
+    group.bench_function("stream_buffers", |b| {
+        b.iter(|| run(&mut StreamBufferSystem::new(l1, 4, 4), &addrs))
+    });
+    group.finish();
+}
+
+fn bench_mattson_profiler(c: &mut Criterion) {
+    let addrs = addresses(10_000, 1 << 20);
+    let mut group = c.benchmark_group("mattson_profiler");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("record_10k", |b| {
+        b.iter(|| {
+            let mut p = StackDistanceProfiler::new();
+            for &a in &addrs {
+                p.record(LineAddr(a >> 4));
+            }
+            p.misses_at_capacity(1024)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bare_cache, bench_hierarchies, bench_mattson_profiler);
+criterion_main!(benches);

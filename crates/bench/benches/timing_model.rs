@@ -1,0 +1,31 @@
+//! Timing-model benchmarks: cost of the organisation search per cache
+//! geometry (the §2.3 "iterate through the delay expressions" loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlc_area::{AreaModel, CacheGeometry, CellKind};
+use tlc_timing::TimingModel;
+
+fn bench_optimal_search(c: &mut Criterion) {
+    let model = TimingModel::paper();
+    let mut group = c.benchmark_group("timing_optimal");
+    for (name, kb, ways) in [("4k_dm", 4u64, 1u32), ("64k_4way", 64, 4), ("256k_dm", 256, 1)] {
+        let geom = CacheGeometry::paper(kb * 1024, ways);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| model.optimal(&geom, CellKind::SinglePorted))
+        });
+    }
+    group.finish();
+}
+
+fn bench_area_model(c: &mut Criterion) {
+    let timing = TimingModel::paper();
+    let area = AreaModel::new();
+    let geom = CacheGeometry::paper(64 * 1024, 4);
+    let org = timing.optimal(&geom, CellKind::SinglePorted).org;
+    c.bench_function("area_cache_area_64k_4way", |b| {
+        b.iter(|| area.cache_area(&geom, &org, CellKind::SinglePorted).total())
+    });
+}
+
+criterion_group!(benches, bench_optimal_search, bench_area_model);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Workload-generator throughput: instructions per second for each
+//! SPEC'89-like preset (the generators must be far faster than the cache
+//! simulator to keep sweeps simulator-bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlc_trace::spec::SpecBenchmark;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    for b in SpecBenchmark::ALL {
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| {
+                let mut w = b.workload();
+                let mut data_refs = 0u64;
+                for _ in 0..N {
+                    if w.next_instruction().data.is_some() {
+                        data_refs += 1;
+                    }
+                }
+                data_refs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every exhibit at the standard budget
+//! repro fig5 fig23          # specific exhibits
+//! repro --quick all         # 120K-instruction smoke run
+//! repro --instr 4000000 fig5  # custom measured-instruction budget
+//! repro --list              # list exhibit ids
+//! ```
+
+use tlc_bench::figures::{run, ALL_IDS};
+use tlc_bench::Harness;
+use tlc_core::configspace::{full_space, SpaceOptions};
+use tlc_core::experiment::SimBudget;
+use tlc_core::report::points_csv;
+use tlc_core::runner::sweep_threads;
+use tlc_core::L2Policy;
+use tlc_trace::spec::SpecBenchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--instr N] [--warmup N] [--list] <exhibit ids | all>\n\
+       \u{20}      repro [--quick|--instr N] csv <output-dir>\n\
+         exhibits: {}\n\
+         csv: writes the full design-space scatter (50ns & 200ns, conventional &\n\
+       \u{20}     exclusive) for every workload as CSV files for external plotting",
+        ALL_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+/// Dumps the design-space scatters as CSV files into `dir`.
+fn dump_csv(dir: &std::path::Path, harness: &Harness) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for offchip in [50.0, 200.0] {
+        for (policy, policy_name) in
+            [(L2Policy::Conventional, "conventional"), (L2Policy::Exclusive, "exclusive")]
+        {
+            let opts = SpaceOptions {
+                offchip_ns: offchip,
+                l2_policy: policy,
+                ..SpaceOptions::baseline()
+            };
+            let configs = full_space(&opts);
+            for b in SpecBenchmark::ALL {
+                let points = sweep_threads(
+                    &configs,
+                    b,
+                    harness.budget,
+                    &harness.timing,
+                    &harness.area,
+                    harness.threads,
+                );
+                let name = format!("{}_{}ns_{}.csv", b.name(), offchip as u32, policy_name);
+                let path = dir.join(&name);
+                std::fs::write(&path, points_csv(&points))?;
+                eprintln!("# wrote {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut budget = SimBudget::standard();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--quick" => budget = SimBudget::quick(),
+            "--instr" => {
+                let n = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                budget.instructions = n;
+            }
+            "--warmup" => {
+                let n = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                budget.warmup_instructions = n;
+            }
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_string()),
+            _ => usage(),
+        }
+    }
+    if ids.is_empty() && csv_dir.is_none() {
+        usage();
+    }
+
+    let harness = Harness::standard().with_budget(budget);
+    if let Some(dir) = csv_dir {
+        if let Err(e) = dump_csv(std::path::Path::new(&dir), &harness) {
+            eprintln!("csv export failed: {e}");
+            std::process::exit(1);
+        }
+        if ids.is_empty() {
+            return;
+        }
+    }
+    eprintln!(
+        "# {} exhibit(s), {} measured instructions (+{} warm-up) per configuration, {} threads",
+        ids.len(),
+        harness.budget.instructions,
+        harness.budget.warmup_instructions,
+        harness.threads
+    );
+    for id in ids {
+        let start = std::time::Instant::now();
+        match run(&id, &harness) {
+            Some(report) => {
+                println!("==================== {id} ====================");
+                println!("{report}");
+                eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown exhibit id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

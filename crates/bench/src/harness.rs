@@ -1,0 +1,65 @@
+//! Shared context for figure regeneration.
+
+use tlc_area::AreaModel;
+use tlc_core::experiment::SimBudget;
+use tlc_core::runner;
+use tlc_timing::TimingModel;
+
+/// Models plus simulation budget shared by every figure.
+#[derive(Debug)]
+pub struct Harness {
+    /// The access/cycle-time model (paper 0.5µm operating point).
+    pub timing: TimingModel,
+    /// The rbe area model.
+    pub area: AreaModel,
+    /// Simulation length per configuration.
+    pub budget: SimBudget,
+    /// Worker threads for configuration sweeps.
+    pub threads: usize,
+}
+
+impl Harness {
+    /// Standard harness: 1M measured instructions per configuration.
+    pub fn standard() -> Self {
+        Harness {
+            timing: TimingModel::paper(),
+            area: AreaModel::new(),
+            budget: SimBudget::standard(),
+            threads: runner::default_threads(),
+        }
+    }
+
+    /// Quick harness for tests and smoke runs (120K instructions).
+    pub fn quick() -> Self {
+        Harness { budget: SimBudget::quick(), ..Self::standard() }
+    }
+
+    /// Overrides the simulation budget (builder style).
+    pub fn with_budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let h = Harness::standard();
+        assert_eq!(h.budget.instructions, 1_500_000);
+        assert!(h.threads >= 1);
+        let q = Harness::quick();
+        assert!(q.budget.instructions < h.budget.instructions);
+        let c = Harness::standard()
+            .with_budget(SimBudget { instructions: 42, warmup_instructions: 7 });
+        assert_eq!(c.budget.instructions, 42);
+    }
+}

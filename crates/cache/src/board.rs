@@ -1,0 +1,164 @@
+//! Explicit board-level (off-chip) cache — the third level the paper
+//! summarises as a flat 50ns service time.
+//!
+//! §2.1 chooses "off-chip miss service times of 50ns and 200ns...
+//! corresponding to systems with and without a board-level cache", and
+//! §8 closes with the multiprocessor remark: "inclusion between the sum
+//! of their contents and a third level of off-chip caching can still be
+//! maintained ... by eliminating on-chip cache lines which are not
+//! present off-chip."
+//!
+//! [`BoardCache`] models that third level explicitly: a large SRAM cache
+//! probed on every on-chip miss. Its evictions are reported back so the
+//! caller can purge the on-chip copies — the
+//! [`MemorySystem::invalidate_line`](crate::MemorySystem) hook — keeping
+//! the §8 inclusion property. The `board` exhibit of the `repro` harness
+//! uses it to measure how good the paper's flat-50ns approximation is.
+
+use crate::cache::Cache;
+use crate::config::{Associativity, CacheConfig, ConfigError, ReplacementKind};
+use crate::stats::CacheStats;
+use tlc_trace::LineAddr;
+
+/// Outcome of one board-cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoardOutcome {
+    /// Whether the line was present on the board.
+    pub hit: bool,
+    /// Line evicted by the fill on a miss, if any. The caller must purge
+    /// it from the on-chip hierarchy to maintain inclusion (§8).
+    pub evicted: Option<LineAddr>,
+}
+
+/// A large board-level cache behind the chip. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_cache::BoardCache;
+/// use tlc_trace::LineAddr;
+///
+/// # fn main() -> Result<(), tlc_cache::ConfigError> {
+/// let mut board = BoardCache::new(512 * 1024, 2, 16)?;
+/// let miss = board.access(LineAddr(42));
+/// assert!(!miss.hit);
+/// let hit = board.access(LineAddr(42));
+/// assert!(hit.hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BoardCache {
+    cache: Cache,
+    stats: CacheStats,
+}
+
+impl BoardCache {
+    /// Builds a board cache of `size_bytes` with `ways` ways and the
+    /// given line size (must match the on-chip hierarchy's).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid geometry.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Result<Self, ConfigError> {
+        let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
+        let cfg = CacheConfig::new(size_bytes, line_bytes, assoc, ReplacementKind::PseudoRandom)?;
+        Ok(BoardCache { cache: Cache::new(cfg), stats: CacheStats::default() })
+    }
+
+    /// Probes the board for `line`; on a miss the line is fetched from
+    /// DRAM and filled (possibly evicting another line — see
+    /// [`BoardOutcome::evicted`]).
+    pub fn access(&mut self, line: LineAddr) -> BoardOutcome {
+        self.stats.accesses += 1;
+        if self.cache.access(line, false) {
+            self.stats.hits += 1;
+            return BoardOutcome { hit: true, evicted: None };
+        }
+        let evicted = self.cache.fill(line, false).map(|e| {
+            self.stats.evictions += 1;
+            e.line
+        });
+        BoardOutcome { hit: false, evicted }
+    }
+
+    /// Accumulated statistics (accesses = on-chip misses seen).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Whether `line` is currently on the board.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.cache.contains(line)
+    }
+
+    /// The board cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        self.cache.config()
+    }
+}
+
+/// Average off-chip service time implied by a board hit ratio: the
+/// weighted mix of the paper's two operating points (50ns board hit,
+/// 200ns DRAM access).
+pub fn effective_offchip_ns(board_hit_ratio: f64, board_ns: f64, dram_ns: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&board_hit_ratio), "hit ratio must be a probability");
+    board_hit_ratio * board_ns + (1.0 - board_hit_ratio) * dram_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn probe_then_hit() {
+        let mut b = BoardCache::new(1024, 2, 16).expect("valid");
+        assert!(!b.access(line(7)).hit);
+        assert!(b.access(line(7)).hit);
+        assert_eq!(b.stats().accesses, 2);
+        assert_eq!(b.stats().hits, 1);
+        assert!(b.contains(line(7)));
+    }
+
+    #[test]
+    fn eviction_reported_for_inclusion_maintenance() {
+        // 4-line direct-mapped board: lines 0 and 4 conflict.
+        let mut b = BoardCache::new(64, 1, 16).expect("valid");
+        b.access(line(0));
+        let out = b.access(line(4));
+        assert!(!out.hit);
+        assert_eq!(out.evicted, Some(line(0)), "the displaced line must be reported");
+        assert!(!b.contains(line(0)));
+    }
+
+    #[test]
+    fn effective_offchip_interpolates() {
+        assert_eq!(effective_offchip_ns(1.0, 50.0, 200.0), 50.0);
+        assert_eq!(effective_offchip_ns(0.0, 50.0, 200.0), 200.0);
+        assert!((effective_offchip_ns(0.8, 50.0, 200.0) - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_ratio() {
+        let _ = effective_offchip_ns(1.5, 50.0, 200.0);
+    }
+
+    #[test]
+    fn large_board_captures_working_set() {
+        let mut b = BoardCache::new(64 * 1024, 2, 16).expect("valid");
+        // 32KB working set fits: second pass all hits.
+        for pass in 0..2 {
+            for l in 0..2048u64 {
+                let out = b.access(line(l));
+                if pass == 1 {
+                    assert!(out.hit, "line {l} should hit on the second pass");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! A single physically-indexed cache.
+//!
+//! [`Cache`] operates entirely on [`LineAddr`]s — the hierarchy layers
+//! translate byte addresses once and pass line numbers down. Besides the
+//! ordinary `access` path it exposes the primitives the exclusive policy
+//! needs: [`Cache::extract`] (remove a line, reclaiming its way) and
+//! [`Cache::fill_at`] (install into a specific way), which together
+//! implement the swap of the paper's §8.
+
+use crate::config::CacheConfig;
+use crate::replacement::{Lfsr16, ReplState};
+use crate::stats::CacheStats;
+use tlc_trace::LineAddr;
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// Whether it held modified data.
+    pub dirty: bool,
+}
+
+/// Location of a line inside a cache (set and way), returned by probes so
+/// callers can target the same slot later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Set index.
+    pub set: u64,
+    /// Way index within the set.
+    pub way: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+#[derive(Debug)]
+struct Set {
+    ways: Box<[Way]>,
+    repl: ReplState,
+}
+
+/// One level of cache. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_cache::{Associativity, Cache, CacheConfig};
+/// use tlc_trace::{Addr, LineAddr};
+///
+/// # fn main() -> Result<(), tlc_cache::ConfigError> {
+/// let mut c = Cache::new(CacheConfig::paper(1024, Associativity::Direct)?);
+/// let line = Addr::new(0x1234).line(16);
+/// assert!(!c.access(line, false));       // cold miss
+/// c.fill(line, false);
+/// assert!(c.access(line, false));        // now hits
+/// assert_eq!(c.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Set>,
+    set_mask: u64,
+    set_shift: u32,
+    lfsr: Lfsr16,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        let ways = cfg.ways();
+        let sets = (0..num_sets)
+            .map(|_| Set {
+                ways: vec![Way::default(); ways as usize].into_boxed_slice(),
+                repl: ReplState::new(cfg.replacement(), ways),
+            })
+            .collect();
+        Cache {
+            cfg,
+            sets,
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
+            lfsr: Lfsr16::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears the statistics (contents are preserved — used to discard
+    /// warm-up transients).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn split(&self, line: LineAddr) -> (u64, u64) {
+        (line.0 & self.set_mask, line.0 >> self.set_shift)
+    }
+
+    #[inline]
+    fn join(&self, set: u64, tag: u64) -> LineAddr {
+        LineAddr((tag << self.set_shift) | set)
+    }
+
+    /// Set index of a line in this cache.
+    #[inline]
+    pub fn set_index(&self, line: LineAddr) -> u64 {
+        line.0 & self.set_mask
+    }
+
+    /// Looks a line up **without** touching statistics or replacement
+    /// state.
+    pub fn probe(&self, line: LineAddr) -> Option<Slot> {
+        let (set, tag) = self.split(line);
+        let s = &self.sets[set as usize];
+        s.ways
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .map(|way| Slot { set, way: way as u32 })
+    }
+
+    /// Whether the line is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line).is_some()
+    }
+
+    /// Performs a demand access: counts a hit or a miss, and on a hit
+    /// updates replacement state and the dirty bit (`is_write`).
+    ///
+    /// Returns `true` on a hit. On a miss the cache is left unchanged —
+    /// the hierarchy decides how to refill (conventional fill, exclusive
+    /// swap, bypass, …).
+    #[inline]
+    pub fn access(&mut self, line: LineAddr, is_write: bool) -> bool {
+        self.stats.accesses += 1;
+        let (set, tag) = self.split(line);
+        let s = &mut self.sets[set as usize];
+        for (i, w) in s.ways.iter_mut().enumerate() {
+            if w.valid && w.tag == tag {
+                w.dirty |= is_write;
+                s.repl.touch(i as u32);
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs `line`, choosing a victim by the replacement policy when
+    /// the set is full. Returns the displaced line, if any.
+    ///
+    /// If the line is already present this is a no-op apart from merging
+    /// the dirty bit (callers normally `access` first, so double-insertion
+    /// indicates the hierarchy already holds the line elsewhere).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        let (set, tag) = self.split(line);
+        let ways = self.cfg.ways();
+        let s = &mut self.sets[set as usize];
+        // Already present: merge dirty, refresh replacement.
+        for (i, w) in s.ways.iter_mut().enumerate() {
+            if w.valid && w.tag == tag {
+                w.dirty |= dirty;
+                s.repl.touch(i as u32);
+                return None;
+            }
+        }
+        // Free way if any.
+        if let Some(i) = s.ways.iter().position(|w| !w.valid) {
+            s.ways[i] = Way { tag, valid: true, dirty };
+            s.repl.filled(i as u32);
+            return None;
+        }
+        let victim_way = s.repl.victim(ways, &mut self.lfsr);
+        let v = s.ways[victim_way as usize];
+        s.ways[victim_way as usize] = Way { tag, valid: true, dirty };
+        s.repl.filled(victim_way);
+        self.stats.evictions += 1;
+        if v.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(Evicted { line: self.join(set, v.tag), dirty: v.dirty })
+    }
+
+    /// Installs `line` into a specific slot previously obtained from
+    /// [`Cache::probe`] or [`Cache::extract`]. Used by the exclusive swap
+    /// to put the L1 victim into the way the requested line just left.
+    ///
+    /// Returns the displaced line if the slot held a valid *different*
+    /// line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot.set` does not match the line's set index in this
+    /// cache, or `slot.way` is out of range.
+    pub fn fill_at(&mut self, line: LineAddr, dirty: bool, slot: Slot) -> Option<Evicted> {
+        let (set, tag) = self.split(line);
+        assert_eq!(set, slot.set, "fill_at: slot set does not match line");
+        let s = &mut self.sets[set as usize];
+        assert!((slot.way as usize) < s.ways.len(), "fill_at: way out of range");
+        let old = s.ways[slot.way as usize];
+        s.ways[slot.way as usize] = Way { tag, valid: true, dirty };
+        s.repl.filled(slot.way);
+        if old.valid && old.tag != tag {
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(Evicted { line: self.join(set, old.tag), dirty: old.dirty })
+        } else {
+            None
+        }
+    }
+
+    /// Removes `line` from the cache, returning its dirty bit and the slot
+    /// it occupied. The slot becomes free.
+    pub fn extract(&mut self, line: LineAddr) -> Option<(bool, Slot)> {
+        let (set, tag) = self.split(line);
+        let s = &mut self.sets[set as usize];
+        for (i, w) in s.ways.iter_mut().enumerate() {
+            if w.valid && w.tag == tag {
+                let dirty = w.dirty;
+                *w = Way::default();
+                return Some((dirty, Slot { set, way: i as u32 }));
+            }
+        }
+        None
+    }
+
+    /// Invalidates `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        self.extract(line).is_some()
+    }
+
+    /// Drops all contents (statistics are preserved).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            for w in s.ways.iter_mut() {
+                *w = Way::default();
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.valid).count() as u64)
+            .sum()
+    }
+
+    /// Iterates over all resident lines (for auditors and tests).
+    pub fn iter_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set, s)| {
+            s.ways
+                .iter()
+                .filter(|w| w.valid)
+                .map(move |w| self.join(set as u64, w.tag))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Associativity, ReplacementKind};
+    use tlc_trace::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    fn dm_cache(lines: u64) -> Cache {
+        Cache::new(
+            CacheConfig::new(lines * 16, 16, Associativity::Direct, ReplacementKind::Lru)
+                .unwrap(),
+        )
+    }
+
+    fn sa_cache(lines: u64, ways: u32, repl: ReplacementKind) -> Cache {
+        Cache::new(
+            CacheConfig::new(lines * 16, 16, Associativity::SetAssoc(ways), repl).unwrap(),
+        )
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = dm_cache(64);
+        assert!(!c.access(line(5), false));
+        assert_eq!(c.fill(line(5), false), None);
+        assert!(c.access(line(5), false));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_cache(64);
+        c.fill(line(3), false);
+        // line 3 + 64 maps to the same set.
+        let ev = c.fill(line(3 + 64), true);
+        assert_eq!(ev, Some(Evicted { line: line(3), dirty: false }));
+        assert!(!c.contains(line(3)));
+        assert!(c.contains(line(67)));
+    }
+
+    #[test]
+    fn dirty_bit_set_by_write_hit_and_reported_on_eviction() {
+        let mut c = dm_cache(64);
+        c.fill(line(3), false);
+        assert!(c.access(line(3), true)); // write hit marks dirty
+        let ev = c.fill(line(67), false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn set_assoc_holds_conflicting_lines() {
+        let mut c = sa_cache(64, 4, ReplacementKind::Lru);
+        // 16 sets; lines 0,16,32,48 share set 0 — all four fit.
+        for i in 0..4 {
+            c.fill(line(i * 16), false);
+        }
+        for i in 0..4 {
+            assert!(c.contains(line(i * 16)));
+        }
+        // A fifth conflicting line evicts the LRU one (line 0).
+        let ev = c.fill(line(4 * 16), false).unwrap();
+        assert_eq!(ev.line, line(0));
+    }
+
+    #[test]
+    fn lru_order_respected_across_touches() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        // 16 sets; lines 0 and 16 share set 0.
+        c.fill(line(0), false);
+        c.fill(line(16), false);
+        assert!(c.access(line(0), false)); // 16 becomes LRU
+        let ev = c.fill(line(32), false).unwrap();
+        assert_eq!(ev.line, line(16));
+    }
+
+    #[test]
+    fn fill_existing_line_merges_dirty_without_eviction() {
+        let mut c = dm_cache(64);
+        c.fill(line(9), false);
+        assert_eq!(c.fill(line(9), true), None);
+        let ev = c.fill(line(9 + 64), false).unwrap();
+        assert!(ev.dirty, "merged dirty bit lost");
+    }
+
+    #[test]
+    fn extract_frees_slot_and_reports_dirty() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        c.fill(line(0), true);
+        let (dirty, slot) = c.extract(line(0)).unwrap();
+        assert!(dirty);
+        assert!(!c.contains(line(0)));
+        assert_eq!(slot.set, 0);
+        // Slot is reusable without eviction.
+        assert_eq!(c.fill(line(16), false), None);
+        assert_eq!(c.extract(line(999)), None);
+    }
+
+    #[test]
+    fn fill_at_swaps_into_specific_way() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        c.fill(line(0), false);
+        c.fill(line(16), false);
+        let slot = c.probe(line(16)).unwrap();
+        // Replace line 16 specifically with line 32 (same set).
+        let ev = c.fill_at(line(32), true, slot).unwrap();
+        assert_eq!(ev.line, line(16));
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot set")]
+    fn fill_at_rejects_wrong_set() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        c.fill(line(0), false);
+        let slot = c.probe(line(0)).unwrap();
+        // line 1 belongs to set 1, not set 0.
+        let _ = c.fill_at(line(1), false, slot);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        c.fill(line(0), false);
+        c.fill(line(16), false);
+        // Probing line 0 must NOT refresh its LRU position.
+        for _ in 0..5 {
+            assert!(c.probe(line(0)).is_some());
+        }
+        let ev = c.fill(line(32), false).unwrap();
+        assert_eq!(ev.line, line(0), "probe disturbed LRU state");
+        assert_eq!(c.stats().accesses, 0, "probe counted as access");
+    }
+
+    #[test]
+    fn resident_and_iteration() {
+        let mut c = dm_cache(16);
+        for i in [1u64, 5, 9] {
+            c.fill(line(i), false);
+        }
+        assert_eq!(c.resident_lines(), 3);
+        let mut got: Vec<u64> = c.iter_lines().map(|l| l.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 5, 9]);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn tag_reconstruction_across_large_addresses() {
+        let mut c = dm_cache(256);
+        let big = Addr::new(0x7FFF_FFF0).line(16);
+        c.fill(big, false);
+        assert!(c.contains(big));
+        let conflicting = LineAddr(big.0 + 256);
+        let ev = c.fill(conflicting, false).unwrap();
+        assert_eq!(ev.line, big, "evicted line address reconstructed incorrectly");
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = Cache::new(
+            CacheConfig::new(16 * 16, 16, Associativity::Full, ReplacementKind::Lru).unwrap(),
+        );
+        for i in 0..16 {
+            // Addresses that would conflict violently in a DM cache.
+            c.fill(line(i * 1024), false);
+        }
+        assert_eq!(c.resident_lines(), 16);
+        let ev = c.fill(line(999_424), false).unwrap();
+        assert_eq!(ev.line, line(0), "FA LRU should evict the oldest line");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = dm_cache(16);
+        c.fill(line(2), false);
+        c.access(line(2), false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains(line(2)));
+    }
+}

@@ -1,0 +1,306 @@
+//! Three-C miss classification (compulsory / capacity / conflict).
+//!
+//! The paper's motivation for set-associative and exclusive second levels
+//! rests on *which kind* of L1 misses they absorb (conflict misses in
+//! particular, §1 advantage 3 and §8). [`MissClassifier`] implements the
+//! standard Hill decomposition: a miss is **compulsory** if the line was
+//! never seen before, **capacity** if a fully-associative LRU cache of
+//! equal size would also have missed, and **conflict** otherwise.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use tlc_trace::LineAddr;
+
+/// The classical miss taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// First-ever reference to the line.
+    Compulsory,
+    /// A fully-associative LRU cache of the same capacity also misses.
+    Capacity,
+    /// Only the real cache's mapping restrictions cause the miss.
+    Conflict,
+}
+
+/// Per-class miss counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissBreakdown {
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl MissBreakdown {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+}
+
+/// A fully-associative LRU model of a given line capacity, used as the
+/// capacity-miss reference. O(1) amortised per access via an intrusive
+/// doubly-linked list over a slab.
+#[derive(Debug)]
+struct FullyAssocLru {
+    capacity: usize,
+    map: HashMap<LineAddr, usize>,
+    // Slab of nodes: (line, prev, next). usize::MAX = null.
+    nodes: Vec<(LineAddr, usize, usize)>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    free: Vec<usize>,
+}
+
+const NIL: usize = usize::MAX;
+
+impl FullyAssocLru {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FullyAssocLru {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (_, prev, next) = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].2 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].1 = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].1 = NIL;
+        self.nodes[idx].2 = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].1 = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Accesses `line`; returns whether it hit.
+    fn access(&mut self, line: LineAddr) -> bool {
+        if let Some(&idx) = self.map.get(&line) {
+            self.detach(idx);
+            self.push_front(idx);
+            return true;
+        }
+        // Miss: insert, evicting LRU if full.
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            let line_out = self.nodes[victim].0;
+            self.map.remove(&line_out);
+            self.free.push(victim);
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i] = (line, NIL, NIL);
+            i
+        } else {
+            self.nodes.push((line, NIL, NIL));
+            self.nodes.len() - 1
+        };
+        self.push_front(idx);
+        self.map.insert(line, idx);
+        false
+    }
+}
+
+/// Classifies misses of one cache against the 3C taxonomy. Feed it every
+/// access of the *same* reference stream the real cache sees, telling it
+/// whether the real cache hit.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_cache::{MissClass, MissClassifier};
+/// use tlc_trace::LineAddr;
+///
+/// let mut c = MissClassifier::new(2); // 2-line reference cache
+/// assert_eq!(c.classify(LineAddr(0), false), Some(MissClass::Compulsory));
+/// assert_eq!(c.classify(LineAddr(0), true), None); // real hit: nothing to classify
+/// ```
+#[derive(Debug)]
+pub struct MissClassifier {
+    seen: HashMap<LineAddr, ()>,
+    reference: FullyAssocLru,
+    breakdown: MissBreakdown,
+}
+
+impl MissClassifier {
+    /// Creates a classifier whose capacity reference holds
+    /// `capacity_lines` lines (the real cache's line count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines` is zero.
+    pub fn new(capacity_lines: usize) -> Self {
+        MissClassifier {
+            seen: HashMap::new(),
+            reference: FullyAssocLru::new(capacity_lines),
+            breakdown: MissBreakdown::default(),
+        }
+    }
+
+    /// Observes one access. `real_hit` is the real cache's outcome.
+    /// Returns the class if the access was a real miss.
+    pub fn classify(&mut self, line: LineAddr, real_hit: bool) -> Option<MissClass> {
+        let first_touch = match self.seen.entry(line) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(());
+                true
+            }
+        };
+        let fa_hit = self.reference.access(line);
+        if real_hit {
+            return None;
+        }
+        let class = if first_touch {
+            MissClass::Compulsory
+        } else if !fa_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        match class {
+            MissClass::Compulsory => self.breakdown.compulsory += 1,
+            MissClass::Capacity => self.breakdown.capacity += 1,
+            MissClass::Conflict => self.breakdown.conflict += 1,
+        }
+        Some(class)
+    }
+
+    /// The accumulated per-class counts.
+    pub fn breakdown(&self) -> MissBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::config::{Associativity, CacheConfig, ReplacementKind};
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = MissClassifier::new(4);
+        assert_eq!(c.classify(line(1), false), Some(MissClass::Compulsory));
+        assert_eq!(c.breakdown().compulsory, 1);
+    }
+
+    #[test]
+    fn real_hits_are_not_classified() {
+        let mut c = MissClassifier::new(4);
+        assert_eq!(c.classify(line(1), true), None);
+        assert_eq!(c.breakdown().total(), 0);
+    }
+
+    #[test]
+    fn conflict_vs_capacity() {
+        // Capacity 4; touch lines 0 and 4 (which would conflict in a
+        // 4-line DM cache) alternately. The FA reference holds both, so
+        // repeat misses are conflicts.
+        let mut c = MissClassifier::new(4);
+        c.classify(line(0), false); // compulsory
+        c.classify(line(4), false); // compulsory
+        assert_eq!(c.classify(line(0), false), Some(MissClass::Conflict));
+        assert_eq!(c.classify(line(4), false), Some(MissClass::Conflict));
+        // Now stream 5 distinct lines — more than capacity — twice: the
+        // second pass misses are capacity misses.
+        let mut c = MissClassifier::new(4);
+        for l in 0..5u64 {
+            c.classify(line(l), false);
+        }
+        for l in 0..5u64 {
+            assert_eq!(c.classify(line(l), false), Some(MissClass::Capacity), "line {l}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_real_dm_cache_totals() {
+        // Drive a real DM cache and the classifier together; every real
+        // miss must be classified and sums must match.
+        let cfg =
+            CacheConfig::new(16 * 16, 16, Associativity::Direct, ReplacementKind::Lru).unwrap();
+        let mut cache = Cache::new(cfg);
+        let mut cls = MissClassifier::new(16);
+        let mut misses = 0u64;
+        for i in 0..5000u64 {
+            // Three lines that all map to DM set 0 but fit easily in the
+            // 16-line FA reference: repeat misses are pure conflicts.
+            let l = line((i % 3) * 16);
+            let hit = cache.access(l, false);
+            if !hit {
+                cache.fill(l, false);
+                misses += 1;
+            }
+            cls.classify(l, hit);
+        }
+        assert_eq!(cls.breakdown().total(), misses);
+        assert!(cls.breakdown().conflict > 0, "DM cache on 3 set-0 lines must show conflicts");
+        assert_eq!(cls.breakdown().capacity, 0);
+        assert_eq!(cls.breakdown().compulsory, 3);
+    }
+
+    #[test]
+    fn fully_associative_cache_shows_no_conflict_misses() {
+        let cfg =
+            CacheConfig::new(16 * 16, 16, Associativity::Full, ReplacementKind::Lru).unwrap();
+        let mut cache = Cache::new(cfg);
+        let mut cls = MissClassifier::new(16);
+        for i in 0..5000u64 {
+            let l = line((i * 7) % 48);
+            let hit = cache.access(l, false);
+            if !hit {
+                cache.fill(l, false);
+            }
+            cls.classify(l, hit);
+        }
+        assert_eq!(
+            cls.breakdown().conflict,
+            0,
+            "an FA LRU cache can never have conflict misses vs an equal-size FA LRU reference"
+        );
+    }
+
+    #[test]
+    fn lru_reference_model_is_correct() {
+        let mut fa = FullyAssocLru::new(2);
+        assert!(!fa.access(line(1)));
+        assert!(!fa.access(line(2)));
+        assert!(fa.access(line(1))); // 2 is now LRU
+        assert!(!fa.access(line(3))); // evicts 2
+        assert!(!fa.access(line(2)));
+        assert!(fa.access(line(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        let _ = MissClassifier::new(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The [`MemorySystem`] abstraction shared by every cache organisation.
+
+use crate::stats::HierarchyStats;
+use tlc_trace::{InstructionRecord, LineAddr, MemRef};
+
+/// Which level of the memory system satisfied a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Hit in the first-level cache.
+    L1,
+    /// Satisfied by the on-chip second level (or victim buffer).
+    L2,
+    /// Went off-chip.
+    Memory,
+}
+
+/// Outcome of one instruction's references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstructionOutcome {
+    /// Where the instruction fetch was satisfied.
+    pub fetch: ServiceLevel,
+    /// Where the data reference was satisfied, if one was issued.
+    pub data: Option<ServiceLevel>,
+}
+
+/// A complete simulated memory system (split L1 plus whatever lies
+/// behind it).
+///
+/// All organisations in this crate implement the trait, so experiments
+/// can be written once against `dyn MemorySystem`.
+pub trait MemorySystem {
+    /// Processes a single reference, updating statistics.
+    fn access(&mut self, r: MemRef) -> ServiceLevel;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &HierarchyStats;
+
+    /// Clears statistics without flushing cache contents (used to discard
+    /// warm-up transients).
+    fn reset_stats(&mut self);
+
+    /// A short human-readable description of the organisation.
+    fn describe(&self) -> String;
+
+    /// Processes one instruction (fetch plus optional data reference).
+    fn access_instruction(&mut self, rec: &InstructionRecord) -> InstructionOutcome {
+        let fetch = self.access(MemRef::fetch(rec.fetch));
+        let data = rec.data.map(|d| self.access(d));
+        InstructionOutcome { fetch, data }
+    }
+
+    /// Purges `line` from every cache of this system, returning how many
+    /// copies were dropped. Used to maintain inclusion with an external
+    /// (board-level) cache when it evicts a line — the paper's §8
+    /// multiprocessor remark ("eliminating on-chip cache lines which are
+    /// not present off-chip"). Dirty data is discarded; the external
+    /// cache already holds the line's last written-back state in this
+    /// write-back-on-eviction model.
+    fn invalidate_line(&mut self, line: LineAddr) -> u32 {
+        let _ = line;
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_trace::Addr;
+
+    /// A trivial system that always misses, for testing the default
+    /// method.
+    struct AlwaysMiss {
+        stats: HierarchyStats,
+    }
+
+    impl MemorySystem for AlwaysMiss {
+        fn access(&mut self, r: MemRef) -> ServiceLevel {
+            if r.kind.is_data() {
+                self.stats.data_refs += 1;
+                self.stats.l1d_misses += 1;
+            } else {
+                self.stats.instructions += 1;
+                self.stats.l1i_misses += 1;
+            }
+            self.stats.l2_misses += 1;
+            ServiceLevel::Memory
+        }
+
+        fn stats(&self) -> &HierarchyStats {
+            &self.stats
+        }
+
+        fn reset_stats(&mut self) {
+            self.stats = HierarchyStats::default();
+        }
+
+        fn describe(&self) -> String {
+            "always-miss".into()
+        }
+    }
+
+    #[test]
+    fn default_instruction_access_covers_both_refs() {
+        let mut m = AlwaysMiss { stats: HierarchyStats::default() };
+        let rec = InstructionRecord::with_data(Addr::new(0x100), MemRef::load(Addr::new(0x2000)));
+        let out = m.access_instruction(&rec);
+        assert_eq!(out.fetch, ServiceLevel::Memory);
+        assert_eq!(out.data, Some(ServiceLevel::Memory));
+        assert_eq!(m.stats().instructions, 1);
+        assert_eq!(m.stats().data_refs, 1);
+
+        let out = m.access_instruction(&InstructionRecord::fetch_only(Addr::new(0x104)));
+        assert_eq!(out.data, None);
+        assert_eq!(m.stats().instructions, 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Single-pass stack-distance profiling (Mattson et al., 1970).
+//!
+//! The paper needed "miss rates for a range of system parameters" (§1) —
+//! one simulation per cache size. For fully-associative LRU caches the
+//! classic stack algorithm computes the miss ratio of *every* capacity in
+//! a single pass: the LRU *stack distance* of an access (the number of
+//! distinct lines touched since the previous access to the same line)
+//! determines a hit in every cache with at least that many lines.
+//!
+//! [`StackDistanceProfiler`] implements the O(log n)-per-access variant:
+//! each line's last-access time is a 1-bit in a Fenwick tree over time;
+//! the stack distance is the count of set bits after the line's previous
+//! time. The resulting histogram yields the full miss-ratio-versus-size
+//! curve, used by the calibration tooling and cross-validated against the
+//! direct cache simulator in the test suite.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tlc_trace::LineAddr;
+
+/// Binary indexed tree over access times, counting "most recent access
+/// positions" of live lines.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Fenwick { tree: vec![0; 1024] }
+    }
+
+    /// Highest addressable 0-based position.
+    fn capacity(&self) -> usize {
+        self.tree.len() - 2
+    }
+
+    /// Replaces the tree with a larger one containing a 1 at each of
+    /// `ones` (a plain resize would zero the new parent nodes, which must
+    /// hold range sums over the old elements).
+    fn rebuild(&mut self, new_max_idx: usize, ones: impl Iterator<Item = usize>) {
+        self.tree = vec![0; (new_max_idx + 2).next_power_of_two().max(1024)];
+        for idx in ones {
+            self.add(idx, 1);
+        }
+    }
+
+    /// Adds `delta` at position `idx` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `idx` exceeds the capacity; callers
+    /// grow the tree via [`Fenwick::rebuild`] first.
+    fn add(&mut self, idx: usize, delta: i32) {
+        debug_assert!(idx <= self.capacity(), "fenwick index {idx} out of range");
+        let mut i = idx + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=idx`.
+    fn prefix(&self, idx: usize) -> u32 {
+        let mut i = (idx + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Total of all positions.
+    fn total(&self) -> u32 {
+        self.prefix(self.tree.len() - 2)
+    }
+}
+
+/// Single-pass LRU stack-distance profiler. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_cache::StackDistanceProfiler;
+/// use tlc_trace::LineAddr;
+///
+/// let mut p = StackDistanceProfiler::new();
+/// for line in [0u64, 1, 2, 0, 1, 2] {
+///     p.record(LineAddr(line));
+/// }
+/// // Second round: every access has stack distance 3 (two other lines
+/// // touched in between) — a 2-line cache misses, a 4-line cache hits.
+/// assert_eq!(p.misses_at_capacity(2), 6);
+/// assert_eq!(p.misses_at_capacity(4), 3); // only the three cold misses
+/// ```
+#[derive(Debug)]
+pub struct StackDistanceProfiler {
+    fenwick: Fenwick,
+    last_time: HashMap<LineAddr, usize>,
+    clock: usize,
+    accesses: u64,
+    cold_misses: u64,
+    /// Histogram of stack distances in power-of-two buckets:
+    /// `histogram[k]` counts accesses with distance in `(2^(k-1), 2^k]`
+    /// (bucket 0 holds distance 1).
+    histogram: Vec<u64>,
+}
+
+impl StackDistanceProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        StackDistanceProfiler {
+            fenwick: Fenwick::new(),
+            last_time: HashMap::new(),
+            clock: 0,
+            accesses: 0,
+            cold_misses: 0,
+            histogram: vec![0; 40],
+        }
+    }
+
+    /// Records one line access.
+    pub fn record(&mut self, line: LineAddr) {
+        self.accesses += 1;
+        let now = self.clock;
+        self.clock += 1;
+        if now > self.fenwick.capacity() {
+            // Grow the time axis; only live lines carry a 1.
+            let live: Vec<usize> = self.last_time.values().copied().collect();
+            self.fenwick.rebuild(now.max(2 * self.fenwick.capacity()), live.into_iter());
+        }
+        match self.last_time.insert(line, now) {
+            None => {
+                self.cold_misses += 1;
+            }
+            Some(prev) => {
+                // Lines whose last access is strictly after `prev`, plus
+                // this line itself.
+                let after = self.fenwick.total() - self.fenwick.prefix(prev);
+                let distance = after as u64 + 1;
+                let bucket = (64 - (distance - 1).leading_zeros()) as usize;
+                let last = self.histogram.len() - 1;
+                self.histogram[bucket.min(last)] += 1;
+                self.fenwick.add(prev, -1);
+            }
+        }
+        self.fenwick.add(now, 1);
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// First-touch (cold) misses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// Distinct lines seen.
+    pub fn unique_lines(&self) -> u64 {
+        self.last_time.len() as u64
+    }
+
+    /// Misses a fully-associative LRU cache of `capacity_lines` lines
+    /// would take on the recorded stream (`capacity_lines` must be a
+    /// power of two — the histogram is bucketed that way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines` is zero or not a power of two.
+    pub fn misses_at_capacity(&self, capacity_lines: u64) -> u64 {
+        assert!(
+            capacity_lines > 0 && capacity_lines.is_power_of_two(),
+            "capacity must be a positive power of two"
+        );
+        // An access with stack distance d hits iff d <= capacity. Bucket
+        // k spans (2^(k-1), 2^k], so buckets with 2^k <= capacity are
+        // hits.
+        let cutoff = capacity_lines.trailing_zeros() as usize;
+        let reuse_misses: u64 =
+            self.histogram.iter().enumerate().filter(|(k, _)| *k > cutoff).map(|(_, &c)| c).sum();
+        self.cold_misses + reuse_misses
+    }
+
+    /// Miss ratio at a capacity (see [`Self::misses_at_capacity`]).
+    pub fn miss_ratio_at_capacity(&self, capacity_lines: u64) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses_at_capacity(capacity_lines) as f64 / self.accesses as f64
+        }
+    }
+
+    /// The full miss-ratio curve over power-of-two capacities from 1 line
+    /// to `max_lines`.
+    pub fn curve(&self, max_lines: u64) -> MissRatioCurve {
+        let mut points = Vec::new();
+        let mut c = 1u64;
+        while c <= max_lines {
+            points.push((c, self.miss_ratio_at_capacity(c)));
+            c *= 2;
+        }
+        MissRatioCurve { points, accesses: self.accesses }
+    }
+}
+
+impl Default for StackDistanceProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A miss-ratio-versus-capacity curve from one profiling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// `(capacity_lines, miss_ratio)` points, capacities ascending.
+    pub points: Vec<(u64, f64)>,
+    /// Accesses behind the curve.
+    pub accesses: u64,
+}
+
+impl MissRatioCurve {
+    /// Miss ratio at the given capacity, if profiled.
+    pub fn at(&self, capacity_lines: u64) -> Option<f64> {
+        self.points.iter().find(|(c, _)| *c == capacity_lines).map(|(_, m)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::config::{Associativity, CacheConfig, ReplacementKind};
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn cold_misses_counted() {
+        let mut p = StackDistanceProfiler::new();
+        for l in 0..10u64 {
+            p.record(line(l));
+        }
+        assert_eq!(p.cold_misses(), 10);
+        assert_eq!(p.unique_lines(), 10);
+        assert_eq!(p.misses_at_capacity(1024), 10);
+    }
+
+    #[test]
+    fn cyclic_pattern_has_sharp_knee() {
+        // Cycling over 8 lines: caches >= 8 lines hit everything after
+        // warm-up, caches < 8 lines (LRU) miss everything.
+        let mut p = StackDistanceProfiler::new();
+        for i in 0..800u64 {
+            p.record(line(i % 8));
+        }
+        assert_eq!(p.misses_at_capacity(8), 8, "only cold misses above the knee");
+        assert_eq!(p.misses_at_capacity(4), 800, "LRU thrashes below the knee");
+    }
+
+    #[test]
+    fn immediate_reuse_hits_in_one_line_cache() {
+        let mut p = StackDistanceProfiler::new();
+        for _ in 0..5 {
+            p.record(line(42));
+        }
+        assert_eq!(p.misses_at_capacity(1), 1);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let mut p = StackDistanceProfiler::new();
+        let mut x = 12345u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.record(line(x % 3000));
+        }
+        let curve = p.curve(4096);
+        for w in curve.points.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "curve rose: {:?} -> {:?}", w[0], w[1]);
+        }
+        assert_eq!(curve.at(1024), Some(p.miss_ratio_at_capacity(1024)));
+        assert_eq!(curve.at(3), None);
+    }
+
+    #[test]
+    fn agrees_with_direct_fa_lru_simulation() {
+        // Cross-validate against the real fully-associative LRU cache at
+        // several capacities.
+        let mut x = 99u64;
+        let stream: Vec<LineAddr> = (0..30_000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                line(x % 700)
+            })
+            .collect();
+
+        let mut p = StackDistanceProfiler::new();
+        for &l in &stream {
+            p.record(l);
+        }
+
+        for capacity in [16u64, 64, 256, 1024] {
+            let cfg = CacheConfig::new(
+                capacity * 16,
+                16,
+                Associativity::Full,
+                ReplacementKind::Lru,
+            )
+            .expect("valid");
+            let mut cache = Cache::new(cfg);
+            let mut misses = 0u64;
+            for &l in &stream {
+                if !cache.access(l, false) {
+                    cache.fill(l, false);
+                    misses += 1;
+                }
+            }
+            assert_eq!(
+                p.misses_at_capacity(capacity),
+                misses,
+                "profiler disagrees with direct simulation at {capacity} lines"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_matches_across_time_growth() {
+        // Exercise the Fenwick resize path with a long stream.
+        let mut p = StackDistanceProfiler::new();
+        for i in 0..5000u64 {
+            p.record(line(i % 3));
+        }
+        assert_eq!(p.accesses(), 5000);
+        assert_eq!(p.misses_at_capacity(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_capacity() {
+        let p = StackDistanceProfiler::new();
+        let _ = p.misses_at_capacity(3);
+    }
+}

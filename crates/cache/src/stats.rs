@@ -1,0 +1,212 @@
+//! Hit/miss counters for single caches and whole hierarchies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Evicted lines that were dirty.
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.evictions += rhs.evictions;
+        self.dirty_evictions += rhs.dirty_evictions;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses (miss rate {:.4})",
+            self.accesses,
+            self.hits,
+            self.misses(),
+            self.miss_rate()
+        )
+    }
+}
+
+/// Counters for a full memory system, in the units the paper's TPI model
+/// consumes (§2.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Instructions processed (one instruction fetch each).
+    pub instructions: u64,
+    /// Data references processed.
+    pub data_refs: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// References satisfied by the second level (or victim buffer).
+    pub l2_hits: u64,
+    /// References that went off-chip.
+    pub l2_misses: u64,
+    /// Dirty lines written back off-chip.
+    pub offchip_writebacks: u64,
+}
+
+impl HierarchyStats {
+    /// Total references (instruction + data).
+    pub fn total_refs(&self) -> u64 {
+        self.instructions + self.data_refs
+    }
+
+    /// Total first-level misses.
+    pub fn l1_misses(&self) -> u64 {
+        self.l1i_misses + self.l1d_misses
+    }
+
+    /// Overall first-level miss rate per reference.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.total_refs() == 0 {
+            0.0
+        } else {
+            self.l1_misses() as f64 / self.total_refs() as f64
+        }
+    }
+
+    /// Local second-level miss rate (per L1 miss).
+    pub fn l2_local_miss_rate(&self) -> f64 {
+        let probes = self.l2_hits + self.l2_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / probes as f64
+        }
+    }
+
+    /// Global miss rate: references going off-chip per reference.
+    pub fn global_miss_rate(&self) -> f64 {
+        if self.total_refs() == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.total_refs() as f64
+        }
+    }
+}
+
+impl AddAssign for HierarchyStats {
+    fn add_assign(&mut self, rhs: HierarchyStats) {
+        self.instructions += rhs.instructions;
+        self.data_refs += rhs.data_refs;
+        self.l1i_misses += rhs.l1i_misses;
+        self.l1d_misses += rhs.l1d_misses;
+        self.l2_hits += rhs.l2_hits;
+        self.l2_misses += rhs.l2_misses;
+        self.offchip_writebacks += rhs.offchip_writebacks;
+    }
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instr, {} data; L1 miss {:.4}, L2 local miss {:.4}, global miss {:.4}",
+            self.instructions,
+            self.data_refs,
+            self.l1_miss_rate(),
+            self.l2_local_miss_rate(),
+            self.global_miss_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_rates() {
+        let s = CacheStats { accesses: 100, hits: 75, evictions: 10, dirty_evictions: 4 };
+        assert_eq!(s.misses(), 25);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        let h = HierarchyStats::default();
+        assert_eq!(h.l1_miss_rate(), 0.0);
+        assert_eq!(h.l2_local_miss_rate(), 0.0);
+        assert_eq!(h.global_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_rates() {
+        let h = HierarchyStats {
+            instructions: 800,
+            data_refs: 200,
+            l1i_misses: 40,
+            l1d_misses: 10,
+            l2_hits: 30,
+            l2_misses: 20,
+            offchip_writebacks: 5,
+        };
+        assert_eq!(h.total_refs(), 1000);
+        assert_eq!(h.l1_misses(), 50);
+        assert!((h.l1_miss_rate() - 0.05).abs() < 1e-12);
+        assert!((h.l2_local_miss_rate() - 0.4).abs() < 1e-12);
+        assert!((h.global_miss_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CacheStats { accesses: 1, hits: 1, evictions: 0, dirty_evictions: 0 };
+        a += CacheStats { accesses: 2, hits: 0, evictions: 1, dirty_evictions: 1 };
+        assert_eq!(a, CacheStats { accesses: 3, hits: 1, evictions: 1, dirty_evictions: 1 });
+
+        let mut h = HierarchyStats { instructions: 1, ..Default::default() };
+        h += HierarchyStats { instructions: 2, l2_hits: 3, ..Default::default() };
+        assert_eq!(h.instructions, 3);
+        assert_eq!(h.l2_hits, 3);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = CacheStats { accesses: 4, hits: 3, evictions: 0, dirty_evictions: 0 };
+        assert!(s.to_string().contains("miss rate"));
+        assert!(HierarchyStats::default().to_string().contains("L1 miss"));
+    }
+}

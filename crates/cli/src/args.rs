@@ -1,0 +1,140 @@
+//! Minimal argument parsing for the `tlc` binary.
+//!
+//! The study intentionally has no heavy CLI dependency; [`ArgMap`] covers
+//! the `--key value` / `--flag` / positional grammar the subcommands need,
+//! with typed accessors that produce readable errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation error, shown to the user as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments: positionals in order, `--key value` options, and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMap {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parses raw arguments. `flag_names` lists the options that take no
+    /// value; everything else starting with `--` expects one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a `--key` with no following value.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        flag_names: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut out = ArgMap::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} expects a value")))?;
+                    out.options.insert(name.to_string(), v);
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(|s| s.as_str())
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the option if the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Required typed option.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the option is missing or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self
+            .options
+            .get(key)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))?;
+        v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_options_flags() {
+        let a = ArgMap::parse(sv(&["sweep", "--l1", "8", "--quick", "extra"]), &["quick"])
+            .expect("parse");
+        assert_eq!(a.positional(0), Some("sweep"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.get("l1"), Some("8"));
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = ArgMap::parse(sv(&["--l1", "8", "--offchip", "50.0"]), &[]).expect("parse");
+        assert_eq!(a.get_or("l1", 4u64).expect("int"), 8);
+        assert_eq!(a.get_or("missing", 4u64).expect("default"), 4);
+        let off: f64 = a.require("offchip").expect("float");
+        assert_eq!(off, 50.0);
+        assert!(a.require::<u64>("nope").is_err());
+        let b = ArgMap::parse(sv(&["--l1", "zebra"]), &[]).expect("parse");
+        assert!(b.get_or("l1", 4u64).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = ArgMap::parse(sv(&["--l1"]), &[]).unwrap_err();
+        assert!(e.to_string().contains("--l1"));
+    }
+}

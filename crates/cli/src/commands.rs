@@ -1,0 +1,425 @@
+//! The `tlc` subcommand implementations. Each returns its report as a
+//! `String` (so they are unit-testable) and takes parsed [`ArgMap`]s.
+
+use crate::args::{ArgError, ArgMap};
+use std::fmt::Write as _;
+use tlc_area::{AreaModel, CacheGeometry, CellKind};
+use tlc_cache::StackDistanceProfiler;
+use tlc_core::configspace::{full_space, SpaceOptions};
+use tlc_core::experiment::{simulate_source, SimBudget};
+use tlc_core::report::{envelope_table, points_csv, points_table};
+use tlc_core::runner::sweep;
+use tlc_core::tpi::tpi_ns;
+use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
+use tlc_timing::{DetailedTimingModel, EnergyModel, TimingModel};
+use tlc_trace::spec::SpecBenchmark;
+use tlc_trace::specfile::WorkloadSpec;
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "tlc — the two-level on-chip caching study (Jouppi & Wilton, WRL 93/3)\n\
+     \n\
+     usage: tlc <command> [options]\n\
+     \n\
+     commands:\n\
+     \u{20} evaluate   evaluate one configuration on one workload\n\
+     \u{20}            --workload gcc1 --l1 8 [--l2 64 --ways 4 --policy conventional|exclusive]\n\
+     \u{20}            [--offchip 50] [--instr N] [--warmup N]\n\
+     \u{20} sweep      sweep the paper's configuration space on one workload\n\
+     \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
+     \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
+     \u{20}            --workload li [--instr N]\n\
+     \u{20} timing     access/cycle time, area, and energy of one cache\n\
+     \u{20}            --size 32 [--ways 1] [--dual] [--detailed]\n\
+     \u{20} workload   run a custom JSON workload spec (see docs/tutorial.md)\n\
+     \u{20}            <spec.json> [--l1 8 --l2 64 ...] [--instr N]\n\
+     \u{20} compare    every organisation side by side on one workload\n\
+     \u{20}            --workload gcc1 [--l1 4] [--l2 32] [--instr N]\n\
+     \u{20} list       list built-in workloads\n"
+        .to_string()
+}
+
+fn parse_workload(args: &ArgMap) -> Result<SpecBenchmark, ArgError> {
+    let name: String = args.require("workload")?;
+    let name = name.as_str();
+    SpecBenchmark::from_name(name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown workload {name:?}; choose one of: {}",
+            SpecBenchmark::ALL.map(|b| b.name()).join(" ")
+        ))
+    })
+}
+
+fn parse_machine(args: &ArgMap) -> Result<MachineConfig, ArgError> {
+    let l1: u64 = args.get_or("l1", 8)?;
+    let offchip: f64 = args.get_or("offchip", 50.0)?;
+    let l2: u64 = args.get_or("l2", 0)?;
+    let ways: u32 = args.get_or("ways", 4)?;
+    let policy = match args.get("policy").unwrap_or("conventional") {
+        "conventional" => L2Policy::Conventional,
+        "exclusive" => L2Policy::Exclusive,
+        other => return Err(ArgError(format!("unknown policy {other:?}"))),
+    };
+    let mut cfg = if l2 == 0 {
+        MachineConfig::single_level(l1, offchip)
+    } else {
+        MachineConfig::two_level(l1, l2, ways, policy, offchip)
+    };
+    if args.flag("dual") {
+        cfg = cfg.with_l1_cell(CellKind::DualPorted);
+    }
+    Ok(cfg)
+}
+
+fn parse_budget(args: &ArgMap) -> Result<SimBudget, ArgError> {
+    let mut b = SimBudget::standard();
+    b.instructions = args.get_or("instr", b.instructions)?;
+    b.warmup_instructions = args.get_or("warmup", b.warmup_instructions)?;
+    Ok(b)
+}
+
+/// `tlc evaluate`.
+pub fn cmd_evaluate(args: &ArgMap) -> Result<String, ArgError> {
+    let benchmark = parse_workload(args)?;
+    let cfg = parse_machine(args)?;
+    let budget = parse_budget(args)?;
+    let timing = TimingModel::paper();
+    let area = AreaModel::new();
+    let p = evaluate(&cfg, benchmark, budget, &timing, &area);
+    let mut out = String::new();
+    let _ = writeln!(out, "configuration : {cfg}");
+    let _ = writeln!(out, "workload      : {benchmark}");
+    let _ = writeln!(out, "area          : {:.0} rbe", p.area_rbe);
+    let _ = writeln!(out, "cycle         : {:.2} ns (L2 = {} cycles)", p.l1_cycle_ns, p.l2_cycles);
+    let _ = writeln!(out, "stats         : {}", p.stats);
+    let _ = writeln!(out, "TPI           : {:.2} ns/instruction (CPI {:.2})", p.tpi_ns, p.cpi);
+    Ok(out)
+}
+
+/// `tlc sweep`.
+pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
+    let benchmark = parse_workload(args)?;
+    let budget = parse_budget(args)?;
+    let ways: u32 = args.get_or("ways", 4)?;
+    let offchip: f64 = args.get_or("offchip", 50.0)?;
+    let policy = match args.get("policy").unwrap_or("conventional") {
+        "conventional" => L2Policy::Conventional,
+        "exclusive" => L2Policy::Exclusive,
+        other => return Err(ArgError(format!("unknown policy {other:?}"))),
+    };
+    let cell = if args.flag("dual") { CellKind::DualPorted } else { CellKind::SinglePorted };
+    let opts = SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
+    let timing = TimingModel::paper();
+    let area = AreaModel::new();
+    let points = sweep(&full_space(&opts), benchmark, budget, &timing, &area);
+    if args.flag("csv") {
+        return Ok(points_csv(&points));
+    }
+    let title = format!(
+        "{benchmark}: {offchip}ns off-chip, {ways}-way {} L2{}",
+        if policy == L2Policy::Exclusive { "exclusive" } else { "conventional" },
+        if cell == CellKind::DualPorted { ", dual-ported L1" } else { "" }
+    );
+    let mut out = points_table(&title, &points);
+    out.push('\n');
+    out.push_str(&envelope_table("best performance envelope:", &points));
+    Ok(out)
+}
+
+/// `tlc profile`.
+pub fn cmd_profile(args: &ArgMap) -> Result<String, ArgError> {
+    let benchmark = parse_workload(args)?;
+    let n: u64 = args.get_or("instr", 500_000)?;
+    let mut w = benchmark.workload();
+    let mut pi = StackDistanceProfiler::new();
+    let mut pd = StackDistanceProfiler::new();
+    for _ in 0..n {
+        let rec = w.next_instruction();
+        pi.record(rec.fetch.line(16));
+        if let Some(d) = rec.data {
+            pd.record(d.addr.line(16));
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{benchmark}: fully-associative LRU miss ratios from one Mattson pass ({n} instructions)"
+    );
+    let _ = writeln!(
+        out,
+        "instr stream: {} refs, {} unique lines; data stream: {} refs, {} unique lines\n",
+        pi.accesses(),
+        pi.unique_lines(),
+        pd.accesses(),
+        pd.unique_lines()
+    );
+    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "size", "instr", "data", "combined");
+    for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let lines = kb * 1024 / 16;
+        let mi = pi.miss_ratio_at_capacity(lines);
+        let md = pd.miss_ratio_at_capacity(lines);
+        let combined = (pi.misses_at_capacity(lines) + pd.misses_at_capacity(lines)) as f64
+            / (pi.accesses() + pd.accesses()) as f64;
+        let _ = writeln!(out, "{kb:>7}K {mi:>12.4} {md:>12.4} {combined:>12.4}");
+    }
+    Ok(out)
+}
+
+/// `tlc timing`.
+pub fn cmd_timing(args: &ArgMap) -> Result<String, ArgError> {
+    let kb: u64 = args.get_or("size", 32)?;
+    let ways: u32 = args.get_or("ways", 1)?;
+    if kb == 0 || !kb.is_power_of_two() {
+        return Err(ArgError("--size must be a power-of-two KB count".into()));
+    }
+    let cell = if args.flag("dual") { CellKind::DualPorted } else { CellKind::SinglePorted };
+    let geom = CacheGeometry { size_bytes: kb * 1024, line_bytes: 16, ways, addr_bits: 32 };
+    if geom.lines() < ways as u64 || !ways.is_power_of_two() {
+        return Err(ArgError(format!("a {kb}KB cache cannot be {ways}-way")));
+    }
+    let area = AreaModel::new();
+    let energy = EnergyModel::new();
+    let mut out = String::new();
+    let _ = writeln!(out, "{kb}KB {ways}-way, {cell} cells:");
+    let t = if args.flag("detailed") {
+        let m = DetailedTimingModel::paper();
+        let _ = writeln!(out, "(transistor-level Horowitz/RC model)");
+        m.optimal(&geom, cell)
+    } else {
+        TimingModel::paper().optimal(&geom, cell)
+    };
+    let a = area.cache_area(&geom, &t.org, cell);
+    let e = energy.access_energy(&geom, &t.org, cell);
+    let _ = writeln!(out, "  timing : {t}");
+    let _ = writeln!(out, "  area   : {} ({:.1}% periphery)", a.total(), a.overhead_fraction() * 100.0);
+    let _ = writeln!(out, "  energy : {e}");
+    Ok(out)
+}
+
+/// `tlc workload <spec.json>`.
+pub fn cmd_workload(args: &ArgMap) -> Result<String, ArgError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("usage: tlc workload <spec.json> [options]".into()))?;
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let spec = WorkloadSpec::from_json(&json).map_err(|e| ArgError(e.to_string()))?;
+    let mut workload = spec.build().map_err(|e| ArgError(e.to_string()))?;
+    let cfg = parse_machine(args)?;
+    let budget = parse_budget(args)?;
+    let timing = TimingModel::paper();
+    let area = AreaModel::new();
+    let stats = simulate_source(&cfg, &mut workload, budget);
+    let t = MachineTiming::derive(&cfg, &timing, &area);
+    let tpi = tpi_ns(&stats, &t);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload      : {} (from {path})", spec.name);
+    let _ = writeln!(out, "configuration : {cfg}");
+    let _ = writeln!(out, "area          : {:.0} rbe", t.area_rbe);
+    let _ = writeln!(out, "stats         : {stats}");
+    let _ = writeln!(out, "TPI           : {tpi:.2} ns/instruction");
+    Ok(out)
+}
+
+/// `tlc compare`: every cache organisation at one geometry.
+pub fn cmd_compare(args: &ArgMap) -> Result<String, ArgError> {
+    use tlc_cache::{
+        Associativity, CacheConfig, ConventionalTwoLevel, ExclusiveTwoLevel, InclusiveTwoLevel,
+        MemorySystem, SingleLevel, StreamBufferSystem, VictimCacheSystem,
+    };
+    let benchmark = parse_workload(args)?;
+    let l1_kb: u64 = args.get_or("l1", 4)?;
+    let l2_kb: u64 = args.get_or("l2", 32)?;
+    let n: u64 = args.get_or("instr", 300_000)?;
+    if !l1_kb.is_power_of_two() || !l2_kb.is_power_of_two() || l2_kb < l1_kb {
+        return Err(ArgError("--l1/--l2 must be powers of two with l2 >= l1".into()));
+    }
+    let l1 = CacheConfig::paper(l1_kb * 1024, Associativity::Direct)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let l2 = CacheConfig::paper(l2_kb * 1024, Associativity::SetAssoc(4))
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    let mut systems: Vec<Box<dyn MemorySystem>> = vec![
+        Box::new(SingleLevel::new(l1)),
+        Box::new(VictimCacheSystem::new(l1, 8).map_err(|e| ArgError(e.to_string()))?),
+        Box::new(StreamBufferSystem::new(l1, 8, 4)),
+        Box::new(InclusiveTwoLevel::new(l1, l2)),
+        Box::new(ConventionalTwoLevel::new(l1, l2)),
+        Box::new(ExclusiveTwoLevel::new(l1, l2)),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{benchmark}, {n} instructions; {l1_kb}KB DM L1 pair, {l2_kb}KB 4-way L2 where applicable\n"
+    );
+    let _ = writeln!(out, "{:>10} {:>10} {:>10}  organisation", "L1 miss", "L2 local", "off-chip");
+    for sys in &mut systems {
+        let mut w = benchmark.workload();
+        for _ in 0..n {
+            let rec = w.next_instruction();
+            sys.access_instruction(&rec);
+        }
+        let s = sys.stats();
+        let _ = writeln!(
+            out,
+            "{:>10.4} {:>10.4} {:>10}  {}",
+            s.l1_miss_rate(),
+            s.l2_local_miss_rate(),
+            s.l2_misses,
+            sys.describe()
+        );
+    }
+    Ok(out)
+}
+
+/// `tlc list`.
+pub fn cmd_list() -> String {
+    let mut out = String::from("built-in workloads (synthetic SPEC'89-like, Table 1):\n");
+    for b in SpecBenchmark::ALL {
+        let r = b.paper_refs();
+        let _ = writeln!(
+            out,
+            "  {:<9} paper {:.1}M instr / {:.1}M data refs; data/instr {:.3}",
+            b.name(),
+            r.instr_m,
+            r.data_m,
+            b.data_per_instr()
+        );
+    }
+    out.push_str("\npaper exhibits: see `repro --list` (tlc-bench crate)\n");
+    out
+}
+
+/// Dispatches a full command line (without argv\[0\]).
+pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
+    let flags = ["csv", "dual", "detailed", "quick"];
+    let args = ArgMap::parse(raw, &flags)?;
+    let cmd = args.positional(0).unwrap_or("help");
+    match cmd {
+        "evaluate" => cmd_evaluate(&args),
+        "sweep" => cmd_sweep(&args),
+        "profile" => cmd_profile(&args),
+        "timing" => cmd_timing(&args),
+        "workload" => cmd_workload(&args),
+        "compare" => cmd_compare(&args),
+        "list" => Ok(cmd_list()),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, ArgError> {
+        dispatch(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert!(run(&["help"]).expect("help").contains("usage"));
+        let l = run(&["list"]).expect("list");
+        for b in SpecBenchmark::ALL {
+            assert!(l.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("usage"));
+    }
+
+    #[test]
+    fn evaluate_runs() {
+        let out = run(&[
+            "evaluate", "--workload", "espresso", "--l1", "4", "--l2", "32", "--policy",
+            "exclusive", "--instr", "20000", "--warmup", "5000",
+        ])
+        .expect("evaluate");
+        assert!(out.contains("TPI"));
+        assert!(out.contains("exclusive"));
+    }
+
+    #[test]
+    fn evaluate_requires_workload() {
+        let e = run(&["evaluate", "--l1", "8"]).unwrap_err();
+        assert!(e.to_string().contains("--workload"));
+    }
+
+    #[test]
+    fn timing_reports_all_three_models() {
+        let out = run(&["timing", "--size", "8"]).expect("timing");
+        assert!(out.contains("timing") && out.contains("area") && out.contains("energy"));
+        let det = run(&["timing", "--size", "8", "--detailed"]).expect("detailed");
+        assert!(det.contains("transistor-level"));
+        assert!(run(&["timing", "--size", "3"]).is_err());
+        assert!(run(&["timing", "--size", "1", "--ways", "128"]).is_err());
+    }
+
+    #[test]
+    fn profile_prints_curve() {
+        let out =
+            run(&["profile", "--workload", "eqntott", "--instr", "20000"]).expect("profile");
+        assert!(out.contains("Mattson"));
+        assert!(out.contains("256K"));
+    }
+
+    #[test]
+    fn workload_from_json_file() {
+        let spec = r#"{
+            "name": "tiny", "seed": 1, "data_per_instr": 0.3, "store_fraction": 0.2,
+            "code": { "footprint_kb": 8, "n_sites": 6, "body_min_bytes": 64,
+                      "body_max_bytes": 256, "mean_iters": 4.0, "zipf_theta": 1.0,
+                      "p_excursion": 0.01, "excursion_bytes": 256 },
+            "data": { "regions": [ { "base": 268435456, "size_kb": 16,
+                                     "weight": 1.0, "mean_run": 4.0 } ] }
+        }"#;
+        let path = std::env::temp_dir().join("tlc_cli_test_spec.json");
+        std::fs::write(&path, spec).expect("write spec");
+        let out = run(&[
+            "workload",
+            path.to_str().expect("utf8 path"),
+            "--l1",
+            "4",
+            "--l2",
+            "32",
+            "--instr",
+            "20000",
+            "--warmup",
+            "4000",
+        ])
+        .expect("workload");
+        assert!(out.contains("tiny"));
+        assert!(out.contains("TPI"));
+    }
+
+    #[test]
+    fn workload_reports_file_errors() {
+        let e = run(&["workload", "/nonexistent/spec.json"]).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn compare_lists_all_organisations() {
+        let out = run(&["compare", "--workload", "espresso", "--instr", "30000"])
+            .expect("compare");
+        for needle in
+            ["single-level", "victim", "stream-buffer", "inclusive", "conventional", "exclusive"]
+        {
+            assert!(out.contains(needle), "missing {needle}");
+        }
+        assert!(run(&["compare", "--workload", "espresso", "--l1", "64", "--l2", "4"]).is_err());
+    }
+
+    #[test]
+    fn sweep_csv_mode() {
+        let out = run(&[
+            "sweep", "--workload", "eqntott", "--instr", "5000", "--warmup", "1000", "--csv",
+        ])
+        .expect("sweep");
+        assert!(out.starts_with("workload,label"));
+        assert!(out.lines().count() > 40);
+    }
+}

@@ -1,0 +1,26 @@
+//! `tlc` — command-line front end to the two-level on-chip caching study.
+//!
+//! ```text
+//! tlc evaluate --workload gcc1 --l1 8 --l2 64 --policy exclusive
+//! tlc sweep    --workload tomcatv --offchip 200
+//! tlc profile  --workload li
+//! tlc timing   --size 32 --ways 4 --detailed
+//! tlc workload myworkload.json --l1 8 --l2 128
+//! ```
+//!
+//! Run `tlc help` for the full grammar. The paper's figures themselves
+//! regenerate through the `repro` binary of the `tlc-bench` crate.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(raw) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

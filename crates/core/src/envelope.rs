@@ -1,0 +1,144 @@
+//! Best-performance envelopes.
+//!
+//! Each figure of the paper draws "the best performance envelope … the
+//! best performance that can be obtained for a given cache area" (§4): as
+//! a function of available area, the minimum TPI over all configurations
+//! that fit. Its "staircase appearance … is due to the discrete nature of
+//! the cache sizes."
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an envelope: a configuration that improves on everything
+/// smaller than it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvelopePoint {
+    /// Index into the original point list.
+    pub index: usize,
+    /// Area of the configuration (rbe).
+    pub area: f64,
+    /// Its TPI (ns).
+    pub tpi: f64,
+}
+
+/// Computes the best-performance envelope of `(area, tpi)` points.
+///
+/// Returns the points, ordered by area, that strictly improve the running
+/// minimum TPI; every returned point is the best configuration at its
+/// area, and the piecewise-constant curve through them is the envelope.
+/// Ties in area keep only the lower-TPI point.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_core::envelope::best_envelope;
+///
+/// let pts = [(1.0, 10.0), (2.0, 12.0), (3.0, 8.0), (4.0, 8.5)];
+/// let env = best_envelope(&pts);
+/// let picked: Vec<usize> = env.iter().map(|p| p.index).collect();
+/// assert_eq!(picked, vec![0, 2]); // (2.0,12.0) and (4.0,8.5) are dominated
+/// ```
+pub fn best_envelope(points: &[(f64, f64)]) -> Vec<EnvelopePoint> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("areas must not be NaN")
+            .then(points[a].1.partial_cmp(&points[b].1).expect("TPIs must not be NaN"))
+    });
+    let mut env = Vec::new();
+    let mut best_tpi = f64::INFINITY;
+    for i in order {
+        let (area, tpi) = points[i];
+        if tpi < best_tpi {
+            best_tpi = tpi;
+            env.push(EnvelopePoint { index: i, area, tpi });
+        }
+    }
+    env
+}
+
+/// Evaluates an envelope at a given area budget: the minimum TPI of any
+/// configuration no larger than `area`. Returns `None` below the smallest
+/// point.
+pub fn envelope_at(env: &[EnvelopePoint], area: f64) -> Option<f64> {
+    env.iter().take_while(|p| p.area <= area).last().map(|p| p.tpi)
+}
+
+/// Measures how much envelope `a` improves on envelope `b` across `b`'s
+/// area range: the mean of `(tpi_b - tpi_a) / tpi_b` sampled at each point
+/// of `b` (positive ⇒ `a` is faster). Used to quantify the "distance
+/// between the solid and dotted lines" the paper describes (§4, §7).
+pub fn mean_improvement(a: &[EnvelopePoint], b: &[EnvelopePoint]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for p in b {
+        if let Some(tpi_a) = envelope_at(a, p.area) {
+            total += (p.tpi - tpi_a) / p.tpi;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_decreasing_staircase() {
+        let pts = [(5.0, 5.0), (1.0, 10.0), (3.0, 7.0), (2.0, 12.0), (4.0, 7.5)];
+        let env = best_envelope(&pts);
+        for w in env.windows(2) {
+            assert!(w[0].area < w[1].area);
+            assert!(w[0].tpi > w[1].tpi);
+        }
+        assert_eq!(env.len(), 3);
+        assert_eq!(env[0].index, 1);
+        assert_eq!(env[1].index, 2);
+        assert_eq!(env[2].index, 0);
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        let pts = [(1.0, 10.0), (2.0, 10.0), (3.0, 9.999)];
+        let env = best_envelope(&pts);
+        assert_eq!(env.len(), 2, "equal-TPI larger point must be dominated");
+    }
+
+    #[test]
+    fn area_ties_keep_faster_point() {
+        let pts = [(1.0, 10.0), (1.0, 8.0)];
+        let env = best_envelope(&pts);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env[0].index, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(best_envelope(&[]).is_empty());
+    }
+
+    #[test]
+    fn envelope_at_budget() {
+        let env = best_envelope(&[(1.0, 10.0), (3.0, 8.0), (5.0, 5.0)]);
+        assert_eq!(envelope_at(&env, 0.5), None);
+        assert_eq!(envelope_at(&env, 1.0), Some(10.0));
+        assert_eq!(envelope_at(&env, 4.0), Some(8.0));
+        assert_eq!(envelope_at(&env, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn improvement_measure() {
+        let a = best_envelope(&[(1.0, 5.0), (2.0, 4.0)]);
+        let b = best_envelope(&[(1.0, 10.0), (2.0, 8.0)]);
+        // a halves TPI everywhere → mean improvement 0.5.
+        assert!((mean_improvement(&a, &b) - 0.5).abs() < 1e-12);
+        // An envelope does not improve on itself.
+        assert_eq!(mean_improvement(&b, &b), 0.0);
+    }
+}

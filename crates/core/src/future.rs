@@ -1,0 +1,220 @@
+//! The paper's §10 future-work extensions: multicycle (pipelined)
+//! first-level caches and non-blocking loads.
+//!
+//! The baseline model assumes the L1 cache sets the processor cycle and
+//! that every miss blocks. §10 conjectures:
+//!
+//! 1. **Multicycle L1** — if the datapath, not the L1, sets the cycle
+//!    time, large L1s stop taxing every instruction, which "would reduce
+//!    the effectiveness of two-level on-chip caching in baseline
+//!    configurations";
+//! 2. **Non-blocking loads** — overlapping miss latency with execution
+//!    "may increase the benefits of a two-level on-chip caching
+//!    organization".
+//!
+//! [`FutureWorkModel`] parameterises both effects on top of the §2.5
+//! equations so the conjectures can be tested; see the `future` exhibit
+//! of the `repro` harness and the `future_work` example.
+
+use crate::machine::MachineTiming;
+use serde::{Deserialize, Serialize};
+use tlc_cache::HierarchyStats;
+
+/// Parameters of the extended execution-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FutureWorkModel {
+    /// Fixed datapath cycle time in ns. The processor runs at
+    /// `max(datapath, what the pipelined L1 can sustain per stage)`;
+    /// the L1 *latency* becomes `ceil(l1_cycle / datapath)` cycles.
+    /// `None` restores the baseline "L1 sets the cycle" assumption.
+    pub datapath_cycle_ns: Option<f64>,
+    /// Fraction of data references whose consumer stalls for the full L1
+    /// latency (load-use dependencies). Only meaningful with a multicycle
+    /// L1; typical values 0.2–0.4.
+    pub load_use_fraction: f64,
+    /// Fraction of miss latency hidden by non-blocking execution
+    /// (memory-level parallelism), applied to both L2-hit and off-chip
+    /// penalties. 0 = blocking (baseline).
+    pub miss_overlap: f64,
+}
+
+impl FutureWorkModel {
+    /// The baseline §2.5 model (single-cycle L1, blocking misses).
+    pub fn baseline() -> Self {
+        FutureWorkModel { datapath_cycle_ns: None, load_use_fraction: 0.0, miss_overlap: 0.0 }
+    }
+
+    /// Multicycle pipelined L1 with the given datapath cycle and
+    /// load-use stall fraction.
+    pub fn multicycle(datapath_cycle_ns: f64, load_use_fraction: f64) -> Self {
+        FutureWorkModel {
+            datapath_cycle_ns: Some(datapath_cycle_ns),
+            load_use_fraction,
+            miss_overlap: 0.0,
+        }
+    }
+
+    /// Adds non-blocking miss overlap (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap` is not in `[0, 1)`.
+    pub fn with_miss_overlap(mut self, overlap: f64) -> Self {
+        assert!((0.0..1.0).contains(&overlap), "overlap must be in [0,1)");
+        self.miss_overlap = overlap;
+        self
+    }
+}
+
+impl Default for FutureWorkModel {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// TPI (ns) under the extended model. With
+/// [`FutureWorkModel::baseline`] this reproduces
+/// [`crate::tpi::tpi_ns`] exactly.
+///
+/// # Panics
+///
+/// Panics if `stats.instructions` is zero.
+pub fn tpi_extended(stats: &HierarchyStats, t: &MachineTiming, model: &FutureWorkModel) -> f64 {
+    assert!(stats.instructions > 0, "TPI undefined for an empty run");
+    let n = stats.instructions as f64;
+
+    // Effective processor cycle and per-instruction base cost.
+    let (proc_cycle, base_per_instr) = match model.datapath_cycle_ns {
+        None => (t.l1_cycle_ns, t.l1_cycle_ns / t.issue_factor),
+        Some(datapath) => {
+            // The L1 is pipelined: the core cycles at the datapath rate,
+            // the L1 takes `lat` cycles, and only load-use dependences
+            // feel the extra latency.
+            let lat = (t.l1_cycle_ns / datapath).ceil().max(1.0);
+            let dpi = stats.data_refs as f64 / n;
+            let stall =
+                model.load_use_fraction * (lat - 1.0) * dpi * datapath;
+            (datapath, datapath / t.issue_factor + stall)
+        }
+    };
+
+    // Level penalties, re-rounded against the effective cycle.
+    let round_up = |ns: f64| (ns / proc_cycle).ceil() * proc_cycle;
+    let k = t.refill_transfers as f64;
+    let (hit_penalty, miss_penalty) = if t.l2_cycles > 0 {
+        let l2 = round_up(t.l2_raw_cycle_ns);
+        (k * l2 + proc_cycle, round_up(t.offchip_rounded_ns) + (k + 1.0) * l2 + proc_cycle)
+    } else {
+        (0.0, round_up(t.offchip_rounded_ns) + proc_cycle)
+    };
+    let visible = 1.0 - model.miss_overlap;
+
+    let total = n * base_per_instr
+        + stats.l2_hits as f64 * hit_penalty * visible
+        + stats.l2_misses as f64 * miss_penalty * visible;
+    total / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpi;
+
+    fn timing(l1: f64, l2_cycles: u32, offchip: f64) -> MachineTiming {
+        MachineTiming {
+            l1_cycle_ns: l1,
+            l1_access_ns: l1 * 0.9,
+            l2_raw_cycle_ns: if l2_cycles > 0 { l2_cycles as f64 * l1 * 0.9 } else { 0.0 },
+            l2_raw_access_ns: 0.0,
+            l2_cycles,
+            offchip_rounded_ns: offchip,
+            area_rbe: 1.0,
+            issue_factor: 1.0,
+            refill_transfers: 2,
+        }
+    }
+
+    fn stats(instr: u64, data: u64, l2_hits: u64, l2_misses: u64) -> HierarchyStats {
+        HierarchyStats { instructions: instr, data_refs: data, l2_hits, l2_misses, ..Default::default() }
+    }
+
+    #[test]
+    fn baseline_matches_section_2_5_model() {
+        let t = timing(3.0, 2, 51.0);
+        let s = stats(1000, 300, 40, 10);
+        let a = tpi::tpi_ns(&s, &t);
+        let b = tpi_extended(&s, &t, &FutureWorkModel::baseline());
+        assert!((a - b).abs() < 1e-9, "baseline {b} vs §2.5 {a}");
+    }
+
+    #[test]
+    fn multicycle_decouples_cycle_from_l1_size() {
+        // A huge, slow L1 (5ns) on a 2.5ns datapath: the base cost per
+        // instruction drops from 5ns toward 2.5ns (+ load-use stalls).
+        let t = timing(5.0, 0, 50.0);
+        let s = stats(1000, 300, 0, 0);
+        let base = tpi_extended(&s, &t, &FutureWorkModel::baseline());
+        let multi = tpi_extended(&s, &t, &FutureWorkModel::multicycle(2.5, 0.3));
+        assert!((base - 5.0).abs() < 1e-9);
+        // 2.5 + 0.3 * (2-1) * 0.3 * 2.5 = 2.725
+        assert!((multi - 2.725).abs() < 1e-9, "multicycle TPI {multi}");
+    }
+
+    #[test]
+    fn multicycle_shrinks_the_big_l1_tax_conjecture_one() {
+        // §10 conjecture 1: with a fixed datapath cycle, growing the L1
+        // no longer slows every instruction, so the *relative* TPI gap
+        // between a small-L1 and a big-L1 machine shrinks.
+        let small = timing(2.8, 0, 50.0);
+        let big = timing(5.0, 0, 50.0);
+        // Equal miss behaviour for isolation.
+        let s = stats(1000, 300, 0, 20);
+        let gap_baseline = tpi_extended(&s, &big, &FutureWorkModel::baseline())
+            / tpi_extended(&s, &small, &FutureWorkModel::baseline());
+        let m = FutureWorkModel::multicycle(2.5, 0.3);
+        let gap_multi = tpi_extended(&s, &big, &m) / tpi_extended(&s, &small, &m);
+        assert!(
+            gap_multi < gap_baseline,
+            "multicycle should shrink the big-L1 penalty: {gap_multi:.3} vs {gap_baseline:.3}"
+        );
+    }
+
+    #[test]
+    fn overlap_hides_miss_latency() {
+        let t = timing(3.0, 2, 51.0);
+        let s = stats(1000, 300, 40, 10);
+        let blocking = tpi_extended(&s, &t, &FutureWorkModel::baseline());
+        let nb = tpi_extended(&s, &t, &FutureWorkModel::baseline().with_miss_overlap(0.5));
+        assert!(nb < blocking);
+        // Exactly half the memory-stall component disappears.
+        let stall_blocking = blocking - 3.0;
+        let stall_nb = nb - 3.0;
+        assert!((stall_nb - stall_blocking / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_favours_l2_hits_over_offchip_conjecture_two() {
+        // §10 conjecture 2: with non-blocking overlap, a system whose
+        // misses are mostly cheap L2 hits keeps more of its advantage
+        // over one that goes off-chip — in absolute terms both shrink,
+        // but the two-level system's TPI stays strictly better and the
+        // TPI *difference per hidden nanosecond* favours it.
+        let t2 = timing(3.0, 2, 51.0); // two-level
+        let t1 = timing(3.0, 0, 51.0); // single-level
+        let s2 = stats(1000, 300, 40, 10); // most misses caught by L2
+        let s1 = stats(1000, 300, 0, 50); // all go off-chip
+        for overlap in [0.0, 0.3, 0.6] {
+            let m = FutureWorkModel::baseline().with_miss_overlap(overlap);
+            assert!(
+                tpi_extended(&s2, &t2, &m) < tpi_extended(&s1, &t1, &m),
+                "two-level must stay ahead at overlap {overlap}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_full_overlap() {
+        let _ = FutureWorkModel::baseline().with_miss_overlap(1.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Machine configurations: the design space of the paper.
+//!
+//! A [`MachineConfig`] names one point of the study: the (per-side) L1
+//! size and cell type, the optional L2 (size, associativity, fill
+//! policy), and the off-chip miss service time. [`MachineTiming`] derives
+//! the physical quantities the TPI model needs — processor cycle time
+//! (set by the L1, §2.1), L2 cycle time rounded up to a whole number of
+//! processor cycles (§2.3), rounded off-chip time (§2.5) and total chip
+//! area (§2.4) — from the timing and area models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tlc_area::{AreaModel, CacheGeometry, CellKind};
+use tlc_timing::TimingModel;
+
+/// Fill policy of the second level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L2Policy {
+    /// Standard demand fill: both levels are filled on an off-chip miss
+    /// (§4).
+    Conventional,
+    /// Two-level exclusive caching: off-chip refills bypass the L2 and L1
+    /// victims swap into it (§8).
+    Exclusive,
+}
+
+impl fmt::Display for L2Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            L2Policy::Conventional => "conventional",
+            L2Policy::Exclusive => "exclusive",
+        })
+    }
+}
+
+/// The second-level cache of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct L2Spec {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways (1 = direct-mapped; the paper's baseline uses 4).
+    pub ways: u32,
+    /// Fill policy.
+    pub policy: L2Policy,
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Size of *each* L1 cache (instruction and data are split and equal,
+    /// §2.1), in bytes.
+    pub l1_size_bytes: u64,
+    /// RAM cell of the L1 caches (§6 studies dual-ported cells).
+    pub l1_cell: CellKind,
+    /// Optional second level.
+    pub l2: Option<L2Spec>,
+    /// Off-chip miss service time in ns (50 with a board cache, 200
+    /// without, §2.1/§7).
+    pub offchip_ns: f64,
+    /// Line size in bytes (16 throughout the paper).
+    pub line_bytes: u64,
+}
+
+impl MachineConfig {
+    /// A single-level configuration with the paper's defaults.
+    pub fn single_level(l1_kb: u64, offchip_ns: f64) -> Self {
+        MachineConfig {
+            l1_size_bytes: l1_kb * 1024,
+            l1_cell: CellKind::SinglePorted,
+            l2: None,
+            offchip_ns,
+            line_bytes: 16,
+        }
+    }
+
+    /// A two-level configuration with the paper's defaults.
+    pub fn two_level(l1_kb: u64, l2_kb: u64, ways: u32, policy: L2Policy, offchip_ns: f64) -> Self {
+        MachineConfig {
+            l1_size_bytes: l1_kb * 1024,
+            l1_cell: CellKind::SinglePorted,
+            l2: Some(L2Spec { size_bytes: l2_kb * 1024, ways, policy }),
+            offchip_ns,
+            line_bytes: 16,
+        }
+    }
+
+    /// Replaces the L1 cell kind (builder-style).
+    pub fn with_l1_cell(mut self, cell: CellKind) -> Self {
+        self.l1_cell = cell;
+        self
+    }
+
+    /// The paper's "x:y" label: L1 KB per side, then L2 KB (0 when
+    /// absent) — e.g. `32:256` in Figure 5.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}",
+            self.l1_size_bytes / 1024,
+            self.l2.map_or(0, |l2| l2.size_bytes / 1024)
+        )
+    }
+
+    /// Geometry of one L1 cache (direct-mapped, §2.1).
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        CacheGeometry { size_bytes: self.l1_size_bytes, line_bytes: self.line_bytes, ways: 1, addr_bits: 32 }
+    }
+
+    /// Geometry of the L2 cache, if present.
+    pub fn l2_geometry(&self) -> Option<CacheGeometry> {
+        self.l2.map(|l2| CacheGeometry {
+            size_bytes: l2.size_bytes,
+            line_bytes: self.line_bytes,
+            ways: l2.ways,
+            addr_bits: 32,
+        })
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())?;
+        if let Some(l2) = self.l2 {
+            write!(f, " ({}-way {} L2)", l2.ways, l2.policy)?;
+        }
+        if self.l1_cell == CellKind::DualPorted {
+            write!(f, " [dual-ported L1]")?;
+        }
+        write!(f, " @{}ns off-chip", self.offchip_ns)
+    }
+}
+
+/// Physical quantities derived from a [`MachineConfig`] through the
+/// timing and area models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineTiming {
+    /// Processor cycle time = L1 cache cycle time (§2.1), ns.
+    pub l1_cycle_ns: f64,
+    /// L1 access time, ns (reported for Figure 1).
+    pub l1_access_ns: f64,
+    /// Raw L2 RAM cycle time, ns (0 when no L2).
+    pub l2_raw_cycle_ns: f64,
+    /// Raw L2 RAM access time, ns (0 when no L2; for Figure 2).
+    pub l2_raw_access_ns: f64,
+    /// L2 cycle in whole processor cycles (§2.3 rounding; 0 when no L2).
+    pub l2_cycles: u32,
+    /// Off-chip service time rounded up to whole processor cycles, ns.
+    pub offchip_rounded_ns: f64,
+    /// Total on-chip cache area (both L1s + L2), rbe.
+    pub area_rbe: f64,
+    /// Instruction-issue multiplier (2 for dual-ported L1s that feed a
+    /// superscalar core, §6).
+    pub issue_factor: f64,
+    /// Refill transfers per line (line bytes / 8-byte datapath, §2.5 —
+    /// 2 for the paper's 16-byte lines).
+    pub refill_transfers: u32,
+}
+
+impl MachineTiming {
+    /// L2 cycle time in ns after rounding (0 when no L2).
+    pub fn l2_cycle_ns(&self) -> f64 {
+        self.l2_cycles as f64 * self.l1_cycle_ns
+    }
+
+    /// Derives the timing/area quantities for `cfg`.
+    pub fn derive(cfg: &MachineConfig, timing: &TimingModel, area: &AreaModel) -> MachineTiming {
+        let l1_geom = cfg.l1_geometry();
+        let l1_t = timing.optimal(&l1_geom, cfg.l1_cell);
+        let l1_a = area.total_area(&l1_geom, &l1_t.org, cfg.l1_cell);
+
+        let mut area_rbe = 2.0 * l1_a.value(); // split I + D
+        let (l2_raw_cycle, l2_raw_access, l2_cycles) = match cfg.l2_geometry() {
+            Some(l2_geom) => {
+                // The L2 always uses standard single-ported cells (§6).
+                let l2_t = timing.optimal(&l2_geom, CellKind::SinglePorted);
+                area_rbe += area.total_area(&l2_geom, &l2_t.org, CellKind::SinglePorted).value();
+                let cycles = (l2_t.cycle_ns / l1_t.cycle_ns).ceil().max(1.0) as u32;
+                (l2_t.cycle_ns, l2_t.access_ns, cycles)
+            }
+            None => (0.0, 0.0, 0),
+        };
+
+        let offchip_rounded = (cfg.offchip_ns / l1_t.cycle_ns).ceil() * l1_t.cycle_ns;
+
+        MachineTiming {
+            l1_cycle_ns: l1_t.cycle_ns,
+            l1_access_ns: l1_t.access_ns,
+            l2_raw_cycle_ns: l2_raw_cycle,
+            l2_raw_access_ns: l2_raw_access,
+            l2_cycles,
+            offchip_rounded_ns: offchip_rounded,
+            area_rbe,
+            issue_factor: cfg.l1_cell.bandwidth_factor(),
+            refill_transfers: (cfg.line_bytes / 8).max(1) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (TimingModel, AreaModel) {
+        (TimingModel::paper(), AreaModel::new())
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(MachineConfig::single_level(32, 50.0).label(), "32:0");
+        assert_eq!(
+            MachineConfig::two_level(8, 64, 4, L2Policy::Conventional, 50.0).label(),
+            "8:64"
+        );
+    }
+
+    #[test]
+    fn derive_single_level() {
+        let (tm, am) = models();
+        let cfg = MachineConfig::single_level(4, 50.0);
+        let t = MachineTiming::derive(&cfg, &tm, &am);
+        assert!(t.l1_cycle_ns > 2.0 && t.l1_cycle_ns < 4.0);
+        assert_eq!(t.l2_cycles, 0);
+        assert_eq!(t.l2_cycle_ns(), 0.0);
+        assert_eq!(t.issue_factor, 1.0);
+        // Off-chip rounding: a whole multiple of the cycle, >= 50ns.
+        assert!(t.offchip_rounded_ns >= 50.0);
+        assert!(t.offchip_rounded_ns < 50.0 + t.l1_cycle_ns);
+        let cycles = t.offchip_rounded_ns / t.l1_cycle_ns;
+        assert!((cycles - cycles.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derive_two_level_fig2_example() {
+        // §2.5's worked example: 4KB L1, L2 cycle rounds to 2 CPU cycles,
+        // giving a 5-cycle L1 miss penalty for L2 hits.
+        let (tm, am) = models();
+        let cfg = MachineConfig::two_level(4, 64, 4, L2Policy::Conventional, 50.0);
+        let t = MachineTiming::derive(&cfg, &tm, &am);
+        assert_eq!(t.l2_cycles, 2, "Figure 2: L2 should cost 2 processor cycles");
+        assert!((t.l2_cycle_ns() - 2.0 * t.l1_cycle_ns).abs() < 1e-9);
+        assert!(t.l2_raw_cycle_ns > t.l1_cycle_ns, "raw L2 slower than L1");
+    }
+
+    #[test]
+    fn dual_ported_l1_doubles_issue_and_grows_area() {
+        let (tm, am) = models();
+        let base = MachineConfig::single_level(8, 50.0);
+        let dual = base.with_l1_cell(CellKind::DualPorted);
+        let tb = MachineTiming::derive(&base, &tm, &am);
+        let td = MachineTiming::derive(&dual, &tm, &am);
+        assert_eq!(td.issue_factor, 2.0);
+        // The cell is exactly 2× area, but the speed-optimal organisation
+        // may differ between cell kinds, so the cache-level ratio is only
+        // approximately 2.
+        let ratio = td.area_rbe / tb.area_rbe;
+        assert!((1.8..=2.3).contains(&ratio), "area ratio {ratio}");
+        assert!(td.l1_cycle_ns > tb.l1_cycle_ns, "dual-ported wires are longer");
+    }
+
+    #[test]
+    fn two_level_area_exceeds_single() {
+        let (tm, am) = models();
+        let single = MachineTiming::derive(&MachineConfig::single_level(8, 50.0), &tm, &am);
+        let two = MachineTiming::derive(
+            &MachineConfig::two_level(8, 64, 4, L2Policy::Conventional, 50.0),
+            &tm,
+            &am,
+        );
+        assert!(two.area_rbe > single.area_rbe * 2.0);
+    }
+
+    #[test]
+    fn policy_does_not_change_timing_or_area() {
+        let (tm, am) = models();
+        let conv = MachineTiming::derive(
+            &MachineConfig::two_level(8, 64, 4, L2Policy::Conventional, 50.0),
+            &tm,
+            &am,
+        );
+        let excl = MachineTiming::derive(
+            &MachineConfig::two_level(8, 64, 4, L2Policy::Exclusive, 50.0),
+            &tm,
+            &am,
+        );
+        assert_eq!(conv.area_rbe, excl.area_rbe);
+        assert_eq!(conv.l2_cycles, excl.l2_cycles);
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let cfg = MachineConfig::two_level(8, 64, 4, L2Policy::Exclusive, 200.0)
+            .with_l1_cell(CellKind::DualPorted);
+        let s = cfg.to_string();
+        assert!(s.contains("8:64") && s.contains("exclusive") && s.contains("dual-ported"));
+        assert!(s.contains("200"));
+    }
+}

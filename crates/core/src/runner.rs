@@ -1,0 +1,131 @@
+//! Parallel sweeps over the configuration space.
+//!
+//! Every (configuration, benchmark) evaluation is independent — the
+//! workload generators are seeded, so each evaluation re-creates its own
+//! identical stream — which makes the sweep embarrassingly parallel.
+//! [`sweep`] fans the configurations out over a thread pool sized to the
+//! machine and returns points in input order.
+
+use crate::experiment::{evaluate, DesignPoint, SimBudget};
+use crate::machine::MachineConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tlc_area::AreaModel;
+use tlc_timing::TimingModel;
+use tlc_trace::spec::SpecBenchmark;
+
+/// Evaluates every configuration on `benchmark`, in parallel. Results are
+/// returned in the same order as `configs`.
+pub fn sweep(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> Vec<DesignPoint> {
+    sweep_threads(configs, benchmark, budget, timing, area, default_threads())
+}
+
+/// Number of worker threads used by [`sweep`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// As [`sweep`], with an explicit thread count (tests use 1 or 2).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_threads(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    assert!(threads > 0, "need at least one worker thread");
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(configs.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    mine.push((i, evaluate(&configs[i], benchmark, budget, timing, area)));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            for (i, p) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(p);
+            }
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configspace::{single_level_configs, SpaceOptions};
+
+    #[test]
+    fn parallel_matches_serial() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = single_level_configs(&SpaceOptions::baseline());
+        let configs = &configs[..4];
+        let budget = SimBudget { instructions: 20_000, warmup_instructions: 5_000 };
+        let serial = sweep_threads(configs, SpecBenchmark::Eqntott, budget, &tm, &am, 1);
+        let parallel = sweep_threads(configs, SpecBenchmark::Eqntott, budget, &tm, &am, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.stats, p.stats, "{}: parallel run diverged", s.label);
+            assert_eq!(s.tpi_ns, p.tpi_ns);
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = single_level_configs(&SpaceOptions::baseline());
+        let configs = &configs[..3];
+        let budget = SimBudget { instructions: 5_000, warmup_instructions: 1_000 };
+        let points = sweep_threads(configs, SpecBenchmark::Li, budget, &tm, &am, 3);
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["1:0", "2:0", "4:0"]);
+    }
+
+    #[test]
+    fn empty_space_is_fine() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let points =
+            sweep_threads(&[], SpecBenchmark::Li, SimBudget::quick(), &tm, &am, 2);
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn rejects_zero_threads() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = single_level_configs(&SpaceOptions::baseline());
+        let _ = sweep_threads(&configs[..1], SpecBenchmark::Li, SimBudget::quick(), &tm, &am, 0);
+    }
+}

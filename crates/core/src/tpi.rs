@@ -1,0 +1,137 @@
+//! The execution-time model of §2.5: average time per instruction (TPI).
+//!
+//! ```text
+//! T_total = T_base + T_L2hits + T_L2misses
+//! T_base    = N_instr  × L1_cycle / issue_factor
+//! T_L2hit   = N_L2hits × (k·L2_cycle + L1_cycle)
+//! T_L2miss  = N_L2miss × (offchip + (k+1)·L2_cycle + L1_cycle)
+//! TPI       = T_total / N_instr
+//! ```
+//!
+//! where `k` is the number of 8-byte refill transfers per line — 2 for
+//! the paper's 16-byte lines, reproducing §2.5's `2·L2 + L1` hit penalty
+//! and `offchip + 3·L2 + L1` miss penalty (one extra L2 cycle for the
+//! initial probe) exactly —
+//!
+//! with the L2 cycle and off-chip times already rounded up to whole
+//! processor cycles by [`MachineTiming`] before this module sees them.
+//! In a single-level system the L2 terms vanish and an off-chip fetch
+//! costs `offchip + L1_cycle` (the final 8-byte L1 write; earlier writes
+//! overlap the transfer). TPI, not CPI, is the paper's figure of merit
+//! because it captures the cycle-time cost of bigger first-level caches.
+
+use crate::machine::MachineTiming;
+use tlc_cache::HierarchyStats;
+
+/// Average time per instruction in ns for a simulated run.
+///
+/// # Panics
+///
+/// Panics if `stats.instructions` is zero.
+pub fn tpi_ns(stats: &HierarchyStats, t: &MachineTiming) -> f64 {
+    assert!(stats.instructions > 0, "TPI undefined for an empty run");
+    let n = stats.instructions as f64;
+    let l1 = t.l1_cycle_ns;
+    let l2 = t.l2_cycle_ns();
+    let k = t.refill_transfers as f64;
+    let (hit_penalty, miss_penalty) = if t.l2_cycles > 0 {
+        (k * l2 + l1, t.offchip_rounded_ns + (k + 1.0) * l2 + l1)
+    } else {
+        (0.0, t.offchip_rounded_ns + l1)
+    };
+    let base = n * l1 / t.issue_factor;
+    let total =
+        base + stats.l2_hits as f64 * hit_penalty + stats.l2_misses as f64 * miss_penalty;
+    total / n
+}
+
+/// Cycles per instruction implied by a TPI (CPI = TPI / cycle time).
+pub fn cpi(tpi_ns: f64, t: &MachineTiming) -> f64 {
+    tpi_ns / t.l1_cycle_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(l1: f64, l2_cycles: u32, offchip: f64, issue: f64) -> MachineTiming {
+        MachineTiming {
+            l1_cycle_ns: l1,
+            l1_access_ns: l1 * 0.9,
+            l2_raw_cycle_ns: l2_cycles as f64 * l1 * 0.8,
+            l2_raw_access_ns: l2_cycles as f64 * l1 * 0.7,
+            l2_cycles,
+            offchip_rounded_ns: offchip,
+            area_rbe: 1.0,
+            issue_factor: issue,
+            refill_transfers: 2,
+        }
+    }
+
+    fn stats(instr: u64, l2_hits: u64, l2_misses: u64) -> HierarchyStats {
+        HierarchyStats { instructions: instr, l2_hits, l2_misses, ..Default::default() }
+    }
+
+    #[test]
+    fn perfect_run_costs_one_cycle_per_instruction() {
+        let t = timing(3.0, 2, 51.0, 1.0);
+        assert!((tpi_ns(&stats(1000, 0, 0), &t) - 3.0).abs() < 1e-12);
+        assert!((cpi(3.0, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example_five_cycle_hit_penalty() {
+        // §2.5: with an L2 cycle of 2 CPU cycles, an L1 miss that hits L2
+        // costs (2×2)+1 = 5 CPU cycles.
+        let t = timing(3.0, 2, 51.0, 1.0);
+        // 1000 instructions, one L2 hit.
+        let tpi = tpi_ns(&stats(1000, 1, 0), &t);
+        let extra_cycles = (tpi - 3.0) / 3.0 * 1000.0;
+        assert!((extra_cycles - 5.0).abs() < 1e-9, "hit penalty {extra_cycles} cycles");
+    }
+
+    #[test]
+    fn miss_penalty_formula() {
+        // Miss costs offchip + 3×L2 + L1 = 51 + 18 + 3 = 72ns.
+        let t = timing(3.0, 2, 51.0, 1.0);
+        let tpi = tpi_ns(&stats(100, 0, 1), &t);
+        assert!((tpi - (3.0 + 72.0 / 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_level_miss_penalty() {
+        // No L2: miss costs offchip + L1 = 51 + 3.
+        let t = timing(3.0, 0, 51.0, 1.0);
+        let tpi = tpi_ns(&stats(100, 0, 1), &t);
+        assert!((tpi - (3.0 + 54.0 / 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_issue_halves_base_time_only() {
+        let t1 = timing(3.0, 2, 51.0, 1.0);
+        let t2 = timing(3.0, 2, 51.0, 2.0);
+        let s = stats(1000, 50, 10);
+        let tpi1 = tpi_ns(&s, &t1);
+        let tpi2 = tpi_ns(&s, &t2);
+        // The memory-stall part is identical; only the 3.0ns base halves.
+        assert!((tpi1 - tpi2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpi_monotone_in_misses() {
+        let t = timing(3.0, 2, 51.0, 1.0);
+        let a = tpi_ns(&stats(1000, 10, 5), &t);
+        let b = tpi_ns(&stats(1000, 10, 50), &t);
+        let c = tpi_ns(&stats(1000, 100, 5), &t);
+        assert!(b > a);
+        assert!(c > a);
+        assert!(b > c, "off-chip misses cost more than L2 hits");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn rejects_empty_run() {
+        let t = timing(3.0, 2, 51.0, 1.0);
+        let _ = tpi_ns(&stats(0, 0, 0), &t);
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-access energy model — quantifying the paper's fifth advantage of
+//! two-level caching (§1):
+//!
+//! > "a chip with a two-level cache will usually use less power than one
+//! > with a single-level organization ... In a single-level
+//! > configuration, wordlines and bitlines are longer, meaning there is a
+//! > larger capacitance that needs to be charged or discharged with every
+//! > cache access. In a two-level configuration, most accesses only
+//! > require an access to a small first-level cache."
+//!
+//! The model charges, per access, the switched capacitance of the
+//! activated data and tag subarrays: precharged bitlines (every column of
+//! the selected subarray swings, each loaded by its rows), the selected
+//! wordline, the decoders, the sense amplifiers, and the output drivers.
+//! Units are arbitrary-but-consistent energy units (`eu`); only ratios
+//! between configurations are meaningful, exactly as with rbe for area.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tlc_area::{ArrayOrg, CacheGeometry, CellKind};
+
+/// Energy-model coefficients (arbitrary energy units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Bitline energy per cell on a swinging column (× rows × cols of the
+    /// activated subarray).
+    pub bitline_per_cell: f64,
+    /// Wordline energy per cell along the selected row.
+    pub wordline_per_cell: f64,
+    /// Decoder energy per log₂(rows).
+    pub decoder_per_log_row: f64,
+    /// Sense-amplifier energy per column.
+    pub sense_per_col: f64,
+    /// Output-driver energy per output bit.
+    pub output_per_bit: f64,
+    /// Comparator energy per tag bit.
+    pub comparator_per_bit: f64,
+    /// Energy of one off-chip access (pad drivers + bus), in the same
+    /// units. Dominates everything on-chip, as it did in 1993.
+    pub offchip_access: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            bitline_per_cell: 0.010,
+            wordline_per_cell: 0.020,
+            decoder_per_log_row: 0.500,
+            sense_per_col: 0.300,
+            output_per_bit: 1.000,
+            comparator_per_bit: 0.200,
+            offchip_access: 2_000.0,
+        }
+    }
+}
+
+/// Itemised energy of one cache access (arbitrary energy units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Data-array bitline + wordline switching.
+    pub data_array: f64,
+    /// Tag-array switching.
+    pub tag_array: f64,
+    /// Decoders (data + tag).
+    pub decode: f64,
+    /// Sense amplifiers (data + tag).
+    pub sense: f64,
+    /// Comparators and output drivers.
+    pub compare_and_output: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per access.
+    pub fn total(&self) -> f64 {
+        self.data_array + self.tag_array + self.decode + self.sense + self.compare_and_output
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} eu/access (data {:.1}, tag {:.1}, decode {:.1}, sense {:.1}, cmp+out {:.1})",
+            self.total(),
+            self.data_array,
+            self.tag_array,
+            self.decode,
+            self.sense,
+            self.compare_and_output
+        )
+    }
+}
+
+/// The per-access energy model. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_area::{ArrayOrg, CacheGeometry, CellKind};
+/// use tlc_timing::EnergyModel;
+///
+/// let m = EnergyModel::new();
+/// let small = m.access_energy(&CacheGeometry::paper(1024, 1), &ArrayOrg::UNIT,
+///                             CellKind::SinglePorted);
+/// let large = m.access_energy(&CacheGeometry::paper(256 * 1024, 1), &ArrayOrg::UNIT,
+///                             CellKind::SinglePorted);
+/// assert!(large.total() > small.total(), "longer wires burn more energy");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Model with default coefficients.
+    pub fn new() -> Self {
+        EnergyModel { params: EnergyParams::default() }
+    }
+
+    /// Model with custom coefficients.
+    pub fn with_params(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The coefficients in use.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Energy of one off-chip access.
+    pub fn offchip_access(&self) -> f64 {
+        self.params.offchip_access
+    }
+
+    /// Energy of one access to a cache with geometry `geom`, organised as
+    /// `org`, built from `cell` cells. One data subarray and one tag
+    /// subarray activate per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `org` is not valid for `geom`.
+    pub fn access_energy(
+        &self,
+        geom: &CacheGeometry,
+        org: &ArrayOrg,
+        cell: CellKind,
+    ) -> EnergyBreakdown {
+        assert!(org.is_valid_for(geom), "organisation {org} invalid for {geom}");
+        let p = &self.params;
+        // A bigger cell carries proportionally more wire capacitance.
+        let wf = cell.wire_factor();
+
+        let d_rows = org.data_rows(geom);
+        let d_cols = org.data_cols(geom);
+        let t_rows = org.tag_rows(geom);
+        let t_cols = org.tag_cols(geom);
+
+        let array = |rows: f64, cols: f64| {
+            // All columns precharge/swing against their row-deep bitlines;
+            // one wordline of `cols` cells fires.
+            p.bitline_per_cell * rows * cols * wf + p.wordline_per_cell * cols * wf
+        };
+        let data_array = array(d_rows, d_cols);
+        let tag_array = array(t_rows, t_cols);
+        let decode = p.decoder_per_log_row
+            * (d_rows.max(1.0).log2() + t_rows.max(1.0).log2());
+        let sense = p.sense_per_col * (d_cols + t_cols);
+        let compare_and_output = p.comparator_per_bit
+            * (geom.tag_bits() as f64 * geom.ways as f64)
+            + p.output_per_bit * 64.0;
+        EnergyBreakdown { data_array, tag_array, decode, sense, compare_and_output }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> EnergyModel {
+        EnergyModel::new()
+    }
+
+    fn dm(kb: u64) -> CacheGeometry {
+        CacheGeometry::paper(kb * 1024, 1)
+    }
+
+    #[test]
+    fn energy_grows_with_size() {
+        let mut last = 0.0;
+        for kb in [1u64, 4, 16, 64, 256] {
+            let e = m().access_energy(&dm(kb), &ArrayOrg::UNIT, CellKind::SinglePorted).total();
+            assert!(e > last, "{kb}KB energy {e} not larger than previous {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn subdivision_cuts_access_energy() {
+        // Splitting the array means only a small subarray's bitlines
+        // swing — the physical basis of the paper's power argument.
+        let g = dm(64);
+        let mono = m().access_energy(&g, &ArrayOrg::UNIT, CellKind::SinglePorted).total();
+        let split = ArrayOrg { ndbl: 8, ntbl: 4, ..ArrayOrg::UNIT };
+        let e = m().access_energy(&g, &split, CellKind::SinglePorted).total();
+        assert!(e < mono, "split {e} should beat monolithic {mono}");
+    }
+
+    #[test]
+    fn small_l1_beats_large_single_level_per_access() {
+        // The §1 claim in microcosm: an 8KB L1 access costs a fraction of
+        // a 256KB single-level access (same organisation class).
+        let small = m().access_energy(&dm(8), &ArrayOrg::UNIT, CellKind::SinglePorted).total();
+        let large = m().access_energy(&dm(256), &ArrayOrg::UNIT, CellKind::SinglePorted).total();
+        assert!(large / small > 3.0, "ratio {}", large / small);
+    }
+
+    #[test]
+    fn dual_ported_costs_more_energy() {
+        let g = dm(8);
+        let s = m().access_energy(&g, &ArrayOrg::UNIT, CellKind::SinglePorted).total();
+        let d = m().access_energy(&g, &ArrayOrg::UNIT, CellKind::DualPorted).total();
+        assert!(d > s);
+    }
+
+    #[test]
+    fn offchip_dominates_onchip() {
+        // At the speed-optimal organisation (which any real design would
+        // use) even the largest on-chip cache access is cheaper than
+        // going off-chip.
+        let model = crate::TimingModel::paper();
+        let g = dm(256);
+        let org = model.optimal(&g, CellKind::SinglePorted).org;
+        let e = m().access_energy(&g, &org, CellKind::SinglePorted).total();
+        assert!(
+            m().offchip_access() > e,
+            "off-chip {} must dominate on-chip access energy {e}",
+            m().offchip_access()
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_and_displays() {
+        let b = m().access_energy(&dm(16), &ArrayOrg::UNIT, CellKind::SinglePorted);
+        let total = b.data_array + b.tag_array + b.decode + b.sense + b.compare_and_output;
+        assert!((total - b.total()).abs() < 1e-12);
+        assert!(b.to_string().contains("eu/access"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for")]
+    fn rejects_invalid_org() {
+        let g = dm(1);
+        let bad = ArrayOrg { ndbl: 256, ..ArrayOrg::UNIT };
+        let _ = m().access_energy(&g, &bad, CellKind::SinglePorted);
+    }
+}

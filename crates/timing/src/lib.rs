@@ -1,0 +1,35 @@
+//! # tlc-timing — SRAM cache access/cycle-time model
+//!
+//! Access-time substrate for the reproduction of Jouppi & Wilton,
+//! *Tradeoffs in Two-Level On-Chip Caching* (WRL 93/3 / ISCA 1994),
+//! following Wada, Rajan & Przybylski (IEEE JSSC 27(8), 1992) as extended
+//! by Wilton & Jouppi (WRL TR 93/5 — the direct ancestor of CACTI).
+//!
+//! Given a cache geometry, the model computes stage delays (decoder,
+//! wordline, bitline, sense amp, comparator, mux driver, output driver,
+//! precharge), searches array organisations for the fastest layout, and
+//! reports both **access** and **cycle** time, scaled from the 0.8µm
+//! reference process to the paper's 0.5µm operating point (×0.5).
+//!
+//! ```
+//! use tlc_area::{CacheGeometry, CellKind};
+//! use tlc_timing::TimingModel;
+//!
+//! let model = TimingModel::paper();
+//! let t = model.optimal(&CacheGeometry::paper(8 * 1024, 1), CellKind::SinglePorted);
+//! println!("8KB direct-mapped L1: {t}");
+//! assert!(t.access_ns > 1.0 && t.cycle_ns < 6.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod detailed;
+mod energy;
+mod model;
+mod tech;
+
+pub use detailed::{horowitz, DetailedTimingModel, DeviceParams};
+pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
+pub use model::{CacheTiming, TimingBreakdown, TimingModel};
+pub use tech::TechParams;

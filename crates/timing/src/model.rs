@@ -1,0 +1,399 @@
+//! The access- and cycle-time model and its organisation search.
+//!
+//! For a given [`CacheGeometry`] and [`ArrayOrg`], the model computes the
+//! delays of the decoder, wordline, bitline, sense amplifier, tag
+//! comparator, output-mux driver and output driver, composes them into the
+//! data-side and tag-side critical paths, and reports:
+//!
+//! * **access time** — start of access to data valid (§2.3);
+//! * **cycle time** — minimum time between the starts of two accesses
+//!   (access + bitline precharge/recovery).
+//!
+//! [`TimingModel::optimal`] iterates "through the delay expressions for a
+//! range of memory array organizations … the minimum access and cycle
+//! times for each cache size were chosen" (§2.3), exactly as the paper
+//! does; the winning [`ArrayOrg`] is returned so the area model can price
+//! the very same layout.
+
+use crate::tech::TechParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tlc_area::{ArrayOrg, CacheGeometry, CellKind};
+
+/// Itemised stage delays (ns, after technology scaling).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Data-side decoder + routing.
+    pub data_decode: f64,
+    /// Data wordline delay.
+    pub data_wordline: f64,
+    /// Data bitline delay.
+    pub data_bitline: f64,
+    /// Tag-side decoder + routing.
+    pub tag_decode: f64,
+    /// Tag wordline delay.
+    pub tag_wordline: f64,
+    /// Tag bitline delay.
+    pub tag_bitline: f64,
+    /// Sense-amplifier delay (applies to both sides).
+    pub sense: f64,
+    /// Tag comparator delay.
+    pub compare: f64,
+    /// Output-mux driver delay (zero for direct-mapped reads).
+    pub mux: f64,
+    /// Output driver delay.
+    pub output: f64,
+    /// Precharge/recovery time added to the cycle.
+    pub precharge: f64,
+}
+
+impl TimingBreakdown {
+    /// Delay of the data side up to the sense-amp output.
+    pub fn data_path(&self) -> f64 {
+        self.data_decode + self.data_wordline + self.data_bitline + self.sense
+    }
+
+    /// Delay of the tag side through the comparator.
+    pub fn tag_path(&self) -> f64 {
+        self.tag_decode + self.tag_wordline + self.tag_bitline + self.sense + self.compare
+    }
+
+    /// Access time: both paths must resolve, then (in a set-associative
+    /// cache) the comparator-driven way-select mux fires, and finally the
+    /// output driver. The serial mux stage is why "the tag must be read
+    /// and compared in order to select the proper item from the data
+    /// array" makes set-associative caches slower (§4).
+    pub fn access_ns(&self) -> f64 {
+        self.data_path().max(self.tag_path()) + self.mux + self.output
+    }
+
+    /// Cycle time: access plus bitline recovery.
+    pub fn cycle_ns(&self) -> f64 {
+        self.access_ns() + self.precharge
+    }
+}
+
+/// Result of timing one cache: the best organisation found and its times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheTiming {
+    /// Access time in ns.
+    pub access_ns: f64,
+    /// Cycle time in ns.
+    pub cycle_ns: f64,
+    /// The organisation achieving these times.
+    pub org: ArrayOrg,
+    /// The itemised stage delays.
+    pub breakdown: TimingBreakdown,
+}
+
+impl fmt::Display for CacheTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access {:.2}ns / cycle {:.2}ns ({})",
+            self.access_ns, self.cycle_ns, self.org
+        )
+    }
+}
+
+/// The access/cycle-time model. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_area::{CacheGeometry, CellKind};
+/// use tlc_timing::TimingModel;
+///
+/// let model = TimingModel::paper();
+/// let small = model.optimal(&CacheGeometry::paper(1024, 1), CellKind::SinglePorted);
+/// let large = model.optimal(&CacheGeometry::paper(256 * 1024, 1), CellKind::SinglePorted);
+/// assert!(large.cycle_ns > small.cycle_ns);
+/// assert!(small.cycle_ns > small.access_ns);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimingModel {
+    tech: TechParams,
+}
+
+impl TimingModel {
+    /// Model at the paper's operating point (0.5µm scaling).
+    pub fn paper() -> Self {
+        TimingModel { tech: TechParams::paper_0_5um() }
+    }
+
+    /// Model with explicit technology parameters.
+    pub fn with_tech(tech: TechParams) -> Self {
+        TimingModel { tech }
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Stage delays for `geom` laid out as `org` with `cell` RAM cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `org` is not valid for `geom`.
+    pub fn analyze(&self, geom: &CacheGeometry, org: &ArrayOrg, cell: CellKind) -> TimingBreakdown {
+        assert!(org.is_valid_for(geom), "organisation {org} invalid for {geom}");
+        let t = &self.tech;
+        // A dual-ported cell is √2 longer per side: wordlines and bitlines
+        // crossing it carry √2 the resistance *and* √2 the capacitance,
+        // so the distributed-RC terms grow by the squared wire factor.
+        let wf2 = cell.wire_factor() * cell.wire_factor();
+
+        let d_rows = org.data_rows(geom);
+        let d_cols = org.data_cols(geom);
+        let t_rows = org.tag_rows(geom);
+        let t_cols = org.tag_cols(geom);
+
+        let decode = |rows: f64, subarrays: f64| {
+            t.decoder_base
+                + t.decoder_per_log_row * rows.max(1.0).log2()
+                + t.route_per_sqrt_subarray * subarrays.sqrt()
+        };
+
+        let raw = TimingBreakdown {
+            data_decode: decode(d_rows, org.data_subarrays() as f64),
+            data_wordline: t.wordline_rc * (d_cols * d_cols) * wf2,
+            data_bitline: t.bitline_rc * (d_rows * d_rows) * wf2,
+            tag_decode: decode(t_rows, org.tag_subarrays() as f64),
+            tag_wordline: t.wordline_rc * (t_cols * t_cols) * wf2,
+            tag_bitline: t.bitline_rc * (t_rows * t_rows) * wf2,
+            sense: t.sense_amp,
+            compare: t.comparator_base + t.comparator_per_bit * geom.tag_bits() as f64,
+            mux: if geom.ways > 1 { t.mux_driver } else { 0.0 },
+            output: t.output_driver,
+            precharge: t.precharge_base
+                + t.precharge_bitline_factor
+                    * (t.bitline_rc * (d_rows * d_rows) * wf2),
+        };
+        // Apply the linear technology scale to every stage.
+        let s = t.scale;
+        TimingBreakdown {
+            data_decode: raw.data_decode * s,
+            data_wordline: raw.data_wordline * s,
+            data_bitline: raw.data_bitline * s,
+            tag_decode: raw.tag_decode * s,
+            tag_wordline: raw.tag_wordline * s,
+            tag_bitline: raw.tag_bitline * s,
+            sense: raw.sense * s,
+            compare: raw.compare * s,
+            mux: raw.mux * s,
+            output: raw.output * s,
+            precharge: raw.precharge * s,
+        }
+    }
+
+    /// Enumerates candidate organisations for `geom`.
+    fn candidate_orgs(geom: &CacheGeometry) -> Vec<ArrayOrg> {
+        candidate_orgs(geom)
+    }
+}
+
+/// Candidate array organisations shared by the calibrated and detailed
+/// models' searches.
+pub(crate) fn candidate_orgs(geom: &CacheGeometry) -> Vec<ArrayOrg> {
+    let pows = [1u32, 2, 4, 8, 16, 32];
+    let spds = [1u32, 2, 4, 8];
+    let mut out = Vec::new();
+    for &ndwl in &pows {
+        for &ndbl in &pows {
+            for &nspd in &spds {
+                for &ntwl in &[1u32, 2, 4] {
+                    for &ntbl in &pows {
+                        for &ntspd in &[1u32, 2, 4] {
+                            let org = ArrayOrg { ndwl, ndbl, nspd, ntwl, ntbl, ntspd };
+                            if org.is_valid_for(geom) {
+                                out.push(org);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl TimingModel {
+    /// Finds the organisation with the minimum cycle time (ties broken by
+    /// access time), as the paper's §2.3 search does.
+    pub fn optimal(&self, geom: &CacheGeometry, cell: CellKind) -> CacheTiming {
+        let mut best: Option<CacheTiming> = None;
+        for org in Self::candidate_orgs(geom) {
+            let b = self.analyze(geom, &org, cell);
+            let cand = CacheTiming {
+                access_ns: b.access_ns(),
+                cycle_ns: b.cycle_ns(),
+                org,
+                breakdown: b,
+            };
+            // Near-ties in cycle time (within 5 ps) are broken toward the
+            // organisation with fewer subarrays — the machine cycle is
+            // quantised far more coarsely than that, and the paper's area
+            // model charges real silicon for every extra subarray.
+            let subarrays =
+                |t: &CacheTiming| t.org.data_subarrays() + t.org.tag_subarrays();
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    cand.cycle_ns < cur.cycle_ns - 5e-3
+                        || ((cand.cycle_ns - cur.cycle_ns).abs() <= 5e-3
+                            && (subarrays(&cand) < subarrays(cur)
+                                || (subarrays(&cand) == subarrays(cur)
+                                    && cand.access_ns < cur.access_ns)))
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        best.expect("at least the unit organisation is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::paper()
+    }
+
+    fn dm(kb: u64) -> CacheGeometry {
+        CacheGeometry::paper(kb * 1024, 1)
+    }
+
+    #[test]
+    fn cycle_exceeds_access() {
+        let m = model();
+        for kb in [1u64, 4, 16, 64, 256] {
+            let t = m.optimal(&dm(kb), CellKind::SinglePorted);
+            assert!(t.cycle_ns > t.access_ns, "{kb}KB: cycle must exceed access");
+        }
+    }
+
+    #[test]
+    fn times_grow_with_size() {
+        let m = model();
+        let mut last = 0.0;
+        for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let t = m.optimal(&dm(kb), CellKind::SinglePorted);
+            assert!(
+                t.cycle_ns >= last - 1e-9,
+                "{kb}KB cycle {} not monotone (prev {last})",
+                t.cycle_ns
+            );
+            last = t.cycle_ns;
+        }
+    }
+
+    #[test]
+    fn paper_anchor_spread_about_1_8x() {
+        // §2.1: "a variation in machine cycle time of about 1.8X from
+        // processors with 1KB caches through 256KB caches."
+        let m = model();
+        let small = m.optimal(&dm(1), CellKind::SinglePorted).cycle_ns;
+        let large = m.optimal(&dm(256), CellKind::SinglePorted).cycle_ns;
+        let ratio = large / small;
+        assert!(
+            (1.5..=2.2).contains(&ratio),
+            "cycle spread 1KB→256KB should be ≈1.8×, got {ratio:.2} ({small:.2} → {large:.2})"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_absolute_band() {
+        // Figure 1's axis: everything between ~2 and ~6 ns at 0.5µm.
+        let m = model();
+        for kb in [1u64, 4, 16, 64, 256] {
+            let t = m.optimal(&dm(kb), CellKind::SinglePorted);
+            assert!(
+                (1.5..=6.5).contains(&t.cycle_ns),
+                "{kb}KB cycle {:.2}ns outside Figure 1's band",
+                t.cycle_ns
+            );
+        }
+    }
+
+    #[test]
+    fn set_associative_is_slower() {
+        let m = model();
+        for kb in [16u64, 64, 256] {
+            let t_dm = m.optimal(&CacheGeometry::paper(kb * 1024, 1), CellKind::SinglePorted);
+            let t_sa = m.optimal(&CacheGeometry::paper(kb * 1024, 4), CellKind::SinglePorted);
+            assert!(
+                t_sa.access_ns > t_dm.access_ns,
+                "{kb}KB: 4-way access {:.2} should exceed DM {:.2}",
+                t_sa.access_ns,
+                t_dm.access_ns
+            );
+        }
+    }
+
+    #[test]
+    fn dual_ported_is_slower_than_single() {
+        let m = model();
+        let g = dm(8);
+        let s = m.optimal(&g, CellKind::SinglePorted);
+        let d = m.optimal(&g, CellKind::DualPorted);
+        assert!(d.cycle_ns > s.cycle_ns, "bigger cells must lengthen wires");
+        // But not catastrophically (same order).
+        assert!(d.cycle_ns < s.cycle_ns * 1.6);
+    }
+
+    #[test]
+    fn optimal_beats_unit_org_for_large_caches() {
+        let m = model();
+        let g = dm(256);
+        let unit = m.analyze(&g, &ArrayOrg::UNIT, CellKind::SinglePorted).cycle_ns();
+        let best = m.optimal(&g, CellKind::SinglePorted).cycle_ns;
+        assert!(
+            best < unit / 2.0,
+            "organisation search should dramatically beat the monolithic layout: {best:.2} vs {unit:.2}"
+        );
+    }
+
+    #[test]
+    fn l2_access_in_l1_cycles_matches_fig2() {
+        // Figure 2 system: 4KB L1; 8KB–256KB 4-way L2 accesses land at
+        // ~2 L1 cycles (the worked example gives a 5-cycle miss penalty =
+        // 2×2+1).
+        let m = model();
+        let l1 = m.optimal(&dm(4), CellKind::SinglePorted);
+        for kb in [8u64, 16, 32, 64, 128, 256] {
+            let l2 = m.optimal(&CacheGeometry::paper(kb * 1024, 4), CellKind::SinglePorted);
+            let cycles = (l2.cycle_ns / l1.cycle_ns).ceil() as u32;
+            assert!(
+                (1..=3).contains(&cycles),
+                "{kb}KB L2 = {cycles} L1 cycles (L1 {:.2}ns, L2 {:.2}ns)",
+                l1.cycle_ns,
+                l2.cycle_ns
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_is_consistent() {
+        let m = model();
+        let g = CacheGeometry::paper(64 * 1024, 4);
+        let t = m.optimal(&g, CellKind::SinglePorted);
+        let b = t.breakdown;
+        assert!((b.access_ns() - t.access_ns).abs() < 1e-12);
+        assert!((b.cycle_ns() - t.cycle_ns).abs() < 1e-12);
+        assert!(b.mux > 0.0, "set-associative read needs the mux driver");
+        let g_dm = CacheGeometry::paper(64 * 1024, 1);
+        let b_dm = m.analyze(&g_dm, &ArrayOrg::UNIT, CellKind::SinglePorted);
+        assert_eq!(b_dm.mux, 0.0, "direct-mapped read bypasses the mux driver");
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = model().optimal(&dm(4), CellKind::SinglePorted);
+        let s = t.to_string();
+        assert!(s.contains("access") && s.contains("cycle"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Technology parameters of the access-time model.
+//!
+//! Wada et al. and Wilton & Jouppi fit their delay equations to SPICE
+//! simulations of a 0.8µm CMOS process; the paper then scales the results
+//! "to more closely match a high-performance 0.5µm CMOS technology...
+//! resulting in an overall cycle time reduction to 50%" (§2.3). We keep
+//! the same two-stage structure: a set of 0.8µm-era stage constants plus a
+//! single linear technology scale factor.
+//!
+//! The constants below are not SPICE-extracted (the original netlists are
+//! long gone); they are calibrated so the *published* outputs of the model
+//! hold: the ≈1.8× cycle-time spread from 1KB to 256KB first-level caches
+//! (§2.1, Figure 1), cycle times in the 2.5–5.5ns band after scaling, and
+//! second-level access times of ≈2 processor cycles for the Figure 2
+//! system.
+
+use serde::{Deserialize, Serialize};
+
+/// Stage-delay constants, in nanoseconds at the 0.8µm reference process,
+/// plus the linear technology scale factor applied to every output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Distributed-RC wordline delay coefficient: ns per (column count)².
+    pub wordline_rc: f64,
+    /// Distributed-RC bitline delay coefficient: ns per (row count)².
+    pub bitline_rc: f64,
+    /// Decoder intrinsic delay (predecode + gates), ns.
+    pub decoder_base: f64,
+    /// Decoder delay per log₂(rows) — fan-in growth, ns.
+    pub decoder_per_log_row: f64,
+    /// Address/select routing delay per √(subarray count) — wire to the
+    /// distributed subarray decoders, ns.
+    pub route_per_sqrt_subarray: f64,
+    /// Sense-amplifier delay, ns.
+    pub sense_amp: f64,
+    /// Tag comparator intrinsic delay, ns.
+    pub comparator_base: f64,
+    /// Comparator delay per tag bit, ns.
+    pub comparator_per_bit: f64,
+    /// Output-mux driver delay (set-associative data select), ns.
+    pub mux_driver: f64,
+    /// Data output driver delay, ns.
+    pub output_driver: f64,
+    /// Precharge intrinsic time, ns.
+    pub precharge_base: f64,
+    /// Precharge time as a fraction of the data bitline delay.
+    pub precharge_bitline_factor: f64,
+    /// Linear technology scale applied to all delays (0.5 ⇒ the paper's
+    /// 0.5µm scaling).
+    pub scale: f64,
+}
+
+impl TechParams {
+    /// The 0.8µm reference parameter set (unscaled).
+    pub fn wrl_0_8um() -> Self {
+        TechParams {
+            wordline_rc: 7.0e-6,
+            bitline_rc: 6.0e-5,
+            decoder_base: 1.10,
+            decoder_per_log_row: 0.16,
+            route_per_sqrt_subarray: 0.42,
+            sense_amp: 0.75,
+            comparator_base: 0.60,
+            comparator_per_bit: 0.015,
+            mux_driver: 0.60,
+            output_driver: 0.90,
+            precharge_base: 0.60,
+            precharge_bitline_factor: 1.0,
+            scale: 1.0,
+        }
+    }
+
+    /// The paper's operating point: 0.8µm constants scaled by 0.5 to a
+    /// high-performance 0.5µm process (§2.3).
+    pub fn paper_0_5um() -> Self {
+        TechParams { scale: 0.5, ..Self::wrl_0_8um() }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::paper_0_5um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_are_halved_reference() {
+        let r = TechParams::wrl_0_8um();
+        let p = TechParams::paper_0_5um();
+        assert_eq!(r.scale, 1.0);
+        assert_eq!(p.scale, 0.5);
+        assert_eq!(p.wordline_rc, r.wordline_rc);
+        assert_eq!(TechParams::default(), p);
+    }
+
+    #[test]
+    fn constants_are_positive() {
+        let p = TechParams::default();
+        for v in [
+            p.wordline_rc,
+            p.bitline_rc,
+            p.decoder_base,
+            p.decoder_per_log_row,
+            p.route_per_sqrt_subarray,
+            p.sense_amp,
+            p.comparator_base,
+            p.comparator_per_bit,
+            p.mux_driver,
+            p.output_driver,
+            p.precharge_base,
+            p.precharge_bitline_factor,
+            p.scale,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

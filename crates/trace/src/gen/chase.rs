@@ -1,0 +1,168 @@
+//! Pointer-chase data generator.
+//!
+//! Linked-structure codes (the lisp interpreter `li`, the bit-vector
+//! walker `eqntott`) dereference chains of pointers whose targets are
+//! scattered across the heap. [`PermutationChase`] models the limit case:
+//! a random permutation over the lines of a heap region, walked one hop
+//! per access. Every hop lands on a "random" line, so the reuse distance
+//! of each line equals the whole region — caches smaller than the region
+//! miss on essentially every hop, and caches that hold the region hit on
+//! every hop. This produces the sharp knee such workloads show at their
+//! heap size.
+
+use super::AddrSource;
+use crate::addr::{Addr, AddrRange};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Line size used to quantise the chase targets. 16 bytes matches the
+/// paper's caches, but the generator is usable with any power of two.
+const CHASE_GRAIN: u64 = 16;
+
+/// Pointer-chasing walk over a random permutation of a region's lines.
+/// See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tlc_trace::gen::{chase::PermutationChase, AddrSource};
+/// use tlc_trace::{Addr, AddrRange};
+///
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let heap = AddrRange::new(Addr::new(0x6000_0000), 64 << 10);
+/// let mut chase = PermutationChase::new(heap, 0.001, &mut rng);
+/// let a = chase.next_addr(&mut rng);
+/// assert!(heap.contains(a));
+/// ```
+#[derive(Debug)]
+pub struct PermutationChase {
+    region: AddrRange,
+    /// `next[i]` is the line index visited after line `i`.
+    next: Vec<u32>,
+    cur: u32,
+    /// Probability per access of restarting the walk at a random line
+    /// (models following a different root pointer).
+    p_restart: f64,
+}
+
+impl PermutationChase {
+    /// Builds a chase over `region`, whose permutation is drawn from
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region holds fewer than two 16-byte lines or more
+    /// than `u32::MAX` lines, or if `p_restart` is not a probability.
+    pub fn new(region: AddrRange, p_restart: f64, rng: &mut StdRng) -> Self {
+        let lines = region.len() / CHASE_GRAIN;
+        assert!(lines >= 2, "chase region must hold at least two lines");
+        assert!(lines <= u32::MAX as u64, "chase region too large");
+        assert!((0.0..=1.0).contains(&p_restart), "p_restart must be a probability");
+        let lines = lines as u32;
+        // A single-cycle permutation (Sattolo's algorithm) so the walk
+        // visits every line before repeating.
+        let mut order: Vec<u32> = (0..lines).collect();
+        for i in (1..lines as usize).rev() {
+            let j = rng.gen_range(0..i);
+            order.swap(i, j);
+        }
+        let mut next = vec![0u32; lines as usize];
+        for w in 0..lines as usize {
+            next[order[w] as usize] = order[(w + 1) % lines as usize];
+        }
+        let cur = rng.gen_range(0..lines);
+        PermutationChase { region, next, cur, p_restart }
+    }
+
+    /// The heap region being chased.
+    pub fn region(&self) -> AddrRange {
+        self.region
+    }
+
+    /// Number of lines in the chase cycle.
+    pub fn line_count(&self) -> usize {
+        self.next.len()
+    }
+}
+
+impl AddrSource for PermutationChase {
+    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+        if self.p_restart > 0.0 && rng.gen_bool(self.p_restart) {
+            self.cur = rng.gen_range(0..self.next.len() as u32);
+        }
+        let addr = self.region.start().add(self.cur as u64 * CHASE_GRAIN);
+        self.cur = self.next[self.cur as usize];
+        // Touch a word within the line (pointer field position varies).
+        addr.add((rng.gen_range(0..CHASE_GRAIN / 4)) * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn visits_all_lines_before_repeating() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let region = AddrRange::new(Addr::new(0x1000), 64 * CHASE_GRAIN);
+        let mut c = PermutationChase::new(region, 0.0, &mut rng);
+        let mut seen = HashSet::new();
+        for _ in 0..64 {
+            let line = c.next_addr(&mut rng).line(CHASE_GRAIN);
+            assert!(seen.insert(line), "line repeated before full cycle");
+        }
+        assert_eq!(seen.len(), 64);
+        // The 65th access revisits the first line of the cycle.
+        let line = c.next_addr(&mut rng).line(CHASE_GRAIN);
+        assert!(seen.contains(&line));
+    }
+
+    #[test]
+    fn addresses_in_region_and_word_aligned() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let region = AddrRange::new(Addr::new(0x6000_0000), 32 << 10);
+        let mut c = PermutationChase::new(region, 0.01, &mut rng);
+        for _ in 0..10_000 {
+            let a = c.next_addr(&mut rng);
+            assert!(region.contains(a));
+            assert_eq!(a.offset_in(4), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = || {
+            let mut rng = StdRng::seed_from_u64(23);
+            let region = AddrRange::new(Addr::new(0), 16 << 10);
+            let mut c = PermutationChase::new(region, 0.005, &mut rng);
+            (0..500).map(|_| c.next_addr(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(), stream());
+    }
+
+    #[test]
+    fn line_count() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let region = AddrRange::new(Addr::new(0), 1 << 10);
+        let c = PermutationChase::new(region, 0.0, &mut rng);
+        assert_eq!(c.line_count(), 64);
+        assert_eq!(c.region(), region);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two lines")]
+    fn rejects_tiny_region() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = PermutationChase::new(AddrRange::new(Addr::new(0), 16), 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_restart() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = PermutationChase::new(AddrRange::new(Addr::new(0), 1 << 10), 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,330 @@
+//! Instruction-fetch stream generator built from loop sites.
+//!
+//! Real instruction streams are dominated by loops: short bursts of
+//! sequential fetches that repeat, punctuated by transfers to other parts
+//! of the code. [`CodeWalker`] models exactly that: a code *footprint* is
+//! populated with `n_sites` loop sites; execution walks one site's body
+//! sequentially (4-byte instructions), repeats it a geometric number of
+//! times, then transfers to another site chosen from a zipf-like popularity
+//! distribution (a few sites are hot, most are cold). Occasional
+//! *excursions* — one-shot sequential runs at a random spot in the
+//! footprint — model initialization and rarely-executed code.
+//!
+//! The resulting instruction-cache behaviour: caches that hold the hot
+//! sites have near-zero miss rates; smaller caches miss on every site
+//! transition; the cold tail and excursions produce the slowly-decaying
+//! component that makes bigger instruction caches keep paying off for
+//! large-footprint codes (gcc, fpppp).
+
+use super::{sample_burst, zipf_weights, AddrSource, WeightedIndex};
+use crate::addr::{Addr, AddrRange};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Size of one instruction in bytes (RISC, as in the paper's DECStation
+/// traces).
+pub const INSTR_BYTES: u64 = 4;
+
+/// Parameters of a [`CodeWalker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeParams {
+    /// Total code footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Number of loop sites scattered in the footprint.
+    pub n_sites: usize,
+    /// Minimum loop-body length in bytes.
+    pub body_min_bytes: u64,
+    /// Maximum loop-body length in bytes.
+    pub body_max_bytes: u64,
+    /// Mean number of iterations each time a site is entered.
+    pub mean_iters: f64,
+    /// Zipf exponent for site popularity (0 = uniform; 1 ≈ classic zipf).
+    pub zipf_theta: f64,
+    /// Probability that a site transition first detours through an
+    /// excursion (one-shot sequential run at a random footprint location).
+    pub p_excursion: f64,
+    /// Length of an excursion in bytes.
+    pub excursion_bytes: u64,
+}
+
+impl CodeParams {
+    fn validate(&self) {
+        assert!(self.footprint_bytes >= INSTR_BYTES, "footprint too small");
+        assert!(self.n_sites > 0, "need at least one loop site");
+        assert!(
+            self.body_min_bytes >= INSTR_BYTES && self.body_min_bytes <= self.body_max_bytes,
+            "invalid body length bounds"
+        );
+        assert!(self.body_max_bytes <= self.footprint_bytes, "loop body larger than footprint");
+        assert!(self.mean_iters >= 1.0, "mean iterations must be >= 1");
+        assert!((0.0..=1.0).contains(&self.p_excursion), "p_excursion must be a probability");
+        assert!(self.excursion_bytes >= INSTR_BYTES, "excursion too short");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoopSite {
+    start: Addr,
+    body_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Walking a loop body: offset within body, iterations remaining.
+    Looping { site: usize, offset: u64, iters_left: u64 },
+    /// One-shot excursion run: current address, bytes remaining.
+    Excursion { pc: Addr, bytes_left: u64 },
+}
+
+/// Loop-site based instruction-fetch generator. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tlc_trace::gen::{loops::{CodeParams, CodeWalker}, AddrSource};
+/// use tlc_trace::Addr;
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let mut walker = CodeWalker::new(
+///     CodeParams {
+///         footprint_bytes: 16 * 1024,
+///         n_sites: 8,
+///         body_min_bytes: 64,
+///         body_max_bytes: 256,
+///         mean_iters: 4.0,
+///         zipf_theta: 1.0,
+///         p_excursion: 0.01,
+///         excursion_bytes: 512,
+///     },
+///     Addr::new(0x0010_0000),
+///     &mut rng,
+/// );
+/// let a = walker.next_addr(&mut rng);
+/// let b = walker.next_addr(&mut rng);
+/// assert_eq!(b.raw(), a.raw() + 4); // sequential within a loop body
+/// ```
+#[derive(Debug)]
+pub struct CodeWalker {
+    footprint: AddrRange,
+    sites: Vec<LoopSite>,
+    popularity: WeightedIndex,
+    mean_iters: f64,
+    p_excursion: f64,
+    excursion_bytes: u64,
+    mode: Mode,
+}
+
+impl CodeWalker {
+    /// Builds a walker whose footprint starts at `base`. Site placement is
+    /// drawn from `rng`, so the layout is reproducible from the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (see [`CodeParams`]).
+    pub fn new(params: CodeParams, base: Addr, rng: &mut StdRng) -> Self {
+        params.validate();
+        let footprint = AddrRange::new(base.align_down(INSTR_BYTES), params.footprint_bytes);
+        let sites: Vec<LoopSite> = (0..params.n_sites)
+            .map(|_| {
+                let body_bytes = rng.gen_range(params.body_min_bytes..=params.body_max_bytes)
+                    / INSTR_BYTES
+                    * INSTR_BYTES;
+                let body_bytes = body_bytes.max(INSTR_BYTES);
+                let max_start = params.footprint_bytes.saturating_sub(body_bytes);
+                let start_off = if max_start == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_start) / INSTR_BYTES * INSTR_BYTES
+                };
+                LoopSite { start: footprint.start().add(start_off), body_bytes }
+            })
+            .collect();
+        let popularity = WeightedIndex::new(&zipf_weights(sites.len(), params.zipf_theta));
+        let first = popularity.sample(rng);
+        let iters = sample_burst(rng, params.mean_iters);
+        CodeWalker {
+            footprint,
+            sites,
+            popularity,
+            mean_iters: params.mean_iters,
+            p_excursion: params.p_excursion,
+            excursion_bytes: params.excursion_bytes,
+            mode: Mode::Looping { site: first, offset: 0, iters_left: iters },
+        }
+    }
+
+    /// The code footprint this walker fetches from.
+    pub fn footprint(&self) -> AddrRange {
+        self.footprint
+    }
+
+    fn transition(&mut self, rng: &mut StdRng) {
+        if rng.gen_bool(self.p_excursion) {
+            let max_start = self.footprint.len().saturating_sub(self.excursion_bytes);
+            let start_off = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start) / INSTR_BYTES * INSTR_BYTES
+            };
+            self.mode = Mode::Excursion {
+                pc: self.footprint.start().add(start_off),
+                bytes_left: self.excursion_bytes,
+            };
+        } else {
+            let site = self.popularity.sample(rng);
+            let iters = sample_burst(rng, self.mean_iters);
+            self.mode = Mode::Looping { site, offset: 0, iters_left: iters };
+        }
+    }
+}
+
+impl AddrSource for CodeWalker {
+    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+        loop {
+            match self.mode {
+                Mode::Looping { site, ref mut offset, ref mut iters_left } => {
+                    let s = self.sites[site];
+                    if *offset < s.body_bytes {
+                        let a = s.start.add(*offset);
+                        *offset += INSTR_BYTES;
+                        return a;
+                    }
+                    if *iters_left > 1 {
+                        *iters_left -= 1;
+                        *offset = 0;
+                    } else {
+                        self.transition(rng);
+                    }
+                }
+                Mode::Excursion { ref mut pc, ref mut bytes_left } => {
+                    if *bytes_left > 0 {
+                        let a = *pc;
+                        *pc = pc.add(INSTR_BYTES);
+                        *bytes_left -= INSTR_BYTES;
+                        return a;
+                    }
+                    self.transition(rng);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn small_params() -> CodeParams {
+        CodeParams {
+            footprint_bytes: 8 * 1024,
+            n_sites: 6,
+            body_min_bytes: 64,
+            body_max_bytes: 256,
+            mean_iters: 4.0,
+            zipf_theta: 1.0,
+            p_excursion: 0.05,
+            excursion_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = CodeWalker::new(small_params(), Addr::new(0x10_0000), &mut rng);
+        let fp = w.footprint();
+        for _ in 0..50_000 {
+            let a = w.next_addr(&mut rng);
+            assert!(fp.contains(a), "address {a} outside footprint");
+            assert_eq!(a.offset_in(INSTR_BYTES), 0, "fetch not instruction-aligned");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen_stream = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut w = CodeWalker::new(small_params(), Addr::new(0x10_0000), &mut rng);
+            (0..1000).map(|_| w.next_addr(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen_stream(), gen_stream());
+    }
+
+    #[test]
+    fn mostly_sequential() {
+        // A loopy instruction stream should advance by exactly 4 bytes most
+        // of the time.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = CodeWalker::new(small_params(), Addr::new(0), &mut rng);
+        let mut seq = 0u32;
+        let n = 20_000;
+        let mut prev = w.next_addr(&mut rng);
+        for _ in 0..n {
+            let a = w.next_addr(&mut rng);
+            if a.raw() == prev.raw() + INSTR_BYTES {
+                seq += 1;
+            }
+            prev = a;
+        }
+        assert!(seq as f64 / n as f64 > 0.9, "only {seq}/{n} sequential");
+    }
+
+    #[test]
+    fn hot_sites_dominate() {
+        // With zipf popularity the busiest line should be touched far more
+        // often than the median line.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = CodeWalker::new(small_params(), Addr::new(0), &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(w.next_addr(&mut rng).line(16)).or_insert(0u32) += 1;
+        }
+        let mut values: Vec<u32> = counts.values().copied().collect();
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+        let median = values[values.len() / 2];
+        assert!(max > median * 4, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn footprint_mostly_covered_over_time() {
+        // Excursions plus cold sites should eventually touch a decent
+        // fraction of the footprint's lines.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = small_params();
+        p.p_excursion = 0.2;
+        let mut w = CodeWalker::new(p.clone(), Addr::new(0), &mut rng);
+        let mut lines = HashSet::new();
+        for _ in 0..400_000 {
+            lines.insert(w.next_addr(&mut rng).line(16));
+        }
+        let total_lines = p.footprint_bytes / 16;
+        assert!(
+            lines.len() as u64 > total_lines / 3,
+            "covered {} of {} lines",
+            lines.len(),
+            total_lines
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "body length bounds")]
+    fn rejects_inverted_body_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = small_params();
+        p.body_min_bytes = 512;
+        p.body_max_bytes = 256;
+        let _ = CodeWalker::new(p, Addr::new(0), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than footprint")]
+    fn rejects_body_bigger_than_footprint() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = small_params();
+        p.body_max_bytes = p.footprint_bytes * 2;
+        let _ = CodeWalker::new(p, Addr::new(0), &mut rng);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bursty weighted mixture of address sources.
+//!
+//! Real reference streams interleave behaviours in *phases*, not access by
+//! access: a pointer chase runs for a while, then the stack is hot for a
+//! while. [`Mixture`] composes any set of [`AddrSource`]s with weights and
+//! per-component mean burst lengths; a component is selected by weight and
+//! then retained for a geometric number of accesses.
+
+use super::{sample_burst, AddrSource, WeightedIndex};
+use crate::addr::Addr;
+use rand::rngs::StdRng;
+
+/// One component of a [`Mixture`].
+pub struct MixEntry {
+    /// Relative probability of selecting this component at a phase change.
+    pub weight: f64,
+    /// Mean number of consecutive accesses served by this component.
+    pub mean_burst: f64,
+    /// The underlying source.
+    pub source: Box<dyn AddrSource>,
+}
+
+impl MixEntry {
+    /// Convenience constructor.
+    pub fn new(weight: f64, mean_burst: f64, source: Box<dyn AddrSource>) -> Self {
+        MixEntry { weight, mean_burst, source }
+    }
+}
+
+impl std::fmt::Debug for MixEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixEntry")
+            .field("weight", &self.weight)
+            .field("mean_burst", &self.mean_burst)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Bursty weighted mixture of sources. See the module docs.
+///
+/// The effective access-level share of component `i` is
+/// `weight_i * mean_burst_i / Σ_j weight_j * mean_burst_j`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tlc_trace::gen::{mixture::{MixEntry, Mixture}, regions::{Region, RegionSet}, AddrSource};
+/// use tlc_trace::{Addr, AddrRange};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let hot = RegionSet::new(vec![Region::new(
+///     AddrRange::new(Addr::new(0x1000_0000), 4 << 10), 1.0, 4.0)]);
+/// let cold = RegionSet::new(vec![Region::new(
+///     AddrRange::new(Addr::new(0x2000_0000), 1 << 20), 1.0, 2.0)]);
+/// let mut mix = Mixture::new(vec![
+///     MixEntry::new(0.8, 16.0, Box::new(hot)),
+///     MixEntry::new(0.2, 4.0, Box::new(cold)),
+/// ]);
+/// let _ = mix.next_addr(&mut rng);
+/// ```
+#[derive(Debug)]
+pub struct Mixture {
+    entries: Vec<MixEntry>,
+    picker: WeightedIndex,
+    current: usize,
+    burst_left: u64,
+}
+
+impl Mixture {
+    /// Builds the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, all weights are zero, or any
+    /// `mean_burst < 1`.
+    pub fn new(entries: Vec<MixEntry>) -> Self {
+        assert!(!entries.is_empty(), "need at least one mixture component");
+        for e in &entries {
+            assert!(e.mean_burst >= 1.0, "mean_burst must be >= 1");
+        }
+        let picker = WeightedIndex::new(&entries.iter().map(|e| e.weight).collect::<Vec<_>>());
+        Mixture { entries, picker, current: 0, burst_left: 0 }
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl AddrSource for Mixture {
+    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+        if self.burst_left == 0 {
+            self.current = self.picker.sample(rng);
+            self.burst_left = sample_burst(rng, self.entries[self.current].mean_burst);
+        }
+        self.burst_left -= 1;
+        self.entries[self.current].source.next_addr(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::gen::regions::{Region, RegionSet};
+    use rand::SeedableRng;
+
+    fn region_source(base: u64, len: u64) -> Box<dyn AddrSource> {
+        Box::new(RegionSet::new(vec![Region::new(
+            AddrRange::new(Addr::new(base), len),
+            1.0,
+            1.0,
+        )]))
+    }
+
+    #[test]
+    fn burst_share_matches_weight_times_burst() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut mix = Mixture::new(vec![
+            MixEntry::new(0.5, 8.0, region_source(0x1000_0000, 1 << 10)),
+            MixEntry::new(0.5, 2.0, region_source(0x2000_0000, 1 << 10)),
+        ]);
+        let mut first = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if mix.next_addr(&mut rng).raw() < 0x2000_0000 {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        // 0.5*8 / (0.5*8 + 0.5*2) = 0.8
+        assert!((frac - 0.8).abs() < 0.03, "first-component share {frac}");
+    }
+
+    #[test]
+    fn bursts_are_contiguous() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut mix = Mixture::new(vec![
+            MixEntry::new(0.5, 10.0, region_source(0x1000_0000, 1 << 10)),
+            MixEntry::new(0.5, 10.0, region_source(0x2000_0000, 1 << 10)),
+        ]);
+        // Count component switches: with mean burst 10, switches should be
+        // roughly n/10, far fewer than the n/2 an unbursty mixture gives.
+        let n = 50_000;
+        let mut switches = 0;
+        let mut prev = mix.next_addr(&mut rng).raw() < 0x2000_0000;
+        for _ in 0..n {
+            let cur = mix.next_addr(&mut rng).raw() < 0x2000_0000;
+            if cur != prev {
+                switches += 1;
+            }
+            prev = cur;
+        }
+        let rate = switches as f64 / n as f64;
+        assert!(rate < 0.2, "switch rate {rate}");
+    }
+
+    #[test]
+    fn component_count() {
+        let mix = Mixture::new(vec![MixEntry::new(1.0, 1.0, region_source(0, 64))]);
+        assert_eq!(mix.component_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mixture component")]
+    fn rejects_empty() {
+        let _ = Mixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_burst")]
+    fn rejects_zero_burst() {
+        let _ = Mixture::new(vec![MixEntry::new(1.0, 0.5, region_source(0, 64))]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic address-stream generators.
+//!
+//! The paper drove its cache simulations with SPEC'89 address traces
+//! captured by the WRL tracing system (Borg et al.) — traces that are no
+//! longer obtainable. This module provides the substitute substrate: a
+//! small algebra of deterministic, seeded address sources whose composition
+//! reproduces the *miss-rate-versus-cache-size shape* of each benchmark
+//! (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! The building blocks:
+//!
+//! * [`CodeWalker`](loops::CodeWalker) — instruction fetch streams built
+//!   from loop sites inside a code footprint.
+//! * [`RegionSet`](regions::RegionSet) — nested working sets touched with
+//!   spatial runs (stack/global/heap data).
+//! * [`StreamWalker`](stream::StreamWalker) — strided sweeps over large
+//!   arrays (vectorizable numeric code such as tomcatv).
+//! * [`PermutationChase`](chase::PermutationChase) — pointer chasing over a
+//!   fixed heap (lisp interpreter style).
+//! * [`Mixture`](mixture::Mixture) — bursty weighted mixture of any of the
+//!   above.
+//!
+//! All sources implement [`AddrSource`] and draw randomness only from the
+//! caller-supplied RNG, so a fixed seed reproduces a bit-identical stream.
+
+pub mod chase;
+pub mod loops;
+pub mod mixture;
+pub mod regions;
+pub mod stream;
+
+use crate::addr::Addr;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An infinite, deterministic source of byte addresses of one reference
+/// class (instruction fetches or data accesses).
+///
+/// Implementors must be cheap per call — the experiment harness draws tens
+/// of millions of addresses per run.
+pub trait AddrSource: Send {
+    /// Produces the next address in the stream.
+    fn next_addr(&mut self, rng: &mut StdRng) -> Addr;
+}
+
+impl AddrSource for Box<dyn AddrSource> {
+    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+        (**self).next_addr(rng)
+    }
+}
+
+/// Samples a geometric-like burst length with the given mean (≥ 1).
+///
+/// Used by generators for loop iteration counts and spatial run lengths.
+/// The distribution is `1 + Geometric(p = 1/mean)`, clamped to
+/// `[1, 64 * mean]` so a pathological draw cannot stall a simulation.
+pub(crate) fn sample_burst(rng: &mut StdRng, mean: f64) -> u64 {
+    debug_assert!(mean >= 1.0, "burst mean must be >= 1");
+    if mean <= 1.0 {
+        return 1;
+    }
+    // Mean of 1 + Geometric(p) (number of failures before first success)
+    // is 1 + (1-p)/p = 1/p, so p = 1/mean gives the requested mean.
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let g = (u.ln() / (1.0 - p).ln()).floor() as u64;
+    (1 + g).min((64.0 * mean) as u64)
+}
+
+/// A precomputed discrete distribution sampled by binary search on the
+/// cumulative weights. Used for zipf-like loop-site popularity and for
+/// mixture component selection.
+#[derive(Debug, Clone)]
+pub(crate) struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub(crate) fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not sum to zero");
+        WeightedIndex { cumulative }
+    }
+
+    /// Samples an index proportional to its weight.
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        // partition_point returns the first index whose cumulative weight
+        // exceeds x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Zipf-like weights `1 / (rank+1)^theta` for `n` items.
+pub(crate) fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn burst_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &mean in &[1.0, 2.0, 5.0, 20.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| sample_burst(&mut rng, mean)).sum();
+            let observed = total as f64 / n as f64;
+            assert!(
+                (observed - mean).abs() < mean * 0.15 + 0.1,
+                "mean {mean}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_is_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sample_burst(&mut rng, 3.0) >= 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = WeightedIndex::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_rejects_empty() {
+        let _ = WeightedIndex::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn weighted_index_rejects_all_zero() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(10, 1.0);
+        assert_eq!(w.len(), 10);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[9] - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,393 @@
+//! Trace serialisation.
+//!
+//! Two interchange formats are provided so generated streams can be
+//! inspected, archived, or replayed without re-running the generators:
+//!
+//! * **binary** — 9 bytes per reference (1 kind byte + little-endian u64
+//!   address), preceded by an 8-byte magic; compact and fast;
+//! * **text** — one `K 0xADDR` line per reference (`K` ∈ `I`/`L`/`S`),
+//!   greppable and diffable.
+//!
+//! Readers are strict: malformed input is an error, never silently
+//! skipped.
+
+use crate::addr::Addr;
+use crate::record::{AccessKind, MemRef};
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes identifying a binary trace stream.
+pub const BINARY_MAGIC: &[u8; 8] = b"TLCTRC01";
+
+/// Magic bytes identifying an instruction-record trace stream.
+pub const INSTR_MAGIC: &[u8; 8] = b"TLCITR01";
+
+/// Writes references to a binary trace stream.
+///
+/// The header is written on construction; call [`BinaryTraceWriter::write`]
+/// per reference. A mutable reference to any `Write` may be passed.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::io::{read_binary_trace, BinaryTraceWriter};
+/// use tlc_trace::{Addr, MemRef};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut buf = Vec::new();
+/// let mut w = BinaryTraceWriter::new(&mut buf)?;
+/// w.write(MemRef::fetch(Addr::new(0x100)))?;
+/// w.write(MemRef::store(Addr::new(0x2000)))?;
+/// drop(w);
+/// let refs = read_binary_trace(&buf[..])?;
+/// assert_eq!(refs.len(), 2);
+/// assert_eq!(refs[1], MemRef::store(Addr::new(0x2000)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BinaryTraceWriter<W: Write> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Creates the writer and emits the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(BINARY_MAGIC)?;
+        Ok(BinaryTraceWriter { out, written: 0 })
+    }
+
+    /// Appends one reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&mut self, r: MemRef) -> io::Result<()> {
+        let kind = match r.kind {
+            AccessKind::InstrFetch => 0u8,
+            AccessKind::Load => 1,
+            AccessKind::Store => 2,
+        };
+        self.out.write_all(&[kind])?;
+        self.out.write_all(&r.addr.raw().to_le_bytes())?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of references written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads an entire binary trace stream produced by [`BinaryTraceWriter`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, an unknown kind byte, or a
+/// truncated record, and propagates I/O errors.
+pub fn read_binary_trace<R: Read>(mut input: R) -> io::Result<Vec<MemRef>> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut refs = Vec::new();
+    let mut rec = [0u8; 9];
+    loop {
+        match input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Distinguish clean EOF (no bytes) from a truncated record:
+                // read_exact may have consumed a partial record, but an
+                // exact-at-boundary EOF is the common clean case and
+                // read_exact only returns UnexpectedEof without having
+                // filled the buffer; we accept it as end of stream only if
+                // the very first byte was absent, which read_exact cannot
+                // tell us. Re-read a single byte to check.
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+        let kind = match rec[0] {
+            0 => AccessKind::InstrFetch,
+            1 => AccessKind::Load,
+            2 => AccessKind::Store,
+            k => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown reference kind byte {k}"),
+                ))
+            }
+        };
+        let addr = u64::from_le_bytes(rec[1..9].try_into().expect("slice of 8"));
+        refs.push(MemRef { addr: Addr::new(addr), kind });
+    }
+    Ok(refs)
+}
+
+/// Writes references in the text format, one `K 0xADDR` line each.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_text_trace<W: Write>(mut out: W, refs: &[MemRef]) -> io::Result<()> {
+    for r in refs {
+        writeln!(out, "{} {:#x}", r.kind.code(), r.addr.raw())?;
+    }
+    Ok(())
+}
+
+/// Parses the text format produced by [`write_text_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` naming the offending line number on any malformed
+/// line; blank lines and `#` comments are permitted.
+pub fn read_text_trace<R: BufRead>(input: R) -> io::Result<Vec<MemRef>> {
+    let mut refs = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed trace line {}: {t:?}", lineno + 1),
+            )
+        };
+        let (kind_s, addr_s) = t.split_once(' ').ok_or_else(bad)?;
+        let kind_c = {
+            let mut chars = kind_s.chars();
+            let c = chars.next().ok_or_else(bad)?;
+            if chars.next().is_some() {
+                return Err(bad());
+            }
+            c
+        };
+        let kind = AccessKind::from_code(kind_c).ok_or_else(bad)?;
+        let addr_s = addr_s.trim().strip_prefix("0x").ok_or_else(bad)?;
+        let addr = u64::from_str_radix(addr_s, 16).map_err(|_| bad())?;
+        refs.push(MemRef { addr: Addr::new(addr), kind });
+    }
+    Ok(refs)
+}
+
+/// Writes [`InstructionRecord`](crate::InstructionRecord)s in a compact
+/// binary format: the [`INSTR_MAGIC`] header, then per record one flags
+/// byte (`bit0` = has data ref, `bit1` = data ref is a store), the fetch
+/// address (LE u64), and — when present — the data address (LE u64).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::io::{read_instruction_trace, write_instruction_trace};
+/// use tlc_trace::spec::SpecBenchmark;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let recs = SpecBenchmark::Li.workload().take_instructions(100);
+/// let mut buf = Vec::new();
+/// write_instruction_trace(&mut buf, &recs)?;
+/// assert_eq!(read_instruction_trace(&buf[..])?, recs);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_instruction_trace<W: Write>(
+    mut out: W,
+    records: &[crate::InstructionRecord],
+) -> io::Result<()> {
+    out.write_all(INSTR_MAGIC)?;
+    for r in records {
+        let (flags, data_addr) = match r.data {
+            None => (0u8, None),
+            Some(d) => (
+                1 | ((d.kind == AccessKind::Store) as u8) << 1,
+                Some(d.addr.raw()),
+            ),
+        };
+        out.write_all(&[flags])?;
+        out.write_all(&r.fetch.raw().to_le_bytes())?;
+        if let Some(a) = data_addr {
+            out.write_all(&a.to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+/// Parses a stream produced by [`write_instruction_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, unknown flag bits, or a
+/// truncated record, and propagates I/O errors.
+pub fn read_instruction_trace<R: Read>(mut input: R) -> io::Result<Vec<crate::InstructionRecord>> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != INSTR_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad instruction-trace magic"));
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut flags = [0u8; 1];
+        match input.read_exact(&mut flags) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let flags = flags[0];
+        if flags & !0b11 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown instruction-record flags {flags:#04x}"),
+            ));
+        }
+        let mut fetch = [0u8; 8];
+        input.read_exact(&mut fetch)?;
+        let fetch = Addr::new(u64::from_le_bytes(fetch));
+        let data = if flags & 1 != 0 {
+            let mut a = [0u8; 8];
+            input.read_exact(&mut a)?;
+            let addr = Addr::new(u64::from_le_bytes(a));
+            Some(if flags & 2 != 0 { MemRef::store(addr) } else { MemRef::load(addr) })
+        } else {
+            None
+        };
+        out.push(crate::InstructionRecord { fetch, data });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_refs() -> Vec<MemRef> {
+        vec![
+            MemRef::fetch(Addr::new(0x0040_0000)),
+            MemRef::load(Addr::new(0x1000_0010)),
+            MemRef::store(Addr::new(0xFFFF_FFFF_FFFF_FFF0)),
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::new(&mut buf).unwrap();
+        for r in sample_refs() {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.written(), 3);
+        w.into_inner().unwrap();
+        assert_eq!(read_binary_trace(&buf[..]).unwrap(), sample_refs());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC".to_vec();
+        assert!(read_binary_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_unknown_kind() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.push(9); // bad kind
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_binary_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut buf = Vec::new();
+        write_text_trace(&mut buf, &sample_refs()).unwrap();
+        let parsed = read_text_trace(&buf[..]).unwrap();
+        assert_eq!(parsed, sample_refs());
+    }
+
+    #[test]
+    fn text_allows_comments_and_blanks() {
+        let src = "# header\n\nI 0x100\n  L 0x200  \n";
+        let parsed = read_text_trace(src.as_bytes()).unwrap();
+        assert_eq!(
+            parsed,
+            vec![MemRef::fetch(Addr::new(0x100)), MemRef::load(Addr::new(0x200))]
+        );
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        for bad in ["X 0x100", "I 100", "I", "II 0x100", "I 0xZZ"] {
+            let err = read_text_trace(bad.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn into_inner_flushes() {
+        let w = BinaryTraceWriter::new(Vec::new()).unwrap();
+        let inner = w.into_inner().unwrap();
+        assert_eq!(&inner[..8], BINARY_MAGIC);
+    }
+
+    #[test]
+    fn instruction_trace_roundtrip() {
+        use crate::InstructionRecord;
+        let recs = vec![
+            InstructionRecord::fetch_only(Addr::new(0x100)),
+            InstructionRecord::with_data(Addr::new(0x104), MemRef::load(Addr::new(0x2000))),
+            InstructionRecord::with_data(Addr::new(0x108), MemRef::store(Addr::new(0x3000))),
+        ];
+        let mut buf = Vec::new();
+        write_instruction_trace(&mut buf, &recs).unwrap();
+        assert_eq!(read_instruction_trace(&buf[..]).unwrap(), recs);
+    }
+
+    #[test]
+    fn instruction_trace_rejects_bad_magic_and_flags() {
+        assert!(read_instruction_trace(&b"WRONGMAG"[..]).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(INSTR_MAGIC);
+        buf.push(0b100); // unknown flag bit
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_instruction_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn instruction_trace_rejects_truncation() {
+        let recs = vec![crate::InstructionRecord::with_data(
+            Addr::new(4),
+            MemRef::load(Addr::new(8)),
+        )];
+        let mut buf = Vec::new();
+        write_instruction_trace(&mut buf, &recs).unwrap();
+        buf.truncate(buf.len() - 3); // chop the data address
+        assert!(read_instruction_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_instruction_trace() {
+        let mut buf = Vec::new();
+        write_instruction_trace(&mut buf, &[]).unwrap();
+        assert!(read_instruction_trace(&buf[..]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # tlc-trace — synthetic memory-reference traces
+//!
+//! Trace-generation substrate for the reproduction of Jouppi & Wilton,
+//! *Tradeoffs in Two-Level On-Chip Caching* (WRL 93/3 / ISCA 1994).
+//!
+//! The paper drove its cache simulations with SPEC'89 address traces that
+//! are no longer obtainable; this crate replaces them with deterministic,
+//! seeded synthetic workloads whose miss-rate-versus-cache-size behaviour
+//! matches the published anchors (see `DESIGN.md` at the repository root
+//! for the substitution argument and the calibration targets).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlc_trace::spec::SpecBenchmark;
+//!
+//! // A seeded, infinite instruction stream for the gcc1-like workload.
+//! let mut workload = SpecBenchmark::Gcc1.workload();
+//! let mut stats = tlc_trace::TraceStats::new(16);
+//! for _ in 0..10_000 {
+//!     let instr = workload.next_instruction();
+//!     stats.record_instruction(&instr);
+//! }
+//! assert_eq!(stats.instr_refs(), 10_000);
+//! assert!(stats.data_refs() > 0);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`Addr`], [`LineAddr`], [`AddrRange`] — address arithmetic.
+//! * [`MemRef`], [`InstructionRecord`] — reference records.
+//! * [`gen`] — composable address-stream generators.
+//! * [`Workload`] — instruction+data stream with a reference mix.
+//! * [`spec`] — the seven SPEC'89-like presets of the paper's Table 1.
+//! * [`TraceStats`] — Table-1-style counters and footprints.
+//! * [`io`] — binary and text trace serialisation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+pub mod gen;
+pub mod io;
+mod record;
+mod source;
+pub mod spec;
+pub mod specfile;
+mod stats;
+mod timeslice;
+mod workload;
+
+pub use addr::{Addr, AddrRange, LineAddr};
+pub use record::{AccessKind, InstructionRecord, MemRef};
+pub use source::{InstructionSource, ReplaySource};
+pub use stats::{TraceStats, TraceSummary};
+pub use timeslice::TimeSliced;
+pub use workload::Workload;

@@ -1,0 +1,199 @@
+//! Memory-reference records produced by workloads and consumed by the
+//! cache simulator.
+//!
+//! The machine model of the paper (§2.1) issues one instruction fetch per
+//! cycle plus at most one data reference, so the natural unit of work is an
+//! [`InstructionRecord`]: an instruction-fetch address optionally paired
+//! with one data access. A flat [`MemRef`] view is also provided for
+//! consumers (trace files, single-cache experiments) that do not care about
+//! the instruction/data pairing.
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction fetch (goes to the L1 instruction cache).
+    InstrFetch,
+    /// A data load (goes to the L1 data cache).
+    Load,
+    /// A data store. The paper models write traffic as read traffic
+    /// (write-allocate, fetch-on-write; §2.2), so stores behave like loads
+    /// for miss accounting but are tracked separately for statistics.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this reference targets the data side of the split L1.
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// One-letter code used by the text trace format (`I`, `L`, `S`).
+    pub fn code(self) -> char {
+        match self {
+            AccessKind::InstrFetch => 'I',
+            AccessKind::Load => 'L',
+            AccessKind::Store => 'S',
+        }
+    }
+
+    /// Parses a one-letter code produced by [`AccessKind::code`].
+    pub fn from_code(c: char) -> Option<AccessKind> {
+        match c {
+            'I' => Some(AccessKind::InstrFetch),
+            'L' => Some(AccessKind::Load),
+            'S' => Some(AccessKind::Store),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// A single memory reference: an address plus its class.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::{AccessKind, Addr, MemRef};
+///
+/// let r = MemRef::load(Addr::new(0x1000));
+/// assert!(r.kind.is_data());
+/// assert_eq!(r.addr, Addr::new(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Reference class.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// Creates an instruction-fetch reference.
+    pub fn fetch(addr: Addr) -> Self {
+        MemRef { addr, kind: AccessKind::InstrFetch }
+    }
+
+    /// Creates a data-load reference.
+    pub fn load(addr: Addr) -> Self {
+        MemRef { addr, kind: AccessKind::Load }
+    }
+
+    /// Creates a data-store reference.
+    pub fn store(addr: Addr) -> Self {
+        MemRef { addr, kind: AccessKind::Store }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind.code(), self.addr)
+    }
+}
+
+/// One simulated instruction: an instruction fetch plus an optional data
+/// reference issued in the same cycle (paper §2.1: "a pipelined RISC
+/// architecture which allows the issue of an instruction and data
+/// reference each cycle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstructionRecord {
+    /// Address of the instruction fetch.
+    pub fetch: Addr,
+    /// The data reference carried by this instruction, if any.
+    pub data: Option<MemRef>,
+}
+
+impl InstructionRecord {
+    /// Creates a record with no data reference.
+    pub fn fetch_only(fetch: Addr) -> Self {
+        InstructionRecord { fetch, data: None }
+    }
+
+    /// Creates a record with a data reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.kind` is [`AccessKind::InstrFetch`]; the data slot
+    /// of an instruction only carries loads and stores.
+    pub fn with_data(fetch: Addr, data: MemRef) -> Self {
+        assert!(data.kind.is_data(), "data slot of an instruction must be a load or store");
+        InstructionRecord { fetch, data: Some(data) }
+    }
+
+    /// Number of memory references this instruction issues (1 or 2).
+    pub fn ref_count(&self) -> u64 {
+        1 + self.data.is_some() as u64
+    }
+
+    /// Iterates over the individual references of this instruction,
+    /// fetch first.
+    pub fn refs(&self) -> impl Iterator<Item = MemRef> + '_ {
+        std::iter::once(MemRef::fetch(self.fetch)).chain(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [AccessKind::InstrFetch, AccessKind::Load, AccessKind::Store] {
+            assert_eq!(AccessKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(AccessKind::from_code('X'), None);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        assert_eq!(MemRef::fetch(Addr::new(4)).kind, AccessKind::InstrFetch);
+        assert_eq!(MemRef::load(Addr::new(4)).kind, AccessKind::Load);
+        assert_eq!(MemRef::store(Addr::new(4)).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn instruction_ref_iteration() {
+        let i = InstructionRecord::with_data(Addr::new(0x100), MemRef::store(Addr::new(0x2000)));
+        let refs: Vec<MemRef> = i.refs().collect();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0], MemRef::fetch(Addr::new(0x100)));
+        assert_eq!(refs[1], MemRef::store(Addr::new(0x2000)));
+        assert_eq!(i.ref_count(), 2);
+
+        let j = InstructionRecord::fetch_only(Addr::new(0x104));
+        assert_eq!(j.ref_count(), 1);
+        assert_eq!(j.refs().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "load or store")]
+    fn instruction_rejects_fetch_in_data_slot() {
+        let _ = InstructionRecord::with_data(Addr::new(0), MemRef::fetch(Addr::new(4)));
+    }
+
+    #[test]
+    fn display() {
+        let r = MemRef::load(Addr::new(0x40));
+        assert_eq!(r.to_string(), "L 0x00000040");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

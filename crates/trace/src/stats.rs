@@ -1,0 +1,236 @@
+//! Trace-stream statistics.
+//!
+//! [`TraceStats`] accumulates the counts the paper's Table 1 reports
+//! (instruction/data/total references) plus footprint measures useful when
+//! calibrating the synthetic generators against the published miss-rate
+//! anchors.
+
+use crate::addr::LineAddr;
+use crate::record::{AccessKind, InstructionRecord, MemRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Accumulated statistics over a reference stream.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::{Addr, MemRef, TraceStats};
+///
+/// let mut s = TraceStats::new(16);
+/// s.record(MemRef::fetch(Addr::new(0x100)));
+/// s.record(MemRef::load(Addr::new(0x2000)));
+/// s.record(MemRef::store(Addr::new(0x2004)));
+/// assert_eq!(s.total_refs(), 3);
+/// assert_eq!(s.data_refs(), 2);
+/// assert_eq!(s.data_footprint_lines(), 1); // both data refs share a line
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    line_bytes: u64,
+    instr_refs: u64,
+    loads: u64,
+    stores: u64,
+    instr_lines: HashSet<LineAddr>,
+    data_lines: HashSet<LineAddr>,
+}
+
+impl TraceStats {
+    /// Creates an empty accumulator using `line_bytes` for footprint
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        TraceStats { line_bytes, ..Default::default() }
+    }
+
+    /// Records one reference.
+    pub fn record(&mut self, r: MemRef) {
+        let line = r.addr.line(self.line_bytes);
+        match r.kind {
+            AccessKind::InstrFetch => {
+                self.instr_refs += 1;
+                self.instr_lines.insert(line);
+            }
+            AccessKind::Load => {
+                self.loads += 1;
+                self.data_lines.insert(line);
+            }
+            AccessKind::Store => {
+                self.stores += 1;
+                self.data_lines.insert(line);
+            }
+        }
+    }
+
+    /// Records both references of an instruction.
+    pub fn record_instruction(&mut self, rec: &InstructionRecord) {
+        self.record(MemRef::fetch(rec.fetch));
+        if let Some(d) = rec.data {
+            self.record(d);
+        }
+    }
+
+    /// Instruction fetches seen.
+    pub fn instr_refs(&self) -> u64 {
+        self.instr_refs
+    }
+
+    /// Data references seen (loads + stores).
+    pub fn data_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Loads seen.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Stores seen.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// All references seen.
+    pub fn total_refs(&self) -> u64 {
+        self.instr_refs + self.loads + self.stores
+    }
+
+    /// Unique instruction lines touched.
+    pub fn instr_footprint_lines(&self) -> u64 {
+        self.instr_lines.len() as u64
+    }
+
+    /// Unique data lines touched.
+    pub fn data_footprint_lines(&self) -> u64 {
+        self.data_lines.len() as u64
+    }
+
+    /// Unique instruction bytes touched (lines × line size).
+    pub fn instr_footprint_bytes(&self) -> u64 {
+        self.instr_footprint_lines() * self.line_bytes
+    }
+
+    /// Unique data bytes touched (lines × line size).
+    pub fn data_footprint_bytes(&self) -> u64 {
+        self.data_footprint_lines() * self.line_bytes
+    }
+
+    /// A compact serialisable summary.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            instr_refs: self.instr_refs,
+            loads: self.loads,
+            stores: self.stores,
+            instr_footprint_bytes: self.instr_footprint_bytes(),
+            data_footprint_bytes: self.data_footprint_bytes(),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs: {} instr, {} data ({} loads / {} stores); footprint: {} KB code, {} KB data",
+            self.instr_refs,
+            self.data_refs(),
+            self.loads,
+            self.stores,
+            self.instr_footprint_bytes() / 1024,
+            self.data_footprint_bytes() / 1024,
+        )
+    }
+}
+
+/// Plain-data summary of a [`TraceStats`] (serialisable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Instruction fetches.
+    pub instr_refs: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Unique instruction bytes touched.
+    pub instr_footprint_bytes: u64,
+    /// Unique data bytes touched.
+    pub data_footprint_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Total references.
+    pub fn total_refs(&self) -> u64 {
+        self.instr_refs + self.loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut s = TraceStats::new(16);
+        s.record(MemRef::fetch(Addr::new(0)));
+        s.record(MemRef::fetch(Addr::new(4)));
+        s.record(MemRef::load(Addr::new(0x100)));
+        s.record(MemRef::store(Addr::new(0x200)));
+        assert_eq!(s.instr_refs(), 2);
+        assert_eq!(s.loads(), 1);
+        assert_eq!(s.stores(), 1);
+        assert_eq!(s.data_refs(), 2);
+        assert_eq!(s.total_refs(), 4);
+    }
+
+    #[test]
+    fn footprint_counts_unique_lines() {
+        let mut s = TraceStats::new(16);
+        // Same instruction line twice, two distinct data lines.
+        s.record(MemRef::fetch(Addr::new(0x100)));
+        s.record(MemRef::fetch(Addr::new(0x104)));
+        s.record(MemRef::load(Addr::new(0x1000)));
+        s.record(MemRef::load(Addr::new(0x1010)));
+        assert_eq!(s.instr_footprint_lines(), 1);
+        assert_eq!(s.data_footprint_lines(), 2);
+        assert_eq!(s.instr_footprint_bytes(), 16);
+        assert_eq!(s.data_footprint_bytes(), 32);
+    }
+
+    #[test]
+    fn record_instruction_covers_both() {
+        let mut s = TraceStats::new(16);
+        let rec = InstructionRecord::with_data(Addr::new(0x40), MemRef::load(Addr::new(0x8000)));
+        s.record_instruction(&rec);
+        s.record_instruction(&InstructionRecord::fetch_only(Addr::new(0x44)));
+        assert_eq!(s.instr_refs(), 2);
+        assert_eq!(s.data_refs(), 1);
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let mut s = TraceStats::new(16);
+        s.record(MemRef::fetch(Addr::new(0)));
+        s.record(MemRef::store(Addr::new(0x1000)));
+        let sum = s.summary();
+        assert_eq!(sum.total_refs(), 2);
+        assert_eq!(sum.instr_footprint_bytes, 16);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::new(16);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        let _ = TraceStats::new(24);
+    }
+}

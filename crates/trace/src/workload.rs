@@ -1,0 +1,189 @@
+//! A [`Workload`] pairs an instruction source with a data source and the
+//! per-instruction reference mix, producing the [`InstructionRecord`]
+//! stream the experiment harness consumes.
+
+use crate::gen::AddrSource;
+use crate::record::{InstructionRecord, MemRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, seeded, infinite instruction stream.
+///
+/// Each produced [`InstructionRecord`] carries one instruction fetch plus
+/// — with probability `data_per_instr` — one data reference, of which a
+/// `store_fraction` are stores. The ratios for the SPEC'89-like presets
+/// come from Table 1 of the paper (see [`crate::spec`]).
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::spec::SpecBenchmark;
+///
+/// let mut w = SpecBenchmark::Li.workload();
+/// let rec = w.next_instruction();
+/// assert_eq!(rec.fetch.offset_in(4), 0);
+/// ```
+pub struct Workload {
+    name: String,
+    rng: StdRng,
+    instr: Box<dyn AddrSource>,
+    data: Box<dyn AddrSource>,
+    data_per_instr: f64,
+    store_fraction: f64,
+    instructions_emitted: u64,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("data_per_instr", &self.data_per_instr)
+            .field("store_fraction", &self.store_fraction)
+            .field("instructions_emitted", &self.instructions_emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Assembles a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_per_instr` or `store_fraction` is not in `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        instr: Box<dyn AddrSource>,
+        data: Box<dyn AddrSource>,
+        data_per_instr: f64,
+        store_fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&data_per_instr), "data_per_instr must be in [0,1]");
+        assert!((0.0..=1.0).contains(&store_fraction), "store_fraction must be in [0,1]");
+        Workload {
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            instr,
+            data,
+            data_per_instr,
+            store_fraction,
+            instructions_emitted: 0,
+        }
+    }
+
+    /// The workload's name (e.g. `"gcc1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected data references per instruction.
+    pub fn data_per_instr(&self) -> f64 {
+        self.data_per_instr
+    }
+
+    /// Instructions produced so far.
+    pub fn instructions_emitted(&self) -> u64 {
+        self.instructions_emitted
+    }
+
+    /// Produces the next instruction of the stream.
+    pub fn next_instruction(&mut self) -> InstructionRecord {
+        self.instructions_emitted += 1;
+        let fetch = self.instr.next_addr(&mut self.rng);
+        let data = if self.data_per_instr > 0.0 && self.rng.gen_bool(self.data_per_instr) {
+            let addr = self.data.next_addr(&mut self.rng);
+            Some(if self.store_fraction > 0.0 && self.rng.gen_bool(self.store_fraction) {
+                MemRef::store(addr)
+            } else {
+                MemRef::load(addr)
+            })
+        } else {
+            None
+        };
+        InstructionRecord { fetch, data }
+    }
+
+    /// Collects the next `n` instructions into a vector (convenient for
+    /// tests and trace dumps; experiments stream instead).
+    pub fn take_instructions(&mut self, n: usize) -> Vec<InstructionRecord> {
+        (0..n).map(|_| self.next_instruction()).collect()
+    }
+}
+
+impl Iterator for Workload {
+    type Item = InstructionRecord;
+
+    fn next(&mut self) -> Option<InstructionRecord> {
+        Some(self.next_instruction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, AddrRange};
+    use crate::gen::regions::{Region, RegionSet};
+    use crate::record::AccessKind;
+
+    fn tiny_workload(data_per_instr: f64, store_fraction: f64) -> Workload {
+        let instr = RegionSet::new(vec![Region::new(
+            AddrRange::new(Addr::new(0x10_0000), 4 << 10),
+            1.0,
+            8.0,
+        )]);
+        let data = RegionSet::new(vec![Region::new(
+            AddrRange::new(Addr::new(0x1000_0000), 4 << 10),
+            1.0,
+            2.0,
+        )]);
+        Workload::new("tiny", 77, Box::new(instr), Box::new(data), data_per_instr, store_fraction)
+    }
+
+    #[test]
+    fn data_ratio_matches() {
+        let mut w = tiny_workload(0.4, 0.3);
+        let n = 50_000;
+        let mut data_refs = 0u64;
+        let mut stores = 0u64;
+        for _ in 0..n {
+            let rec = w.next_instruction();
+            if let Some(d) = rec.data {
+                data_refs += 1;
+                if d.kind == AccessKind::Store {
+                    stores += 1;
+                }
+            }
+        }
+        let dpi = data_refs as f64 / n as f64;
+        assert!((dpi - 0.4).abs() < 0.02, "data per instr {dpi}");
+        let sf = stores as f64 / data_refs as f64;
+        assert!((sf - 0.3).abs() < 0.03, "store fraction {sf}");
+        assert_eq!(w.instructions_emitted(), n);
+    }
+
+    #[test]
+    fn no_data_refs_when_ratio_zero() {
+        let mut w = tiny_workload(0.0, 0.0);
+        for _ in 0..1000 {
+            assert!(w.next_instruction().data.is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || tiny_workload(0.5, 0.5).take_instructions(500);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn iterator_is_infinite() {
+        let w = tiny_workload(0.2, 0.0);
+        assert_eq!(w.take(10).count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_per_instr")]
+    fn rejects_bad_ratio() {
+        let _ = tiny_workload(1.5, 0.0);
+    }
+}

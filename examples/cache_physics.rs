@@ -1,0 +1,61 @@
+//! Cache physics explorer: the area/time tradeoff behind the study.
+//!
+//! Prints, for every cache size, the speed-optimal array organisation the
+//! Wilton–Jouppi model selects, the resulting access/cycle times, and the
+//! rbe area the Mulder model charges — the machinery behind Figures 1
+//! and 2 — then shows how associativity and dual-porting shift both.
+//!
+//! ```text
+//! cargo run --release --example cache_physics
+//! ```
+
+use two_level_cache::area::{AreaModel, CacheGeometry, CellKind};
+use two_level_cache::timing::TimingModel;
+
+fn main() {
+    let timing = TimingModel::paper();
+    let area = AreaModel::new();
+
+    println!("direct-mapped caches, single-ported cells (Figure 1's axes):\n");
+    println!(
+        "{:>6} {:>11} {:>10} {:>11} {:>9} {:>32}",
+        "size", "access(ns)", "cycle(ns)", "area(rbe)", "ovh", "speed-optimal organisation"
+    );
+    for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let g = CacheGeometry::paper(kb * 1024, 1);
+        let t = timing.optimal(&g, CellKind::SinglePorted);
+        let a = area.cache_area(&g, &t.org, CellKind::SinglePorted);
+        println!(
+            "{:>5}K {:>11.2} {:>10.2} {:>11.0} {:>8.1}% {:>32}",
+            kb,
+            t.access_ns,
+            t.cycle_ns,
+            a.total().value(),
+            a.overhead_fraction() * 100.0,
+            t.org.to_string(),
+        );
+    }
+
+    println!("\nwhat associativity costs at 64KB:\n");
+    println!("{:>6} {:>11} {:>10} {:>11}", "ways", "access(ns)", "cycle(ns)", "area(rbe)");
+    for ways in [1u32, 2, 4, 8] {
+        let g = CacheGeometry::paper(64 * 1024, ways);
+        let t = timing.optimal(&g, CellKind::SinglePorted);
+        let a = area.total_area(&g, &t.org, CellKind::SinglePorted);
+        println!("{:>6} {:>11.2} {:>10.2} {:>11.0}", ways, t.access_ns, t.cycle_ns, a.value());
+    }
+
+    println!("\nwhat dual-porting costs (8KB direct-mapped, §6):\n");
+    for cell in [CellKind::SinglePorted, CellKind::DualPorted] {
+        let g = CacheGeometry::paper(8 * 1024, 1);
+        let t = timing.optimal(&g, cell);
+        let a = area.total_area(&g, &t.org, cell);
+        println!(
+            "  {cell:<14}: access {:.2}ns, cycle {:.2}ns, area {:.0} rbe, {}x issue bandwidth",
+            t.access_ns,
+            t.cycle_ns,
+            a.value(),
+            cell.bandwidth_factor(),
+        );
+    }
+}

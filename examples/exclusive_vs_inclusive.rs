@@ -1,0 +1,103 @@
+//! Exclusive vs conventional caching, head to head.
+//!
+//! Reproduces the paper's §8 argument at the mechanism level:
+//!
+//! 1. the Figure 21 walk-through — two lines that conflict in both cache
+//!    levels end up *mutually exclusive* (both on chip), while an
+//!    L1-only conflict leaves inclusion intact;
+//! 2. a duplication audit on a real workload — the conventional
+//!    hierarchy wastes most of its L2 on lines already in the L1s, the
+//!    exclusive one does not;
+//! 3. the resulting off-chip miss reduction across L2 sizes.
+//!
+//! ```text
+//! cargo run --release --example exclusive_vs_inclusive
+//! ```
+
+use two_level_cache::cache::{
+    Associativity, CacheConfig, ConventionalTwoLevel, DuplicationReport, ExclusiveTwoLevel,
+    MemorySystem,
+};
+use two_level_cache::trace::spec::SpecBenchmark;
+
+fn main() {
+    // Part 1: the Figure 21 scenario (4-line L1, 16-line L2, both DM).
+    println!("== Figure 21: exclusion vs inclusion during swapping ==\n");
+    let l1 = CacheConfig::paper(64, Associativity::Direct).expect("valid L1");
+    let l2 = CacheConfig::paper(256, Associativity::Direct).expect("valid L2");
+
+    let mut sys = ExclusiveTwoLevel::new(l1, l2);
+    let a = two_level_cache::trace::Addr::new(0x000); // L1 line 0, L2 line 0
+    let e = two_level_cache::trace::Addr::new(0x100); // L1 line 0, L2 line 0
+    use two_level_cache::trace::MemRef;
+    for (step, addr) in
+        [("A", a), ("E", e), ("A", a), ("E", e), ("A", a)]
+    {
+        let level = sys.access(MemRef::load(addr));
+        println!(
+            "ref {step}: served by {level:?}; L1 holds A:{} E:{}, L2 holds A:{} E:{}",
+            sys.l1d().contains(a.line(16)),
+            sys.l1d().contains(e.line(16)),
+            sys.l2().contains(a.line(16)),
+            sys.l2().contains(e.line(16)),
+        );
+    }
+    println!("-> after warm-up, every reference is an on-chip swap: exclusion.\n");
+
+    // Part 2: duplication audit on gcc1.
+    println!("== duplication audit: gcc1 on 4KB L1s / 16KB 4-way L2 ==\n");
+    let l1 = CacheConfig::paper(4 * 1024, Associativity::Direct).expect("valid L1");
+    let l2 = CacheConfig::paper(16 * 1024, Associativity::SetAssoc(4)).expect("valid L2");
+    let mut conv = ConventionalTwoLevel::new(l1, l2);
+    let mut excl = ExclusiveTwoLevel::new(l1, l2);
+    let mut workload = SpecBenchmark::Gcc1.workload();
+    for _ in 0..400_000 {
+        let instr = workload.next_instruction();
+        conv.access_instruction(&instr);
+    }
+    let mut workload = SpecBenchmark::Gcc1.workload();
+    for _ in 0..400_000 {
+        let instr = workload.next_instruction();
+        excl.access_instruction(&instr);
+    }
+    let rc = DuplicationReport::measure(conv.l1i(), conv.l1d(), conv.l2());
+    let re = DuplicationReport::measure(excl.l1i(), excl.l1d(), excl.l2());
+    println!("conventional: {rc}");
+    println!("exclusive   : {re}");
+    println!(
+        "-> exclusive holds {} more unique lines on the same silicon.\n",
+        re.unique_on_chip() as i64 - rc.unique_on_chip() as i64
+    );
+    println!(
+        "off-chip misses: conventional {}, exclusive {} ({:+.1}%)",
+        conv.stats().l2_misses,
+        excl.stats().l2_misses,
+        (excl.stats().l2_misses as f64 / conv.stats().l2_misses as f64 - 1.0) * 100.0
+    );
+
+    // Part 3: the gain across L2 sizes.
+    println!("\n== off-chip misses vs L2 size (gcc1, 4KB L1s, 4-way L2) ==\n");
+    println!("{:>8} {:>14} {:>12} {:>8}", "L2", "conventional", "exclusive", "delta");
+    for l2_kb in [8u64, 16, 32, 64, 128] {
+        let l2 = CacheConfig::paper(l2_kb * 1024, Associativity::SetAssoc(4)).expect("valid");
+        let mut conv = ConventionalTwoLevel::new(l1, l2);
+        let mut excl = ExclusiveTwoLevel::new(l1, l2);
+        let mut workload = SpecBenchmark::Gcc1.workload();
+        for _ in 0..300_000 {
+            let instr = workload.next_instruction();
+            conv.access_instruction(&instr);
+        }
+        let mut workload = SpecBenchmark::Gcc1.workload();
+        for _ in 0..300_000 {
+            let instr = workload.next_instruction();
+            excl.access_instruction(&instr);
+        }
+        println!(
+            "{:>7}K {:>14} {:>12} {:>7.1}%",
+            l2_kb,
+            conv.stats().l2_misses,
+            excl.stats().l2_misses,
+            (excl.stats().l2_misses as f64 / conv.stats().l2_misses as f64 - 1.0) * 100.0
+        );
+    }
+}

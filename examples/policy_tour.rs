@@ -1,0 +1,100 @@
+//! A guided tour of every cache organisation in the library, run on one
+//! workload with identical geometry so the policies are directly
+//! comparable.
+//!
+//! ```text
+//! cargo run --release --example policy_tour [-- <workload>]
+//! ```
+
+use two_level_cache::cache::{
+    Associativity, CacheConfig, ConventionalTwoLevel, DuplicationReport, ExclusiveTwoLevel,
+    InclusiveTwoLevel, MemorySystem, SingleLevel, StreamBufferSystem, VictimCacheSystem,
+};
+use two_level_cache::trace::spec::SpecBenchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc1".to_string());
+    let Some(benchmark) = SpecBenchmark::from_name(&name) else {
+        eprintln!(
+            "unknown workload {name:?}; choose one of: {}",
+            SpecBenchmark::ALL.map(|b| b.name()).join(" ")
+        );
+        std::process::exit(2);
+    };
+
+    let l1 = CacheConfig::paper(4 * 1024, Associativity::Direct).expect("valid L1");
+    let l2 = CacheConfig::paper(32 * 1024, Associativity::SetAssoc(4)).expect("valid L2");
+    const N: u64 = 400_000;
+
+    println!(
+        "workload {benchmark}, {N} instructions; 4KB direct-mapped L1 pair; 32KB 4-way L2 where applicable\n"
+    );
+    println!(
+        "{:<58} {:>9} {:>9} {:>10} {:>8}",
+        "organisation", "L1 miss", "L2 local", "off-chip", "dup"
+    );
+
+    let mut systems: Vec<Box<dyn MemorySystem>> = vec![
+        Box::new(SingleLevel::new(l1)),
+        Box::new(VictimCacheSystem::new(l1, 8).expect("valid buffer")),
+        Box::new(StreamBufferSystem::new(l1, 8, 4)),
+        Box::new(InclusiveTwoLevel::new(l1, l2)),
+        Box::new(ConventionalTwoLevel::new(l1, l2)),
+        Box::new(ExclusiveTwoLevel::new(l1, l2)),
+    ];
+    for sys in &mut systems {
+        let mut w = benchmark.workload();
+        for _ in 0..N {
+            let rec = w.next_instruction();
+            sys.access_instruction(&rec);
+        }
+        let s = sys.stats();
+        println!(
+            "{:<58} {:>9.4} {:>9.4} {:>10} {:>8}",
+            sys.describe(),
+            s.l1_miss_rate(),
+            s.l2_local_miss_rate(),
+            s.l2_misses,
+            "-",
+        );
+    }
+
+    // Duplication comparison for the three true two-level policies.
+    println!("\non-chip content overlap after the run:");
+    let mut conv = ConventionalTwoLevel::new(l1, l2);
+    let mut excl = ExclusiveTwoLevel::new(l1, l2);
+    let mut incl = InclusiveTwoLevel::new(l1, l2);
+    for (label, report) in [
+        ("inclusive", {
+            let mut w = benchmark.workload();
+            for _ in 0..N {
+                let rec = w.next_instruction();
+                incl.access_instruction(&rec);
+            }
+            DuplicationReport::measure(incl.l1i(), incl.l1d(), incl.l2())
+        }),
+        ("conventional", {
+            let mut w = benchmark.workload();
+            for _ in 0..N {
+                let rec = w.next_instruction();
+                conv.access_instruction(&rec);
+            }
+            DuplicationReport::measure(conv.l1i(), conv.l1d(), conv.l2())
+        }),
+        ("exclusive", {
+            let mut w = benchmark.workload();
+            for _ in 0..N {
+                let rec = w.next_instruction();
+                excl.access_instruction(&rec);
+            }
+            DuplicationReport::measure(excl.l1i(), excl.l1d(), excl.l2())
+        }),
+    ] {
+        println!("  {label:<14} {report}");
+    }
+    println!(
+        "\nThe §8 story in one table: inclusion duplicates everything, the conventional\n\
+         policy duplicates whatever demand flow happens to copy, and exclusion holds\n\
+         the most unique lines — which is why it misses least."
+    );
+}

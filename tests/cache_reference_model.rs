@@ -1,0 +1,188 @@
+//! Differential testing: the production [`Cache`] against a naive,
+//! obviously-correct reference model, over random access/fill/extract
+//! sequences and all deterministic replacement policies.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use two_level_cache::cache::{Associativity, Cache, CacheConfig, ReplacementKind};
+use two_level_cache::trace::LineAddr;
+
+/// Naive set-associative cache: per set, a recency/insertion-ordered list
+/// of (line, dirty). O(ways) per operation, trivially correct.
+struct NaiveCache {
+    sets: Vec<VecDeque<(u64, bool)>>,
+    ways: usize,
+    num_sets: u64,
+    lru: bool,
+}
+
+impl NaiveCache {
+    fn new(num_sets: u64, ways: usize, lru: bool) -> Self {
+        NaiveCache { sets: (0..num_sets).map(|_| VecDeque::new()).collect(), ways, num_sets, lru }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.num_sets) as usize
+    }
+
+    /// Access: returns hit; on hit refreshes recency (LRU only) and
+    /// merges the dirty bit.
+    fn access(&mut self, line: u64, write: bool) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set[pos];
+            set[pos] = (l, d | write);
+            if self.lru {
+                let e = set.remove(pos).expect("present");
+                set.push_back(e); // back = most recent
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fill: inserts; evicts front (least recent / oldest) if full.
+    /// Returns the evicted (line, dirty).
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let s = self.set_of(line);
+        let ways = self.ways;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set[pos];
+            set[pos] = (l, d | dirty);
+            if self.lru {
+                let e = set.remove(pos).expect("present");
+                set.push_back(e);
+            }
+            return None;
+        }
+        let evicted = if set.len() >= ways { set.pop_front() } else { None };
+        set.push_back((line, dirty));
+        evicted
+    }
+
+    fn extract(&mut self, line: u64) -> Option<bool> {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        let pos = set.iter().position(|&(l, _)| l == line)?;
+        Some(set.remove(pos).expect("present").1)
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].iter().any(|&(l, _)| l == line)
+    }
+
+    fn resident(&self) -> u64 {
+        self.sets.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+/// Operations the fuzzer drives.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { line: u64, write: bool },
+    AccessThenFillOnMiss { line: u64, write: bool },
+    Extract { line: u64 },
+}
+
+fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
+    (0..max_line, any::<bool>(), 0u8..3).prop_map(|(line, write, kind)| match kind {
+        0 => Op::Access { line, write },
+        1 => Op::AccessThenFillOnMiss { line, write },
+        _ => Op::Extract { line },
+    })
+}
+
+fn run_differential(
+    ops: &[Op],
+    lines: u64,
+    ways: u32,
+    repl: ReplacementKind,
+) -> Result<(), TestCaseError> {
+    let assoc = if ways == 1 {
+        Associativity::Direct
+    } else if ways as u64 == lines {
+        Associativity::Full
+    } else {
+        Associativity::SetAssoc(ways)
+    };
+    let cfg = CacheConfig::new(lines * 16, 16, assoc, repl).expect("valid config");
+    let mut cache = Cache::new(cfg);
+    let mut naive = NaiveCache::new(lines / ways as u64, ways as usize, repl == ReplacementKind::Lru);
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Access { line, write } => {
+                let h1 = cache.access(LineAddr(line), write);
+                let h2 = naive.access(line, write);
+                prop_assert_eq!(h1, h2, "op {}: access({}) hit mismatch", i, line);
+            }
+            Op::AccessThenFillOnMiss { line, write } => {
+                let h1 = cache.access(LineAddr(line), write);
+                let h2 = naive.access(line, write);
+                prop_assert_eq!(h1, h2, "op {}: access({}) hit mismatch", i, line);
+                if !h1 {
+                    let e1 = cache.fill(LineAddr(line), write);
+                    let e2 = naive.fill(line, write);
+                    prop_assert_eq!(
+                        e1.map(|e| (e.line.0, e.dirty)),
+                        e2,
+                        "op {}: fill({}) eviction mismatch",
+                        i,
+                        line
+                    );
+                }
+            }
+            Op::Extract { line } => {
+                let x1 = cache.extract(LineAddr(line)).map(|(d, _)| d);
+                let x2 = naive.extract(line);
+                prop_assert_eq!(x1, x2, "op {}: extract({}) mismatch", i, line);
+            }
+        }
+        prop_assert_eq!(cache.contains(LineAddr(ops[0].line_of())), naive.contains(ops[0].line_of()));
+    }
+    prop_assert_eq!(cache.resident_lines(), naive.resident());
+    Ok(())
+}
+
+impl Op {
+    fn line_of(&self) -> u64 {
+        match *self {
+            Op::Access { line, .. }
+            | Op::AccessThenFillOnMiss { line, .. }
+            | Op::Extract { line } => line,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lru_matches_reference_direct_mapped(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        run_differential(&ops, 16, 1, ReplacementKind::Lru)?;
+    }
+
+    #[test]
+    fn lru_matches_reference_4way(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        run_differential(&ops, 16, 4, ReplacementKind::Lru)?;
+    }
+
+    #[test]
+    fn lru_matches_reference_fully_assoc(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        run_differential(&ops, 16, 16, ReplacementKind::Lru)?;
+    }
+
+    #[test]
+    fn fifo_matches_reference_2way(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        run_differential(&ops, 16, 2, ReplacementKind::Fifo)?;
+    }
+
+    #[test]
+    fn fifo_matches_reference_8way(ops in prop::collection::vec(op_strategy(128), 1..400)) {
+        run_differential(&ops, 32, 8, ReplacementKind::Fifo)?;
+    }
+}

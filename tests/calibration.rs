@@ -1,0 +1,120 @@
+//! Calibration anchors: the synthetic workloads must reproduce the
+//! miss-rate facts the paper states about its SPEC'89 traces (see
+//! DESIGN.md §2 for the substitution argument these tests guard).
+
+use two_level_cache::cache::{Associativity, CacheConfig, MemorySystem, SingleLevel};
+use two_level_cache::trace::spec::SpecBenchmark;
+
+/// Overall L1 miss rate (per reference) of `benchmark` on split
+/// direct-mapped caches of `kb` KB each.
+fn miss_rate(benchmark: SpecBenchmark, kb: u64, instructions: u64) -> f64 {
+    let mut sys =
+        SingleLevel::new(CacheConfig::paper(kb * 1024, Associativity::Direct).expect("valid"));
+    let mut w = benchmark.workload();
+    // Warm up one fifth of the run.
+    for _ in 0..instructions / 5 {
+        let i = w.next_instruction();
+        sys.access_instruction(&i);
+    }
+    sys.reset_stats();
+    for _ in 0..instructions {
+        let i = w.next_instruction();
+        sys.access_instruction(&i);
+    }
+    sys.stats().l1_miss_rate()
+}
+
+const N: u64 = 400_000;
+
+#[test]
+fn espresso_low_miss_rate_at_32kb() {
+    // Paper §3: espresso 0.0100 at 32KB.
+    let m = miss_rate(SpecBenchmark::Espresso, 32, N);
+    assert!((0.005..0.020).contains(&m), "espresso @32KB: {m} (paper 0.0100)");
+}
+
+#[test]
+fn eqntott_low_miss_rate_at_32kb() {
+    // Paper §3: eqntott 0.0149 at 32KB.
+    let m = miss_rate(SpecBenchmark::Eqntott, 32, N);
+    assert!((0.004..0.025).contains(&m), "eqntott @32KB: {m} (paper 0.0149)");
+}
+
+#[test]
+fn tomcatv_high_and_flat() {
+    // Paper §3: tomcatv 0.109 at 32KB, "the miss rate does not drop
+    // appreciably as the cache size is increased" — while its Figure 8/20
+    // envelopes still carry 16:64-style configurations, i.e. a residual
+    // streaming component that only a couple of hundred KB captures. We
+    // require a high 32KB rate, a still-high 128KB rate, and a far
+    // smaller relative drop than fpppp's knee.
+    let m32 = miss_rate(SpecBenchmark::Tomcatv, 32, N);
+    assert!((0.08..0.16).contains(&m32), "tomcatv @32KB: {m32} (paper 0.109)");
+    let m128 = miss_rate(SpecBenchmark::Tomcatv, 128, N);
+    assert!(
+        m128 > 0.6 * m32 && m128 > 0.06,
+        "tomcatv must stay comparatively flat: 32KB {m32} vs 128KB {m128}"
+    );
+}
+
+#[test]
+fn miss_rates_decrease_with_cache_size() {
+    for b in SpecBenchmark::ALL {
+        let small = miss_rate(b, 2, N / 2);
+        let large = miss_rate(b, 64, N / 2);
+        assert!(
+            large < small,
+            "{b}: miss rate must fall with size (2KB {small}, 64KB {large})"
+        );
+    }
+}
+
+#[test]
+fn fpppp_has_huge_instruction_footprint() {
+    // fpppp is famous for instruction working sets beyond 100KB: its miss
+    // rate collapses only once the caches reach 32KB+.
+    let m8 = miss_rate(SpecBenchmark::Fpppp, 8, N / 2);
+    let m64 = miss_rate(SpecBenchmark::Fpppp, 64, N / 2);
+    assert!(m8 > 0.15, "fpppp @8KB should still thrash: {m8}");
+    assert!(m64 < 0.07, "fpppp @64KB should mostly fit: {m64}");
+    assert!(m8 / m64 > 3.0, "fpppp needs a sharp knee: {m8} -> {m64}");
+}
+
+#[test]
+fn workload_mix_matches_table1() {
+    // The instruction/data reference mix must match Table 1 within Monte
+    // Carlo noise.
+    for b in SpecBenchmark::ALL {
+        let mut w = b.workload();
+        let n = 60_000;
+        let data = (0..n).filter(|_| w.next_instruction().data.is_some()).count();
+        let observed = data as f64 / n as f64;
+        let expected = b.data_per_instr();
+        assert!(
+            (observed - expected).abs() < 0.015,
+            "{b}: data/instr {observed:.4} vs Table 1 {expected:.4}"
+        );
+    }
+}
+
+#[test]
+fn single_level_minimum_is_interior() {
+    // §3: "All seven workloads exhibit a minimum TPI between 8KB and
+    // 128KB." Verified at the TPI level by the envelope tests; here we
+    // check the raw mechanism: the miss-rate knee is sharp enough that
+    // 256KB never wins once cycle time is charged. We approximate by
+    // asserting diminishing returns: the 128KB→256KB miss-rate gain is
+    // small relative to the 8KB→16KB gain.
+    for b in [SpecBenchmark::Gcc1, SpecBenchmark::Espresso, SpecBenchmark::Li] {
+        let m8 = miss_rate(b, 8, N / 2);
+        let m16 = miss_rate(b, 16, N / 2);
+        let m128 = miss_rate(b, 128, N / 2);
+        let m256 = miss_rate(b, 256, N / 2);
+        let early_gain = m8 - m16;
+        let late_gain = m128 - m256;
+        assert!(
+            late_gain < early_gain,
+            "{b}: diminishing returns violated ({early_gain:.4} vs {late_gain:.4})"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end reproduction of the paper's Figure 21 and the §8 capacity
+//! claims, driven through the public facade API.
+
+use two_level_cache::cache::{
+    Associativity, CacheConfig, ConventionalTwoLevel, DuplicationReport, ExclusiveTwoLevel,
+    MemorySystem, ServiceLevel,
+};
+use two_level_cache::trace::{Addr, MemRef};
+
+/// Figure 21 geometry: 4-line L1 caches, 16-line L2, direct-mapped,
+/// 16-byte lines.
+fn fig21_system() -> ExclusiveTwoLevel {
+    ExclusiveTwoLevel::new(
+        CacheConfig::paper(64, Associativity::Direct).expect("valid L1"),
+        CacheConfig::paper(256, Associativity::Direct).expect("valid L2"),
+    )
+}
+
+#[test]
+fn fig21a_both_level_conflict_resolves_to_exclusion() {
+    let mut sys = fig21_system();
+    let a = Addr::new(0x000);
+    let e = Addr::new(0x100); // same L1 line, same L2 line as A
+    sys.access(MemRef::load(a));
+    sys.access(MemRef::load(e));
+    // "If references to A and E alternate, they will repeatedly exchange
+    // places. Thus, each line would exist in exactly one level of the
+    // hierarchy."
+    for round in 0..10 {
+        for addr in [a, e] {
+            assert_eq!(
+                sys.access(MemRef::load(addr)),
+                ServiceLevel::L2,
+                "round {round}: conflict pair should swap on-chip"
+            );
+            let (la, le) = (a.line(16), e.line(16));
+            assert!(
+                sys.l1d().contains(la) ^ sys.l2().contains(la),
+                "A must live in exactly one level"
+            );
+            assert!(
+                sys.l1d().contains(le) ^ sys.l2().contains(le),
+                "E must live in exactly one level"
+            );
+        }
+    }
+    assert_eq!(sys.stats().l2_misses, 2, "only the two compulsory misses go off-chip");
+}
+
+#[test]
+fn fig21b_l1_only_conflict_keeps_inclusion() {
+    let mut sys = fig21_system();
+    let a = Addr::new(0x000); // L2 line 0
+    let b = Addr::new(0x040); // same L1 line as A, L2 line 4
+    sys.access(MemRef::load(a));
+    sys.access(MemRef::load(b));
+    sys.access(MemRef::load(a));
+    // "If a conflict occurs only in the first-level cache, however,
+    // exclusion will not result."
+    assert!(sys.l1d().contains(a.line(16)));
+    assert!(sys.l2().contains(a.line(16)), "A keeps its L2 copy (inclusion)");
+    assert!(sys.l2().contains(b.line(16)), "victim B goes to its own L2 line");
+}
+
+#[test]
+fn fig21b_second_pair_c_d_also_inclusive() {
+    // The paper's panel (b) also mentions references to C and D staying
+    // inclusive; use two more lines that share an L1 set but not an L2
+    // set.
+    let mut sys = fig21_system();
+    let c = Addr::new(0x010); // L1 line 1, L2 line 1
+    let d = Addr::new(0x050); // L1 line 1, L2 line 5
+    sys.access(MemRef::load(c));
+    sys.access(MemRef::load(d));
+    sys.access(MemRef::load(c));
+    sys.access(MemRef::load(d));
+    assert!(sys.l2().contains(c.line(16)) || sys.l1d().contains(c.line(16)));
+    assert!(sys.l2().contains(d.line(16)) && sys.l1d().contains(d.line(16)));
+}
+
+#[test]
+fn capacity_reaches_2x_plus_y_in_limiting_case() {
+    // §8: "In the limiting case with the number of L2 sets equal to the
+    // number of lines in the L1 cache, exactly 2x+y unique lines will
+    // always be held on-chip." Build that geometry for the data side:
+    // L1 = 64 lines (1KB), L2 direct-mapped with 64 sets (1KB).
+    let mut sys = ExclusiveTwoLevel::new(
+        CacheConfig::paper(1024, Associativity::Direct).expect("valid"),
+        CacheConfig::paper(1024, Associativity::Direct).expect("valid"),
+    );
+    // Touch far more distinct data lines than fit, repeatedly.
+    for pass in 0..6u64 {
+        for i in 0..4096u64 {
+            sys.access(MemRef::load(Addr::new(((i * 37 + pass) % 4096) * 16)));
+        }
+    }
+    let report = DuplicationReport::measure(sys.l1i(), sys.l1d(), sys.l2());
+    // Data side: x = 64, y = 64 → up to x + y = 128 unique data lines
+    // (the instruction L1 is idle here). Everything resident must be
+    // unique (strict exclusion) and the structure full.
+    assert_eq!(report.duplicated, 0, "limiting case must be strictly exclusive: {report}");
+    assert_eq!(report.l1d_lines, 64);
+    assert_eq!(report.l2_lines, 64);
+}
+
+#[test]
+fn exclusive_never_loses_to_conventional_on_conflict_storms() {
+    // Sweep alternating conflict pairs at several geometries; the
+    // exclusive policy must never go off-chip more often.
+    for (l1_bytes, l2_bytes) in [(64u64, 256u64), (128, 512), (256, 1024)] {
+        let l1 = CacheConfig::paper(l1_bytes, Associativity::Direct).expect("valid");
+        let l2 = CacheConfig::paper(l2_bytes, Associativity::Direct).expect("valid");
+        let mut excl = ExclusiveTwoLevel::new(l1, l2);
+        let mut conv = ConventionalTwoLevel::new(l1, l2);
+        for i in 0..2000u64 {
+            // Two addresses conflicting in both levels.
+            let addr = Addr::new((i % 2) * l2_bytes);
+            excl.access(MemRef::load(addr));
+            conv.access(MemRef::load(addr));
+        }
+        assert!(
+            excl.stats().l2_misses <= conv.stats().l2_misses,
+            "{l1_bytes}/{l2_bytes}: exclusive {} vs conventional {}",
+            excl.stats().l2_misses,
+            conv.stats().l2_misses
+        );
+        assert_eq!(excl.stats().l2_misses, 2, "{l1_bytes}/{l2_bytes}: storm should stay on-chip");
+    }
+}

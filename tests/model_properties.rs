@@ -1,0 +1,103 @@
+//! Property-based tests of the analytical models (timing, area,
+//! envelope): structural invariants that must hold for every geometry.
+
+use proptest::prelude::*;
+use two_level_cache::area::{AreaModel, ArrayOrg, CacheGeometry, CellKind};
+use two_level_cache::study::envelope::{best_envelope, envelope_at};
+use two_level_cache::timing::TimingModel;
+
+/// Strategy over the paper's cache geometries.
+fn geometry() -> impl Strategy<Value = CacheGeometry> {
+    (10u32..19, prop::sample::select(vec![1u32, 2, 4, 8]))
+        .prop_filter_map("cache must hold >= ways lines", |(log_size, ways)| {
+            let size = 1u64 << log_size;
+            if size / 16 >= ways as u64 {
+                Some(CacheGeometry::paper(size, ways))
+            } else {
+                None
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycle_time_exceeds_access_time(geom in geometry()) {
+        let m = TimingModel::paper();
+        for cell in [CellKind::SinglePorted, CellKind::DualPorted] {
+            let t = m.optimal(&geom, cell);
+            prop_assert!(t.cycle_ns > t.access_ns, "{geom}: cycle {} <= access {}", t.cycle_ns, t.access_ns);
+            prop_assert!(t.access_ns > 0.5 && t.cycle_ns < 20.0, "{geom}: implausible times");
+        }
+    }
+
+    #[test]
+    fn optimal_org_is_no_worse_than_unit(geom in geometry()) {
+        let m = TimingModel::paper();
+        let best = m.optimal(&geom, CellKind::SinglePorted).cycle_ns;
+        let unit = m.analyze(&geom, &ArrayOrg::UNIT, CellKind::SinglePorted).cycle_ns();
+        prop_assert!(best <= unit + 1e-9, "{geom}: search {best} worse than unit {unit}");
+    }
+
+    #[test]
+    fn doubling_size_never_shrinks_optimal_cycle(
+        log_size in 10u32..18,
+        ways in prop::sample::select(vec![1u32, 4]),
+    ) {
+        let m = TimingModel::paper();
+        let small = CacheGeometry::paper(1 << log_size, ways);
+        let large = CacheGeometry::paper(1 << (log_size + 1), ways);
+        let ts = m.optimal(&small, CellKind::SinglePorted).cycle_ns;
+        let tl = m.optimal(&large, CellKind::SinglePorted).cycle_ns;
+        prop_assert!(tl >= ts - 1e-9, "{small} {ts} -> {large} {tl}");
+    }
+
+    #[test]
+    fn area_positive_and_core_dominated_for_large_caches(geom in geometry()) {
+        let m = TimingModel::paper();
+        let a = AreaModel::new();
+        let org = m.optimal(&geom, CellKind::SinglePorted).org;
+        let b = a.cache_area(&geom, &org, CellKind::SinglePorted);
+        prop_assert!(b.total().value() > 0.0);
+        prop_assert!(b.overhead_fraction() < 0.9, "{geom}: overhead {:.2}", b.overhead_fraction());
+        // Core alone lower-bounds the total.
+        let core = geom.data_bits() as f64 * 0.6;
+        prop_assert!(b.total().value() >= core, "{geom}: total below data core");
+    }
+
+    #[test]
+    fn dual_porting_exactly_doubles_area_at_fixed_org(geom in geometry()) {
+        let a = AreaModel::new();
+        let org = ArrayOrg::UNIT;
+        let s = a.total_area(&geom, &org, CellKind::SinglePorted).value();
+        let d = a.total_area(&geom, &org, CellKind::DualPorted).value();
+        prop_assert!((d / s - 2.0).abs() < 1e-9, "{geom}: ratio {}", d / s);
+    }
+
+    #[test]
+    fn envelope_is_strictly_decreasing_staircase(
+        points in prop::collection::vec((1.0f64..1e7, 1.0f64..100.0), 0..60),
+    ) {
+        let env = best_envelope(&points);
+        for w in env.windows(2) {
+            prop_assert!(w[0].area < w[1].area);
+            prop_assert!(w[0].tpi > w[1].tpi);
+        }
+        // Every input point is dominated by (or on) the envelope.
+        for &(area, tpi) in &points {
+            let e = envelope_at(&env, area).expect("a point exists at or below its own area");
+            prop_assert!(e <= tpi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn envelope_contains_global_minimum(
+        points in prop::collection::vec((1.0f64..1e7, 1.0f64..100.0), 1..60),
+    ) {
+        let env = best_envelope(&points);
+        let min_tpi = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let last = env.last().expect("nonempty input gives nonempty envelope");
+        prop_assert!((last.tpi - min_tpi).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the trace substrate: serialisation
+//! round-trips, workload determinism, and statistics consistency.
+
+use proptest::prelude::*;
+use two_level_cache::trace::io::{
+    read_binary_trace, read_text_trace, write_text_trace, BinaryTraceWriter,
+};
+use two_level_cache::trace::spec::SpecBenchmark;
+use two_level_cache::trace::{AccessKind, Addr, MemRef, TraceStats};
+
+fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec((any::<u64>(), 0u8..3), 0..len).prop_map(|v| {
+        v.into_iter()
+            .map(|(addr, kind)| MemRef {
+                addr: Addr::new(addr),
+                kind: match kind {
+                    0 => AccessKind::InstrFetch,
+                    1 => AccessKind::Load,
+                    _ => AccessKind::Store,
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_roundtrip(refs in arbitrary_refs(200)) {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::new(&mut buf).expect("write header");
+        for r in &refs {
+            w.write(*r).expect("write record");
+        }
+        prop_assert_eq!(w.written() as usize, refs.len());
+        w.into_inner().expect("flush");
+        let back = read_binary_trace(&buf[..]).expect("read back");
+        prop_assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn text_roundtrip(refs in arbitrary_refs(200)) {
+        let mut buf = Vec::new();
+        write_text_trace(&mut buf, &refs).expect("write");
+        let back = read_text_trace(&buf[..]).expect("read");
+        prop_assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn stats_count_every_reference(refs in arbitrary_refs(300)) {
+        let mut stats = TraceStats::new(16);
+        for r in &refs {
+            stats.record(*r);
+        }
+        prop_assert_eq!(stats.total_refs() as usize, refs.len());
+        let fetches = refs.iter().filter(|r| r.kind == AccessKind::InstrFetch).count();
+        prop_assert_eq!(stats.instr_refs() as usize, fetches);
+        // Footprints cannot exceed reference counts.
+        prop_assert!(stats.instr_footprint_lines() <= stats.instr_refs());
+        prop_assert!(stats.data_footprint_lines() <= stats.data_refs());
+    }
+}
+
+#[test]
+fn workloads_are_deterministic_and_infinite() {
+    for b in SpecBenchmark::ALL {
+        let a: Vec<_> = b.workload().take_instructions(2_000);
+        let c: Vec<_> = b.workload().take_instructions(2_000);
+        assert_eq!(a, c, "{b}: same seed must give identical streams");
+    }
+}
+
+#[test]
+fn workload_streams_are_distinct_across_benchmarks() {
+    // Different benchmarks must not accidentally share streams.
+    let streams: Vec<Vec<_>> = SpecBenchmark::ALL
+        .iter()
+        .map(|b| b.workload().take_instructions(200))
+        .collect();
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            assert_ne!(
+                streams[i], streams[j],
+                "{} and {} produced identical streams",
+                SpecBenchmark::ALL[i],
+                SpecBenchmark::ALL[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_trace_survives_binary_format() {
+    // Full pipeline: generate → serialise → parse → identical stats.
+    let mut w = SpecBenchmark::Doduc.workload();
+    let mut refs = Vec::new();
+    for _ in 0..5_000 {
+        let i = w.next_instruction();
+        refs.extend(i.refs());
+    }
+    let mut buf = Vec::new();
+    let mut writer = BinaryTraceWriter::new(&mut buf).expect("header");
+    for r in &refs {
+        writer.write(*r).expect("record");
+    }
+    writer.into_inner().expect("flush");
+    let back = read_binary_trace(&buf[..]).expect("read");
+    assert_eq!(back, refs);
+
+    let mut s1 = TraceStats::new(16);
+    let mut s2 = TraceStats::new(16);
+    refs.iter().for_each(|r| s1.record(*r));
+    back.iter().for_each(|r| s2.record(*r));
+    assert_eq!(s1.summary(), s2.summary());
+}
