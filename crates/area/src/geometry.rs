@@ -139,10 +139,7 @@ impl ArrayOrg {
     /// `C / (B · A · Ndbl · Nspd)`.
     pub fn data_rows(&self, geom: &CacheGeometry) -> f64 {
         geom.size_bytes as f64
-            / (geom.line_bytes as f64
-                * geom.ways as f64
-                * self.ndbl as f64
-                * self.nspd as f64)
+            / (geom.line_bytes as f64 * geom.ways as f64 * self.ndbl as f64 * self.nspd as f64)
     }
 
     /// Columns (bitline pairs) per data subarray:
@@ -158,9 +155,7 @@ impl ArrayOrg {
 
     /// Columns per tag subarray.
     pub fn tag_cols(&self, geom: &CacheGeometry) -> f64 {
-        (geom.tag_bits() + geom.status_bits()) as f64
-            * geom.ways as f64
-            * self.ntspd as f64
+        (geom.tag_bits() + geom.status_bits()) as f64 * geom.ways as f64 * self.ntspd as f64
             / self.ntwl as f64
     }
 
@@ -286,7 +281,7 @@ mod tests {
     #[test]
     fn invalid_orgs_detected() {
         let g = CacheGeometry::paper(1024, 1); // 64 sets, 128 data cols
-        // Splitting bitlines 128× leaves <1 row per subarray.
+                                               // Splitting bitlines 128× leaves <1 row per subarray.
         let too_split = ArrayOrg { ndbl: 128, ..ArrayOrg::UNIT };
         assert!(!too_split.is_valid_for(&g));
         let non_pow2 = ArrayOrg { ndwl: 3, ..ArrayOrg::UNIT };

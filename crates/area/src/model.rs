@@ -97,8 +97,7 @@ impl AreaBreakdown {
 
     /// Periphery as a fraction of total area.
     pub fn overhead_fraction(&self) -> f64 {
-        let periphery =
-            self.data_periphery + self.tag_periphery + self.comparators + self.drivers;
+        let periphery = self.data_periphery + self.tag_periphery + self.comparators + self.drivers;
         periphery / self.total()
     }
 }
@@ -277,7 +276,11 @@ mod tests {
         // of the difference is organisation-dependent; the paper's claim
         // is only that the difference is insignificant.
         let growth = a_sa / a_dm - 1.0;
-        assert!(growth.abs() < 0.05, "4-way area should differ <5%, differs {:.2}%", growth * 100.0);
+        assert!(
+            growth.abs() < 0.05,
+            "4-way area should differ <5%, differs {:.2}%",
+            growth * 100.0
+        );
         // The comparator term itself is positive and tiny.
         let b_sa = m.cache_area(&sa, &ArrayOrg::UNIT, CellKind::SinglePorted);
         assert!(b_sa.comparators.value() > 0.0);
@@ -300,10 +303,10 @@ mod tests {
         let m = model();
         let small = CacheGeometry::paper(1024, 1);
         let large = CacheGeometry::paper(256 * 1024, 1);
-        let o_small = m.cache_area(&small, &ArrayOrg::UNIT, CellKind::SinglePorted)
-            .overhead_fraction();
-        let o_large = m.cache_area(&large, &ArrayOrg::UNIT, CellKind::SinglePorted)
-            .overhead_fraction();
+        let o_small =
+            m.cache_area(&small, &ArrayOrg::UNIT, CellKind::SinglePorted).overhead_fraction();
+        let o_large =
+            m.cache_area(&large, &ArrayOrg::UNIT, CellKind::SinglePorted).overhead_fraction();
         assert!(o_small > 2.0 * o_large, "small {o_small:.3} vs large {o_large:.3}");
         assert!(o_small > 0.1, "1KB cache should pay >10% overhead, pays {o_small:.3}");
         assert!(o_large < 0.15, "256KB cache should pay <15% overhead, pays {o_large:.3}");

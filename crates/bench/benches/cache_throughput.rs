@@ -3,9 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tlc_cache::{
-    Associativity, Cache, CacheConfig, ConventionalTwoLevel, ExclusiveTwoLevel,
-    InclusiveTwoLevel, MemorySystem, SingleLevel, StackDistanceProfiler, StreamBufferSystem,
-    VictimCacheSystem,
+    Associativity, Cache, CacheConfig, ConventionalTwoLevel, ExclusiveTwoLevel, InclusiveTwoLevel,
+    MemorySystem, SingleLevel, StackDistanceProfiler, StreamBufferSystem, VictimCacheSystem,
 };
 use tlc_trace::{Addr, LineAddr, MemRef};
 
@@ -26,14 +25,12 @@ fn bench_bare_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("bare_cache");
     let addrs = addresses(10_000, 1 << 20);
     group.throughput(Throughput::Elements(addrs.len() as u64));
-    for (name, assoc) in [
-        ("direct_mapped_32k", Associativity::Direct),
-        ("4way_32k", Associativity::SetAssoc(4)),
-    ] {
+    for (name, assoc) in
+        [("direct_mapped_32k", Associativity::Direct), ("4way_32k", Associativity::SetAssoc(4))]
+    {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let mut cache =
-                    Cache::new(CacheConfig::paper(32 * 1024, assoc).expect("valid"));
+                let mut cache = Cache::new(CacheConfig::paper(32 * 1024, assoc).expect("valid"));
                 let mut hits = 0u64;
                 for &a in &addrs {
                     let line = LineAddr(a >> 4);
@@ -64,9 +61,7 @@ fn bench_hierarchies(c: &mut Criterion) {
         sys.stats().l2_misses
     };
 
-    group.bench_function("single_level", |b| {
-        b.iter(|| run(&mut SingleLevel::new(l1), &addrs))
-    });
+    group.bench_function("single_level", |b| b.iter(|| run(&mut SingleLevel::new(l1), &addrs)));
     group.bench_function("conventional_two_level", |b| {
         b.iter(|| run(&mut ConventionalTwoLevel::new(l1, l2), &addrs))
     });

@@ -17,10 +17,7 @@ fn bench_evaluate(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate_30k_instructions");
     let cases = [
         ("single_level_32k", MachineConfig::single_level(32, 50.0)),
-        (
-            "conventional_8k_64k",
-            MachineConfig::two_level(8, 64, 4, L2Policy::Conventional, 50.0),
-        ),
+        ("conventional_8k_64k", MachineConfig::two_level(8, 64, 4, L2Policy::Conventional, 50.0)),
         ("exclusive_8k_64k", MachineConfig::two_level(8, 64, 4, L2Policy::Exclusive, 50.0)),
     ];
     for (name, cfg) in cases {

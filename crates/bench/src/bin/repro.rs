@@ -9,11 +9,12 @@
 //! ```
 
 use tlc_bench::figures::{run, ALL_IDS};
+use tlc_bench::sweepbench::{sweep_benchmark_json, SweepBenchConfig};
 use tlc_bench::Harness;
 use tlc_core::configspace::{full_space, SpaceOptions};
-use tlc_core::experiment::SimBudget;
+use tlc_core::experiment::{capture_benchmark, SimBudget};
 use tlc_core::report::points_csv;
-use tlc_core::runner::sweep_threads;
+use tlc_core::runner::sweep_arena_threads;
 use tlc_core::L2Policy;
 use tlc_trace::spec::SpecBenchmark;
 
@@ -21,31 +22,38 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--instr N] [--warmup N] [--list] <exhibit ids | all>\n\
        \u{20}      repro [--quick|--instr N] csv <output-dir>\n\
+       \u{20}      repro [--quick|--instr N] bench-sweep <output.json>\n\
          exhibits: {}\n\
          csv: writes the full design-space scatter (50ns & 200ns, conventional &\n\
-       \u{20}     exclusive) for every workload as CSV files for external plotting",
+       \u{20}     exclusive) for every workload as CSV files for external plotting\n\
+         bench-sweep: times the streaming vs arena sweep engines over the full\n\
+       \u{20}     space and writes a machine-readable comparison",
         ALL_IDS.join(" ")
     );
     std::process::exit(2);
 }
 
 /// Dumps the design-space scatters as CSV files into `dir`.
+///
+/// Each benchmark's stream is captured into a [`tlc_trace::TraceArena`]
+/// once and shared by all four (off-chip latency × L2 policy) sweeps.
 fn dump_csv(dir: &std::path::Path, harness: &Harness) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    for offchip in [50.0, 200.0] {
-        for (policy, policy_name) in
-            [(L2Policy::Conventional, "conventional"), (L2Policy::Exclusive, "exclusive")]
-        {
-            let opts = SpaceOptions {
-                offchip_ns: offchip,
-                l2_policy: policy,
-                ..SpaceOptions::baseline()
-            };
-            let configs = full_space(&opts);
-            for b in SpecBenchmark::ALL {
-                let points = sweep_threads(
+    for b in SpecBenchmark::ALL {
+        let arena = capture_benchmark(b, harness.budget);
+        for offchip in [50.0, 200.0] {
+            for (policy, policy_name) in
+                [(L2Policy::Conventional, "conventional"), (L2Policy::Exclusive, "exclusive")]
+            {
+                let opts = SpaceOptions {
+                    offchip_ns: offchip,
+                    l2_policy: policy,
+                    ..SpaceOptions::baseline()
+                };
+                let configs = full_space(&opts);
+                let points = sweep_arena_threads(
                     &configs,
-                    b,
+                    &arena,
                     harness.budget,
                     &harness.timing,
                     &harness.area,
@@ -69,11 +77,15 @@ fn main() {
     let mut budget = SimBudget::standard();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "bench-sweep" => {
+                bench_out = Some(it.next().unwrap_or_else(|| usage()));
             }
             "--quick" => budget = SimBudget::quick(),
             "--instr" => {
@@ -95,11 +107,22 @@ fn main() {
             _ => usage(),
         }
     }
-    if ids.is_empty() && csv_dir.is_none() {
+    if ids.is_empty() && csv_dir.is_none() && bench_out.is_none() {
         usage();
     }
 
     let harness = Harness::standard().with_budget(budget);
+    if let Some(path) = bench_out {
+        let json = sweep_benchmark_json(&SweepBenchConfig::from_harness(&harness));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("bench-sweep export failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {path}");
+        if ids.is_empty() && csv_dir.is_none() {
+            return;
+        }
+    }
     if let Some(dir) = csv_dir {
         if let Err(e) = dump_csv(std::path::Path::new(&dir), &harness) {
             eprintln!("csv export failed: {e}");

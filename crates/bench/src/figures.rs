@@ -8,9 +8,7 @@
 use crate::harness::Harness;
 use std::fmt::Write as _;
 use tlc_area::{CacheGeometry, CellKind};
-use tlc_cache::{
-    Associativity, CacheConfig, DuplicationReport, ExclusiveTwoLevel, MemorySystem,
-};
+use tlc_cache::{Associativity, CacheConfig, DuplicationReport, ExclusiveTwoLevel, MemorySystem};
 use tlc_core::configspace::{full_space, single_level_configs, SpaceOptions};
 use tlc_core::envelope::{envelope_at, mean_improvement};
 use tlc_core::report::{envelope_of, envelope_table, points_table};
@@ -24,11 +22,47 @@ use tlc_trace::{Addr, MemRef};
 /// §10 future-work conjectures, `policies` for the
 /// inclusive/conventional/exclusive ablation).
 pub const ALL_IDS: [&str; 41] = [
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "power", "future", "policies",
-    "missrates", "replacement", "victim", "sensitivity", "board", "multiprog", "banking",
-    "prefetch", "l1assoc", "writes", "timingmodels",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "power",
+    "future",
+    "policies",
+    "missrates",
+    "replacement",
+    "victim",
+    "sensitivity",
+    "board",
+    "multiprog",
+    "banking",
+    "prefetch",
+    "l1assoc",
+    "writes",
+    "timingmodels",
 ];
 
 /// Runs one exhibit by id. Returns `None` for an unknown id.
@@ -202,11 +236,7 @@ pub fn fig1(h: &Harness) -> String {
         last = Some(t.cycle_ns);
     }
     let (f, l) = (first.expect("nonempty"), last.expect("nonempty"));
-    let _ = writeln!(
-        out,
-        "cycle-time spread 1KB -> 256KB: {:.2}x (paper: about 1.8x)",
-        l / f
-    );
+    let _ = writeln!(out, "cycle-time spread 1KB -> 256KB: {:.2}x (paper: about 1.8x)", l / f);
     out
 }
 
@@ -402,9 +432,9 @@ pub fn fig_dual(h: &Harness, benchmark: SpecBenchmark, number: u32) -> String {
     // envelope beats the base-cell one (paper: 50K–400K rbe).
     let env_base = envelope_of(&singles_base);
     let env_dual = envelope_of(&singles_dual);
-    let crossover = env_dual.iter().find(|p| {
-        envelope_at(&env_base, p.area).is_some_and(|base_tpi| p.tpi < base_tpi)
-    });
+    let crossover = env_dual
+        .iter()
+        .find(|p| envelope_at(&env_base, p.area).is_some_and(|base_tpi| p.tpi < base_tpi));
     match crossover {
         Some(p) => {
             let _ = writeln!(
@@ -420,10 +450,8 @@ pub fn fig_dual(h: &Harness, benchmark: SpecBenchmark, number: u32) -> String {
     // How many single-level points survive on the combined envelope?
     let mut combined = two_level_dual.clone();
     combined.extend(singles_base.iter().cloned());
-    let survivors = envelope_of(&combined)
-        .iter()
-        .filter(|e| combined[e.index].machine.l2.is_none())
-        .count();
+    let survivors =
+        envelope_of(&combined).iter().filter(|e| combined[e.index].machine.l2.is_none()).count();
     let _ = writeln!(
         out,
         "single-level configurations on the combined envelope: {survivors} (paper: few when dual-ported cells are available)"
@@ -460,7 +488,8 @@ pub fn fig21() -> String {
     let l1 = CacheConfig::paper(64, Associativity::Direct).expect("valid");
     let l2 = CacheConfig::paper(256, Associativity::Direct).expect("valid");
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 21: Exclusion vs. inclusion during swapping, direct-mapped caches");
+    let _ =
+        writeln!(out, "Figure 21: Exclusion vs. inclusion during swapping, direct-mapped caches");
     let _ = writeln!(out, "(4-line L1 data cache, 16-line L2, 16-byte lines)\n");
 
     let show = |out: &mut String, sys: &ExclusiveTwoLevel, step: &str| {
@@ -524,8 +553,7 @@ fn fig_exclusive_scatter(
     l2_ways: u32,
     title: &str,
 ) -> String {
-    let opts =
-        SpaceOptions { l2_policy: L2Policy::Exclusive, l2_ways, ..SpaceOptions::baseline() };
+    let opts = SpaceOptions { l2_policy: L2Policy::Exclusive, l2_ways, ..SpaceOptions::baseline() };
     let conv_opts = SpaceOptions { l2_policy: L2Policy::Conventional, ..opts };
     let mut out = fig_full_scatter(h, benchmark, opts, title);
     // Compare against the conventional policy at identical geometry.
@@ -568,10 +596,7 @@ pub fn fig_exclusive_pair(h: &Harness, workloads: &[SpecBenchmark], number: u32)
         h,
         workloads,
         opts,
-        &format!(
-            "Figure {number}: {}: 50ns off-chip, exclusive 4-way L2",
-            names.join(" and ")
-        ),
+        &format!("Figure {number}: {}: 50ns off-chip, exclusive 4-way L2", names.join(" and ")),
     );
     // Exclusive-vs-conventional deltas per workload.
     let conv_opts = SpaceOptions { l2_policy: L2Policy::Conventional, ..opts };
@@ -659,10 +684,7 @@ pub fn future_study(h: &Harness) -> String {
         ("baseline (§2.5)", FutureWorkModel::baseline()),
         ("multicycle L1", FutureWorkModel::multicycle(datapath, 0.3)),
         ("non-blocking", FutureWorkModel::baseline().with_miss_overlap(0.5)),
-        (
-            "multicycle+nb",
-            FutureWorkModel::multicycle(datapath, 0.3).with_miss_overlap(0.5),
-        ),
+        ("multicycle+nb", FutureWorkModel::multicycle(datapath, 0.3).with_miss_overlap(0.5)),
     ];
 
     // Representative single-level and two-level machines across sizes.
@@ -771,11 +793,8 @@ pub fn policy_ablation(h: &Harness) -> String {
         "Extension: L2 fill-policy ablation (inclusive / conventional / exclusive)\n\
          4KB L1s, 4-way L2, gcc1; off-chip misses and on-chip duplication per policy\n"
     );
-    let _ = writeln!(
-        out,
-        "{:>6} {:>24} {:>24} {:>24}",
-        "L2", "inclusive", "conventional", "exclusive"
-    );
+    let _ =
+        writeln!(out, "{:>6} {:>24} {:>24} {:>24}", "L2", "inclusive", "conventional", "exclusive");
     let l1 = CacheConfig::paper(4 * 1024, Associativity::Direct).expect("valid");
     for l2_kb in [8u64, 16, 32, 64, 128] {
         let l2 = CacheConfig::paper(l2_kb * 1024, Associativity::SetAssoc(4)).expect("valid");
@@ -798,11 +817,7 @@ pub fn policy_ablation(h: &Harness) -> String {
             }
             cells.push(format!("{} misses", sys.stats().l2_misses));
         }
-        let _ = writeln!(
-            out,
-            "{:>5}K {:>24} {:>24} {:>24}",
-            l2_kb, cells[0], cells[1], cells[2]
-        );
+        let _ = writeln!(out, "{:>5}K {:>24} {:>24} {:>24}", l2_kb, cells[0], cells[1], cells[2]);
     }
     let _ = writeln!(
         out,
@@ -888,8 +903,8 @@ pub fn replacement_ablation(h: &Harness) -> String {
             ReplacementKind::PseudoRandom,
             ReplacementKind::TreePlru,
         ] {
-            let l2 = CacheConfig::new(64 * 1024, 16, Associativity::SetAssoc(4), repl)
-                .expect("valid");
+            let l2 =
+                CacheConfig::new(64 * 1024, 16, Associativity::SetAssoc(4), repl).expect("valid");
             let mut sys = ConventionalTwoLevel::new(l1, l2);
             let mut w = b.workload();
             for _ in 0..h.budget.warmup_instructions {
@@ -1003,11 +1018,8 @@ pub fn sensitivity_study(h: &Harness) -> String {
         out,
         "(a) off-chip service time vs the single-level/two-level crossover (gcc1, 4-way L2)\n"
     );
-    let _ = writeln!(
-        out,
-        "{:>10} {:>22} {:>22}",
-        "offchip", "first 2-level (rbe)", "endpoint gain"
-    );
+    let _ =
+        writeln!(out, "{:>10} {:>22} {:>22}", "offchip", "first 2-level (rbe)", "endpoint gain");
     for offchip in [25.0f64, 50.0, 100.0, 200.0, 400.0] {
         let opts = SpaceOptions { offchip_ns: offchip, ..SpaceOptions::baseline() };
         let pts = sweep_points(h, &full_space(&opts), SpecBenchmark::Gcc1);
@@ -1241,7 +1253,8 @@ pub fn banking_study(h: &Harness) -> String {
             plain.tpi_ns
         );
         for banks in [2u32, 4, 8] {
-            let p = evaluate_banked(&base, b, h.budget, BankingParams::new(banks), &h.timing, &h.area);
+            let p =
+                evaluate_banked(&base, b, h.budget, BankingParams::new(banks), &h.timing, &h.area);
             let _ = writeln!(
                 out,
                 "{:>9} {:>12}-bank {:>9.3} {:>8.2} {:>12.0} {:>9.2}",
@@ -1367,7 +1380,8 @@ pub fn l1_associativity_study(h: &Harness) -> String {
                     sys.access_instruction(&i);
                 }
                 // Timing: an L1 of this associativity sets the cycle.
-                let geom = CacheGeometry { size_bytes: kb * 1024, line_bytes: 16, ways, addr_bits: 32 };
+                let geom =
+                    CacheGeometry { size_bytes: kb * 1024, line_bytes: 16, ways, addr_bits: 32 };
                 let t = h.timing.optimal(&geom, CellKind::SinglePorted);
                 let a = h.area.total_area(&geom, &t.org, CellKind::SinglePorted);
                 let offchip = (50.0 / t.cycle_ns).ceil() * t.cycle_ns;
@@ -1476,10 +1490,8 @@ pub fn timing_models_study(h: &Harness) -> String {
 
     let detailed = DetailedTimingModel::paper();
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Extension: calibrated vs transistor-level timing model (Figure 1 sweep)\n"
-    );
+    let _ =
+        writeln!(out, "Extension: calibrated vs transistor-level timing model (Figure 1 sweep)\n");
     let _ = writeln!(
         out,
         "{:>6} | {:>11} {:>10} | {:>11} {:>10} {:>9}",
@@ -1537,10 +1549,7 @@ mod tests {
         assert!(run("fig99", &h).is_none());
         assert_eq!(ALL_IDS.len(), 41);
         for id in ALL_IDS {
-            assert!(
-                ALL_IDS.contains(&id),
-                "id list and dispatcher out of sync for {id}"
-            );
+            assert!(ALL_IDS.contains(&id), "id list and dispatcher out of sync for {id}");
         }
     }
 

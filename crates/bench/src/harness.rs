@@ -58,8 +58,8 @@ mod tests {
         assert!(h.threads >= 1);
         let q = Harness::quick();
         assert!(q.budget.instructions < h.budget.instructions);
-        let c = Harness::standard()
-            .with_budget(SimBudget { instructions: 42, warmup_instructions: 7 });
+        let c =
+            Harness::standard().with_budget(SimBudget { instructions: 42, warmup_instructions: 7 });
         assert_eq!(c.budget.instructions, 42);
     }
 }

@@ -21,5 +21,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod sweepbench;
 
 pub use harness::Harness;

@@ -1,0 +1,190 @@
+//! Machine-readable sweep-engine benchmark: legacy vs streaming vs arena.
+//!
+//! Times three engines over the same configuration space:
+//!
+//! 1. **legacy** — regenerate per configuration, `Box<dyn MemorySystem>`
+//!    dispatch (the engine every sweep used before this one; the speedup
+//!    baseline);
+//! 2. **streaming** — regenerate per configuration, devirtualized
+//!    [`SystemKind`](tlc_cache::SystemKind) dispatch (the memory-lean
+//!    fallback);
+//! 3. **arena** — capture once, replay the packed buffer per
+//!    configuration (the sweep fast path).
+//!
+//! All three must produce bit-identical design points; the report is
+//! rendered as JSON (committed as `BENCH_sweep.json` at the repository
+//! root; regenerate with `repro bench-sweep <path>`).
+
+use crate::Harness;
+use serde::Serialize;
+use std::time::Instant;
+use tlc_core::configspace::{full_space, SpaceOptions};
+use tlc_core::experiment::{capture_benchmark, SimBudget};
+use tlc_core::runner::{sweep_arena_threads, sweep_dyn_threads, sweep_streaming_threads};
+use tlc_core::{L2Policy, MachineConfig};
+use tlc_trace::spec::SpecBenchmark;
+
+/// What to measure: the configuration space, budget, and thread count.
+#[derive(Debug)]
+pub struct SweepBenchConfig {
+    /// Configurations evaluated per benchmark (conventional + exclusive
+    /// full spaces; ≥ 64 distinct configurations).
+    pub configs: Vec<MachineConfig>,
+    /// Simulation length per configuration.
+    pub budget: SimBudget,
+    /// Worker threads, as in the sweeps being compared.
+    pub threads: usize,
+}
+
+impl SweepBenchConfig {
+    /// Measures the full design space (both L2 policies) at the
+    /// harness's budget and thread count.
+    pub fn from_harness(harness: &Harness) -> Self {
+        let mut configs = full_space(&SpaceOptions::baseline());
+        configs.extend(full_space(&SpaceOptions {
+            l2_policy: L2Policy::Exclusive,
+            ..SpaceOptions::baseline()
+        }));
+        SweepBenchConfig { configs, budget: harness.budget, threads: harness.threads }
+    }
+}
+
+/// One benchmark's timing comparison.
+#[derive(Debug, Serialize)]
+pub struct SweepBenchRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Wall-clock seconds for the legacy (regenerate + vtable) sweep.
+    pub legacy_s: f64,
+    /// Wall-clock seconds for the devirtualized streaming sweep.
+    pub streaming_s: f64,
+    /// Wall-clock seconds to capture the arena.
+    pub capture_s: f64,
+    /// Wall-clock seconds for the arena-replay sweep.
+    pub replay_s: f64,
+    /// Arena resident size in bytes.
+    pub arena_bytes: u64,
+    /// `legacy_s / (capture_s + replay_s)` — the headline speedup.
+    pub speedup: f64,
+    /// `streaming_s / (capture_s + replay_s)`.
+    pub speedup_vs_streaming: f64,
+    /// Whether all three engines produced bit-identical design points.
+    pub identical: bool,
+}
+
+/// The full machine-readable report.
+#[derive(Debug, Serialize)]
+pub struct SweepBenchReport {
+    /// Report format identifier.
+    pub schema: String,
+    /// Configurations per benchmark.
+    pub configs: u64,
+    /// Measured instructions per configuration.
+    pub measured_instructions: u64,
+    /// Warm-up instructions per configuration.
+    pub warmup_instructions: u64,
+    /// Worker threads.
+    pub threads: u64,
+    /// Per-benchmark comparisons.
+    pub benchmarks: Vec<SweepBenchRow>,
+    /// Total wall-clock seconds for all legacy sweeps.
+    pub total_legacy_s: f64,
+    /// Total wall-clock seconds for all streaming sweeps.
+    pub total_streaming_s: f64,
+    /// Total wall-clock seconds for all captures plus replay sweeps.
+    pub total_arena_s: f64,
+    /// `total_legacy_s / total_arena_s` — the headline speedup.
+    pub total_speedup: f64,
+    /// Whether every benchmark's engines agreed bit-for-bit.
+    pub all_identical: bool,
+}
+
+/// Runs the comparison over all seven benchmarks.
+pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
+    let timing = tlc_timing::TimingModel::paper();
+    let area = tlc_area::AreaModel::new();
+    let mut rows = Vec::new();
+    for b in SpecBenchmark::ALL {
+        eprintln!("# bench-sweep: {} ({} configs)...", b.name(), cfg.configs.len());
+        let t0 = Instant::now();
+        let legacy = sweep_dyn_threads(&cfg.configs, b, cfg.budget, &timing, &area, cfg.threads);
+        let legacy_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let streamed =
+            sweep_streaming_threads(&cfg.configs, b, cfg.budget, &timing, &area, cfg.threads);
+        let streaming_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let arena = capture_benchmark(b, cfg.budget);
+        let capture_s = t2.elapsed().as_secs_f64();
+
+        let t3 = Instant::now();
+        let replayed =
+            sweep_arena_threads(&cfg.configs, &arena, cfg.budget, &timing, &area, cfg.threads);
+        let replay_s = t3.elapsed().as_secs_f64();
+
+        rows.push(SweepBenchRow {
+            benchmark: b.name().to_string(),
+            legacy_s,
+            streaming_s,
+            capture_s,
+            replay_s,
+            arena_bytes: arena.bytes() as u64,
+            speedup: legacy_s / (capture_s + replay_s),
+            speedup_vs_streaming: streaming_s / (capture_s + replay_s),
+            identical: legacy == replayed && streamed == replayed,
+        });
+    }
+    let total_legacy_s: f64 = rows.iter().map(|r| r.legacy_s).sum();
+    let total_streaming_s: f64 = rows.iter().map(|r| r.streaming_s).sum();
+    let total_arena_s: f64 = rows.iter().map(|r| r.capture_s + r.replay_s).sum();
+    SweepBenchReport {
+        schema: "tlc-sweep-bench/1".to_string(),
+        configs: cfg.configs.len() as u64,
+        measured_instructions: cfg.budget.instructions,
+        warmup_instructions: cfg.budget.warmup_instructions,
+        threads: cfg.threads as u64,
+        total_speedup: total_legacy_s / total_arena_s,
+        all_identical: rows.iter().all(|r| r.identical),
+        benchmarks: rows,
+        total_legacy_s,
+        total_streaming_s,
+        total_arena_s,
+    }
+}
+
+/// [`run_sweep_benchmark`] rendered as pretty JSON (with newline).
+pub fn sweep_benchmark_json(cfg: &SweepBenchConfig) -> String {
+    let report = run_sweep_benchmark(cfg);
+    let mut json = serde_json::to_string_pretty(&report).expect("report serialises");
+    json.push('\n');
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_runs_and_engines_agree() {
+        // A deliberately tiny instance: 3 configs, short budget.
+        let mut cfg = SweepBenchConfig::from_harness(&Harness::quick());
+        cfg.configs.truncate(3);
+        cfg.budget = SimBudget { instructions: 4_000, warmup_instructions: 1_000 };
+        cfg.threads = 2;
+        let report = run_sweep_benchmark(&cfg);
+        assert_eq!(report.benchmarks.len(), 7);
+        assert!(report.all_identical, "engines must agree bit-for-bit");
+        assert!(report.total_streaming_s > 0.0 && report.total_arena_s > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("serialises");
+        assert!(json.contains("\"schema\": \"tlc-sweep-bench/1\""));
+        assert!(json.contains("\"all_identical\": true"));
+    }
+
+    #[test]
+    fn full_space_pair_exceeds_sixty_four_configs() {
+        let cfg = SweepBenchConfig::from_harness(&Harness::quick());
+        assert!(cfg.configs.len() >= 64, "only {} configs", cfg.configs.len());
+    }
+}

@@ -101,10 +101,7 @@ mod tests {
 
         let rc = DuplicationReport::measure(conv.l1i(), conv.l1d(), conv.l2());
         let re = DuplicationReport::measure(excl.l1i(), excl.l1d(), excl.l2());
-        assert!(
-            rc.duplication_fraction() > 0.1,
-            "conventional should duplicate: {rc}"
-        );
+        assert!(rc.duplication_fraction() > 0.1, "conventional should duplicate: {rc}");
         assert!(
             re.duplication_fraction() < rc.duplication_fraction() / 2.0,
             "exclusive should duplicate far less: {re} vs {rc}"

@@ -8,7 +8,7 @@
 //! implement the swap of the paper's §8.
 
 use crate::config::CacheConfig;
-use crate::replacement::{Lfsr16, ReplState};
+use crate::replacement::Lfsr16;
 use crate::stats::CacheStats;
 use tlc_trace::LineAddr;
 
@@ -38,10 +38,127 @@ struct Way {
     dirty: bool,
 }
 
+/// Replacement state for *all* sets, held as flat per-policy arrays
+/// rather than one [`ReplState`](crate::replacement::ReplState) per set.
+/// Keeping the tag array and the
+/// replacement metadata in contiguous allocations (instead of a
+/// `Box<[Way]>` plus a boxed stamp array per set) removes two pointer
+/// chases from every access — the difference is measurable across the
+/// millions of probes a design-space sweep performs.
+///
+/// The state machines are bit-compatible with
+/// [`ReplState`](crate::replacement::ReplState): same stamp sequences,
+/// same LFSR consumption, same PLRU bit layout.
 #[derive(Debug)]
-struct Set {
-    ways: Box<[Way]>,
-    repl: ReplState,
+enum ReplBank {
+    /// LRU / FIFO: per-way stamps and a per-set clock.
+    Stamped { stamps: Vec<u32>, clock: Vec<u32>, refresh_on_touch: bool },
+    /// Pseudo-random: stateless, victims come from the cache-global LFSR.
+    Random,
+    /// Tree-PLRU: one bit-packed tree per set.
+    Tree { bits: Vec<u64> },
+}
+
+impl ReplBank {
+    fn new(kind: crate::config::ReplacementKind, num_sets: usize, ways: usize) -> Self {
+        use crate::config::ReplacementKind;
+        match kind {
+            ReplacementKind::Lru => ReplBank::Stamped {
+                stamps: vec![0; num_sets * ways],
+                clock: vec![0; num_sets],
+                refresh_on_touch: true,
+            },
+            ReplacementKind::Fifo => ReplBank::Stamped {
+                stamps: vec![0; num_sets * ways],
+                clock: vec![0; num_sets],
+                refresh_on_touch: false,
+            },
+            ReplacementKind::PseudoRandom => ReplBank::Random,
+            ReplacementKind::TreePlru => ReplBank::Tree { bits: vec![0; num_sets] },
+        }
+    }
+
+    /// Notifies the bank that `way` of `set` was referenced (hit).
+    #[inline]
+    fn touch(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
+        match self {
+            ReplBank::Stamped { stamps, clock, refresh_on_touch } => {
+                if *refresh_on_touch {
+                    clock[set] += 1;
+                    stamps[set * stride + way as usize] = clock[set];
+                }
+            }
+            ReplBank::Random => {}
+            ReplBank::Tree { bits } => tree_point_away(&mut bits[set], ways, way),
+        }
+    }
+
+    /// Notifies the bank that `way` of `set` was just filled.
+    #[inline]
+    fn filled(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
+        match self {
+            ReplBank::Stamped { stamps, clock, .. } => {
+                clock[set] += 1;
+                stamps[set * stride + way as usize] = clock[set];
+            }
+            ReplBank::Random => {}
+            ReplBank::Tree { bits } => tree_point_away(&mut bits[set], ways, way),
+        }
+    }
+
+    /// Chooses a victim way in `set`.
+    #[inline]
+    fn victim(&self, set: usize, stride: usize, ways: u32, lfsr: &mut Lfsr16) -> u32 {
+        match self {
+            ReplBank::Stamped { stamps, .. } => {
+                let mut best = 0u32;
+                let mut best_stamp = u32::MAX;
+                for (i, &s) in stamps[set * stride..set * stride + stride].iter().enumerate() {
+                    if s < best_stamp {
+                        best_stamp = s;
+                        best = i as u32;
+                    }
+                }
+                best
+            }
+            ReplBank::Random => {
+                let r = lfsr.next() as u32;
+                if ways.is_power_of_two() {
+                    r & (ways - 1)
+                } else {
+                    r % ways
+                }
+            }
+            ReplBank::Tree { bits } => {
+                let bits = bits[set];
+                let mut node = 1u32; // heap-indexed tree, root at 1
+                let levels = ways.trailing_zeros();
+                for _ in 0..levels {
+                    let right = (bits >> node) & 1 == 1;
+                    node = node * 2 + right as u32;
+                }
+                node - ways
+            }
+        }
+    }
+}
+
+/// Flips the PLRU path bits so the tree points *away* from `way` (same
+/// layout as [`ReplState`](crate::replacement::ReplState)'s tree
+/// variant).
+#[inline]
+fn tree_point_away(bits: &mut u64, ways: u32, way: u32) {
+    let levels = ways.trailing_zeros();
+    let mut node = 1u32;
+    for level in (0..levels).rev() {
+        let go_right = (way >> level) & 1 == 1;
+        if go_right {
+            *bits &= !(1 << node);
+        } else {
+            *bits |= 1 << node;
+        }
+        node = node * 2 + go_right as u32;
+    }
 }
 
 /// One level of cache. See the module docs.
@@ -65,7 +182,11 @@ struct Set {
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Set>,
+    /// All ways of all sets, set-major: `ways[set * stride + way]`.
+    ways: Vec<Way>,
+    repl: ReplBank,
+    /// Ways per set.
+    stride: usize,
     set_mask: u64,
     set_shift: u32,
     lfsr: Lfsr16,
@@ -76,16 +197,12 @@ impl Cache {
     /// Builds an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
-        let ways = cfg.ways();
-        let sets = (0..num_sets)
-            .map(|_| Set {
-                ways: vec![Way::default(); ways as usize].into_boxed_slice(),
-                repl: ReplState::new(cfg.replacement(), ways),
-            })
-            .collect();
+        let stride = cfg.ways() as usize;
         Cache {
             cfg,
-            sets,
+            ways: vec![Way::default(); num_sets as usize * stride],
+            repl: ReplBank::new(cfg.replacement(), num_sets as usize, stride),
+            stride,
             set_mask: num_sets - 1,
             set_shift: num_sets.trailing_zeros(),
             lfsr: Lfsr16::default(),
@@ -125,12 +242,18 @@ impl Cache {
         line.0 & self.set_mask
     }
 
+    /// The ways of `set` as a slice.
+    #[inline]
+    fn set_ways(&self, set: u64) -> &[Way] {
+        let base = set as usize * self.stride;
+        &self.ways[base..base + self.stride]
+    }
+
     /// Looks a line up **without** touching statistics or replacement
     /// state.
     pub fn probe(&self, line: LineAddr) -> Option<Slot> {
         let (set, tag) = self.split(line);
-        let s = &self.sets[set as usize];
-        s.ways
+        self.set_ways(set)
             .iter()
             .position(|w| w.valid && w.tag == tag)
             .map(|way| Slot { set, way: way as u32 })
@@ -151,14 +274,31 @@ impl Cache {
     pub fn access(&mut self, line: LineAddr, is_write: bool) -> bool {
         self.stats.accesses += 1;
         let (set, tag) = self.split(line);
-        let s = &mut self.sets[set as usize];
-        for (i, w) in s.ways.iter_mut().enumerate() {
+        // Direct-mapped fast path: one tag compare, and no replacement
+        // bookkeeping (a 1-way set's victim is way 0 under every policy).
+        if self.stride == 1 {
+            let w = &mut self.ways[set as usize];
             if w.valid && w.tag == tag {
                 w.dirty |= is_write;
-                s.repl.touch(i as u32);
                 self.stats.hits += 1;
                 return true;
             }
+            return false;
+        }
+        let base = set as usize * self.stride;
+        let mut hit = None;
+        for i in 0..self.stride {
+            let w = &mut self.ways[base + i];
+            if w.valid && w.tag == tag {
+                w.dirty |= is_write;
+                hit = Some(i as u32);
+                break;
+            }
+        }
+        if let Some(way) = hit {
+            self.repl.touch(set as usize, self.stride, way, self.cfg.ways());
+            self.stats.hits += 1;
+            return true;
         }
         false
     }
@@ -172,30 +312,108 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
         let (set, tag) = self.split(line);
         let ways = self.cfg.ways();
-        let s = &mut self.sets[set as usize];
+        let base = set as usize * self.stride;
         // Already present: merge dirty, refresh replacement.
-        for (i, w) in s.ways.iter_mut().enumerate() {
+        for i in 0..self.stride {
+            let w = &mut self.ways[base + i];
             if w.valid && w.tag == tag {
                 w.dirty |= dirty;
-                s.repl.touch(i as u32);
+                self.repl.touch(set as usize, self.stride, i as u32, ways);
                 return None;
             }
         }
-        // Free way if any.
-        if let Some(i) = s.ways.iter().position(|w| !w.valid) {
-            s.ways[i] = Way { tag, valid: true, dirty };
-            s.repl.filled(i as u32);
+        self.fill_after_miss(line, dirty)
+    }
+
+    /// As [`Cache::fill`], for callers that already know `line` is absent
+    /// (typically because [`Cache::access`] just missed on it): skips the
+    /// already-present scan. Every hierarchy's miss path refills through
+    /// this — the scan it avoids is pure overhead there, and the miss
+    /// paths dominate a design-space sweep's runtime.
+    ///
+    /// Behaviour (victim choice, replacement bookkeeping, statistics) is
+    /// identical to [`Cache::fill`] on an absent line.
+    #[inline]
+    pub fn fill_after_miss(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        debug_assert!(!self.contains(line), "fill_after_miss: line already present");
+        let (set, tag) = self.split(line);
+        // Direct-mapped fast path: the victim is the set's only way under
+        // every policy, so skip the free scan and replacement bookkeeping
+        // (including the pseudo-random LFSR draw, whose value could only
+        // ever select way 0 here).
+        if self.stride == 1 {
+            let w = &mut self.ways[set as usize];
+            let old = *w;
+            *w = Way { tag, valid: true, dirty };
+            if old.valid {
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                return Some(Evicted { line: self.join(set, old.tag), dirty: old.dirty });
+            }
             return None;
         }
-        let victim_way = s.repl.victim(ways, &mut self.lfsr);
-        let v = s.ways[victim_way as usize];
-        s.ways[victim_way as usize] = Way { tag, valid: true, dirty };
-        s.repl.filled(victim_way);
+        let ways = self.cfg.ways();
+        let base = set as usize * self.stride;
+        // Free way if any.
+        if let Some(i) = (0..self.stride).find(|&i| !self.ways[base + i].valid) {
+            self.ways[base + i] = Way { tag, valid: true, dirty };
+            self.repl.filled(set as usize, self.stride, i as u32, ways);
+            return None;
+        }
+        let victim_way = self.repl.victim(set as usize, self.stride, ways, &mut self.lfsr);
+        let v = self.ways[base + victim_way as usize];
+        self.ways[base + victim_way as usize] = Way { tag, valid: true, dirty };
+        self.repl.filled(set as usize, self.stride, victim_way, ways);
         self.stats.evictions += 1;
         if v.dirty {
             self.stats.dirty_evictions += 1;
         }
         Some(Evicted { line: self.join(set, v.tag), dirty: v.dirty })
+    }
+
+    /// If `line` is present, merges `dirty` into it and refreshes its
+    /// replacement state — exactly what [`Cache::fill`] does for a
+    /// resident line — and returns `true`. Returns `false` (cache
+    /// untouched) otherwise.
+    ///
+    /// Equivalent to `if self.contains(line) { self.fill(line, dirty); true }`
+    /// in one scan instead of two; the hierarchies use it to merge dirty
+    /// L1 victims back into L2 on the write-back path.
+    #[inline]
+    pub fn merge_if_present(&mut self, line: LineAddr, dirty: bool) -> bool {
+        let (set, tag) = self.split(line);
+        let base = set as usize * self.stride;
+        for i in 0..self.stride {
+            let w = &mut self.ways[base + i];
+            if w.valid && w.tag == tag {
+                w.dirty |= dirty;
+                self.repl.touch(set as usize, self.stride, i as u32, self.cfg.ways());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether every set holds a single way.
+    #[inline]
+    pub fn is_direct_mapped(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// Records a hit that the owning hierarchy resolved through its own
+    /// same-line filter without probing the array, keeping hit/access
+    /// counts identical to the unfiltered path.
+    ///
+    /// Only sound when the filter guarantees what [`Cache::access`] would
+    /// have done anyway: the line is resident, and either the cache is
+    /// direct-mapped (no replacement bookkeeping on hits) or the policy's
+    /// touch is a no-op for a repeat of the most recent reference.
+    #[inline]
+    pub fn note_filtered_hit(&mut self) {
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
     }
 
     /// Installs `line` into a specific slot previously obtained from
@@ -212,11 +430,11 @@ impl Cache {
     pub fn fill_at(&mut self, line: LineAddr, dirty: bool, slot: Slot) -> Option<Evicted> {
         let (set, tag) = self.split(line);
         assert_eq!(set, slot.set, "fill_at: slot set does not match line");
-        let s = &mut self.sets[set as usize];
-        assert!((slot.way as usize) < s.ways.len(), "fill_at: way out of range");
-        let old = s.ways[slot.way as usize];
-        s.ways[slot.way as usize] = Way { tag, valid: true, dirty };
-        s.repl.filled(slot.way);
+        assert!((slot.way as usize) < self.stride, "fill_at: way out of range");
+        let base = set as usize * self.stride;
+        let old = self.ways[base + slot.way as usize];
+        self.ways[base + slot.way as usize] = Way { tag, valid: true, dirty };
+        self.repl.filled(set as usize, self.stride, slot.way, self.cfg.ways());
         if old.valid && old.tag != tag {
             self.stats.evictions += 1;
             if old.dirty {
@@ -232,8 +450,9 @@ impl Cache {
     /// it occupied. The slot becomes free.
     pub fn extract(&mut self, line: LineAddr) -> Option<(bool, Slot)> {
         let (set, tag) = self.split(line);
-        let s = &mut self.sets[set as usize];
-        for (i, w) in s.ways.iter_mut().enumerate() {
+        let base = set as usize * self.stride;
+        for i in 0..self.stride {
+            let w = &mut self.ways[base + i];
             if w.valid && w.tag == tag {
                 let dirty = w.dirty;
                 *w = Way::default();
@@ -250,28 +469,20 @@ impl Cache {
 
     /// Drops all contents (statistics are preserved).
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            for w in s.ways.iter_mut() {
-                *w = Way::default();
-            }
+        for w in &mut self.ways {
+            *w = Way::default();
         }
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().filter(|w| w.valid).count() as u64)
-            .sum()
+        self.ways.iter().filter(|w| w.valid).count() as u64
     }
 
     /// Iterates over all resident lines (for auditors and tests).
     pub fn iter_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set, s)| {
-            s.ways
-                .iter()
-                .filter(|w| w.valid)
-                .map(move |w| self.join(set as u64, w.tag))
+        self.ways.chunks(self.stride).enumerate().flat_map(move |(set, ways)| {
+            ways.iter().filter(|w| w.valid).map(move |w| self.join(set as u64, w.tag))
         })
     }
 }
@@ -288,15 +499,12 @@ mod tests {
 
     fn dm_cache(lines: u64) -> Cache {
         Cache::new(
-            CacheConfig::new(lines * 16, 16, Associativity::Direct, ReplacementKind::Lru)
-                .unwrap(),
+            CacheConfig::new(lines * 16, 16, Associativity::Direct, ReplacementKind::Lru).unwrap(),
         )
     }
 
     fn sa_cache(lines: u64, ways: u32, repl: ReplacementKind) -> Cache {
-        Cache::new(
-            CacheConfig::new(lines * 16, 16, Associativity::SetAssoc(ways), repl).unwrap(),
-        )
+        Cache::new(CacheConfig::new(lines * 16, 16, Associativity::SetAssoc(ways), repl).unwrap())
     }
 
     #[test]

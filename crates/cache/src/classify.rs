@@ -268,8 +268,7 @@ mod tests {
 
     #[test]
     fn fully_associative_cache_shows_no_conflict_misses() {
-        let cfg =
-            CacheConfig::new(16 * 16, 16, Associativity::Full, ReplacementKind::Lru).unwrap();
+        let cfg = CacheConfig::new(16 * 16, 16, Associativity::Full, ReplacementKind::Lru).unwrap();
         let mut cache = Cache::new(cfg);
         let mut cls = MissClassifier::new(16);
         for i in 0..5000u64 {

@@ -83,7 +83,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "{what} must be a power of two, got {value}")
             }
             ConfigError::TooSmall { size_bytes, required } => {
-                write!(f, "cache of {size_bytes} bytes smaller than one line per way ({required} bytes)")
+                write!(
+                    f,
+                    "cache of {size_bytes} bytes smaller than one line per way ({required} bytes)"
+                )
             }
             ConfigError::BadWays(w) => write!(f, "invalid way count {w}"),
             ConfigError::PlruWays(w) => {
@@ -284,10 +287,8 @@ mod tests {
 
     #[test]
     fn plru_way_limit() {
-        assert!(CacheConfig::new(4096, 16, Associativity::Full, ReplacementKind::TreePlru)
-            .is_err());
-        assert!(CacheConfig::new(1024, 16, Associativity::Full, ReplacementKind::TreePlru)
-            .is_ok());
+        assert!(CacheConfig::new(4096, 16, Associativity::Full, ReplacementKind::TreePlru).is_err());
+        assert!(CacheConfig::new(1024, 16, Associativity::Full, ReplacementKind::TreePlru).is_ok());
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct ExclusiveTwoLevel {
     l2: Cache,
     line_bytes: u64,
     stats: HierarchyStats,
+    /// Line of the most recent instruction fetch (`u64::MAX` when unknown
+    /// or the filter is disabled). The last fetched line is resident in
+    /// L1I by construction — a hit left it in place, both miss paths fill
+    /// it — so a repeat fetch is a guaranteed L1 hit, resolved without
+    /// probing the array. Only maintained for a direct-mapped L1I, where
+    /// a repeat hit has no replacement side effects to reproduce.
+    last_fetch: u64,
 }
 
 impl ExclusiveTwoLevel {
@@ -71,17 +78,14 @@ impl ExclusiveTwoLevel {
     ///
     /// Panics if the configurations disagree on line size.
     pub fn new(l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Self {
-        assert_eq!(
-            l1_cfg.line_bytes(),
-            l2_cfg.line_bytes(),
-            "L1 and L2 must share a line size"
-        );
+        assert_eq!(l1_cfg.line_bytes(), l2_cfg.line_bytes(), "L1 and L2 must share a line size");
         ExclusiveTwoLevel {
             l1i: Cache::new(l1_cfg),
             l1d: Cache::new(l1_cfg),
             l2: Cache::new(l2_cfg),
             line_bytes: l1_cfg.line_bytes(),
             stats: HierarchyStats::default(),
+            last_fetch: u64::MAX,
         }
     }
 
@@ -108,11 +112,10 @@ impl ExclusiveTwoLevel {
         victim: crate::cache::Evicted,
         freed_slot: Option<crate::cache::Slot>,
     ) {
-        if self.l2.contains(victim.line) {
+        if self.l2.merge_if_present(victim.line, victim.dirty) {
             // Figure 21-b: the victim's L2 copy already exists — the write
             // back "leaves the second-level cache unchanged" apart from
             // the dirty bit.
-            self.l2.fill(victim.line, victim.dirty);
             return;
         }
         if let Some(slot) = freed_slot {
@@ -128,7 +131,7 @@ impl ExclusiveTwoLevel {
         }
         // Victim inserted into its own set; a genuine L2 eviction may
         // result.
-        if let Some(ev) = self.l2.fill(victim.line, victim.dirty) {
+        if let Some(ev) = self.l2.fill_after_miss(victim.line, victim.dirty) {
             if ev.dirty {
                 self.stats.offchip_writebacks += 1;
             }
@@ -137,34 +140,40 @@ impl ExclusiveTwoLevel {
 }
 
 impl MemorySystem for ExclusiveTwoLevel {
+    #[inline]
     fn access(&mut self, r: MemRef) -> ServiceLevel {
         let line = r.addr.line(self.line_bytes);
         let is_write = r.kind == AccessKind::Store;
-        let (l1, miss_ctr) = match r.kind {
-            AccessKind::InstrFetch => {
-                self.stats.instructions += 1;
-                (&mut self.l1i, &mut self.stats.l1i_misses)
+        let is_fetch = r.kind == AccessKind::InstrFetch;
+        if is_fetch {
+            self.stats.instructions += 1;
+            if line.0 == self.last_fetch {
+                self.l1i.note_filtered_hit();
+                return ServiceLevel::L1;
             }
-            AccessKind::Load | AccessKind::Store => {
-                self.stats.data_refs += 1;
-                (&mut self.l1d, &mut self.stats.l1d_misses)
+            if self.l1i.is_direct_mapped() {
+                self.last_fetch = line.0;
             }
-        };
-        if l1.access(line, is_write) {
-            return ServiceLevel::L1;
+            if self.l1i.access(line, false) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1i_misses += 1;
+        } else {
+            self.stats.data_refs += 1;
+            if self.l1d.access(line, is_write) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1d_misses += 1;
         }
-        *miss_ctr += 1;
 
         if self.l2.access(line, false) {
             self.stats.l2_hits += 1;
             // The requested line moves (logically) from L2 to L1; its slot
             // is the swap target for the L1 victim.
-            let (_dirty, slot) = self
-                .l2
-                .extract(line)
-                .expect("L2 hit implies the line is extractable");
-            let l1 = if r.kind == AccessKind::InstrFetch { &mut self.l1i } else { &mut self.l1d };
-            let victim = l1.fill(line, is_write || _dirty);
+            let (_dirty, slot) =
+                self.l2.extract(line).expect("L2 hit implies the line is extractable");
+            let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+            let victim = l1.fill_after_miss(line, is_write || _dirty);
             match victim {
                 Some(v) => {
                     // Re-install the requested line in L2 only if the
@@ -193,8 +202,8 @@ impl MemorySystem for ExclusiveTwoLevel {
         } else {
             self.stats.l2_misses += 1;
             // Off-chip refill goes straight to L1, bypassing L2 (§8).
-            let l1 = if r.kind == AccessKind::InstrFetch { &mut self.l1i } else { &mut self.l1d };
-            if let Some(v) = l1.fill(line, is_write) {
+            let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+            if let Some(v) = l1.fill_after_miss(line, is_write) {
                 self.send_victim_to_l2(v, None);
             }
             ServiceLevel::Memory
@@ -212,8 +221,8 @@ impl MemorySystem for ExclusiveTwoLevel {
         self.l2.reset_stats();
     }
 
-
     fn invalidate_line(&mut self, line: tlc_trace::LineAddr) -> u32 {
+        self.last_fetch = u64::MAX; // the filtered line may be the target
         let mut purged = 0;
         purged += self.l1i.invalidate(line) as u32;
         purged += self.l1d.invalidate(line) as u32;
@@ -278,9 +287,9 @@ mod tests {
         let b = Addr::new(0x040);
         s.access(MemRef::load(a));
         s.access(MemRef::load(b)); // B → L1, victim A → its own L2 line
-        // A's reference: hits L2, moves to L1; victim B goes to B's own L2
-        // line; A's L2 copy... A moved out of L2 into L1 (same set? no —
-        // A and B are in different L2 sets, so no swap: A's copy stays).
+                                   // A's reference: hits L2, moves to L1; victim B goes to B's own L2
+                                   // line; A's L2 copy... A moved out of L2 into L1 (same set? no —
+                                   // A and B are in different L2 sets, so no swap: A's copy stays).
         assert_eq!(s.access(MemRef::load(a)), ServiceLevel::L2);
         // Inclusion: A now in L1 *and* still in L2.
         assert!(s.l1d().contains(a.line(16)));
@@ -386,10 +395,10 @@ mod tests {
         s.access(MemRef::load(e)); // dirty A → L2
         s.access(MemRef::load(a)); // A back to L1 (still dirty), E → L2
         s.access(MemRef::load(e)); // dirty A → L2 again
-        // Push A out of L2 via a third conflicting line coming from L1.
+                                   // Push A out of L2 via a third conflicting line coming from L1.
         let c = Addr::new(0x200);
         s.access(MemRef::load(c)); // off-chip → L1, victim E→L2 (same set, evicts... )
-        // Keep forcing until A's dirty copy is evicted off-chip.
+                                   // Keep forcing until A's dirty copy is evicted off-chip.
         for i in 3..8u64 {
             s.access(MemRef::load(Addr::new(i * 0x100)));
         }
@@ -399,20 +408,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "line size")]
     fn rejects_mismatched_line_sizes() {
-        let l1 = CacheConfig::new(
-            64,
-            16,
-            Associativity::Direct,
-            crate::config::ReplacementKind::Lru,
-        )
-        .unwrap();
-        let l2 = CacheConfig::new(
-            512,
-            32,
-            Associativity::Direct,
-            crate::config::ReplacementKind::Lru,
-        )
-        .unwrap();
+        let l1 =
+            CacheConfig::new(64, 16, Associativity::Direct, crate::config::ReplacementKind::Lru)
+                .unwrap();
+        let l2 =
+            CacheConfig::new(512, 32, Associativity::Direct, crate::config::ReplacementKind::Lru)
+                .unwrap();
         let _ = ExclusiveTwoLevel::new(l1, l2);
     }
 

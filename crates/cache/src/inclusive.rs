@@ -62,11 +62,7 @@ impl InclusiveTwoLevel {
     /// is smaller than one L1 (inclusion would be impossible to
     /// maintain usefully).
     pub fn new(l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Self {
-        assert_eq!(
-            l1_cfg.line_bytes(),
-            l2_cfg.line_bytes(),
-            "L1 and L2 must share a line size"
-        );
+        assert_eq!(l1_cfg.line_bytes(), l2_cfg.line_bytes(), "L1 and L2 must share a line size");
         assert!(
             l2_cfg.size_bytes() >= l1_cfg.size_bytes(),
             "an inclusive L2 must be at least as large as one L1"
@@ -121,6 +117,7 @@ impl InclusiveTwoLevel {
 }
 
 impl MemorySystem for InclusiveTwoLevel {
+    #[inline]
     fn access(&mut self, r: MemRef) -> ServiceLevel {
         let line = r.addr.line(self.line_bytes);
         let is_write = r.kind == AccessKind::Store;
@@ -143,7 +140,7 @@ impl MemorySystem for InclusiveTwoLevel {
         if !l2_hit {
             self.stats.l2_misses += 1;
             // Fill the L2 first; its victim must be purged from the L1s.
-            if let Some(v2) = self.l2.fill(line, false) {
+            if let Some(v2) = self.l2.fill_after_miss(line, false) {
                 self.back_invalidate(v2.line, v2.dirty);
             }
         } else {
@@ -152,13 +149,11 @@ impl MemorySystem for InclusiveTwoLevel {
         // Fill the L1. The victim's data lives on in the L2 (inclusion),
         // so a dirty victim just updates its L2 copy.
         let l1 = if r.kind == AccessKind::InstrFetch { &mut self.l1i } else { &mut self.l1d };
-        if let Some(v) = l1.fill(line, is_write) {
+        if let Some(v) = l1.fill_after_miss(line, is_write) {
             if v.dirty {
                 // Inclusion guarantees the copy exists unless this very
                 // fill displaced it; fall back to off-chip then.
-                if self.l2.contains(v.line) {
-                    self.l2.fill(v.line, true);
-                } else {
+                if !self.l2.merge_if_present(v.line, true) {
                     self.stats.offchip_writebacks += 1;
                 }
             }
@@ -181,7 +176,6 @@ impl MemorySystem for InclusiveTwoLevel {
         self.l1d.reset_stats();
         self.l2.reset_stats();
     }
-
 
     fn invalidate_line(&mut self, line: tlc_trace::LineAddr) -> u32 {
         let mut purged = 0;
@@ -272,8 +266,7 @@ mod tests {
             conv.access(MemRef::load(addr));
             excl.access(MemRef::load(addr));
         }
-        let (mi, mc, me) =
-            (incl.stats().l2_misses, conv.stats().l2_misses, excl.stats().l2_misses);
+        let (mi, mc, me) = (incl.stats().l2_misses, conv.stats().l2_misses, excl.stats().l2_misses);
         assert!(me < mc, "exclusive {me} must beat conventional {mc}");
         assert!(mc <= mi, "conventional {mc} must not lose to inclusive {mi}");
     }

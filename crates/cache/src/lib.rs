@@ -55,21 +55,23 @@ mod prefetch;
 mod replacement;
 mod single;
 mod stats;
+mod system;
 mod twolevel;
 mod victim;
 
 pub use audit::DuplicationReport;
 pub use board::{effective_offchip_ns, BoardCache, BoardOutcome};
-pub use inclusive::InclusiveTwoLevel;
-pub use mattson::{MissRatioCurve, StackDistanceProfiler};
-pub use prefetch::StreamBufferSystem;
 pub use cache::{Cache, Evicted, Slot};
 pub use classify::{MissBreakdown, MissClass, MissClassifier};
 pub use config::{Associativity, CacheConfig, ConfigError, ReplacementKind};
 pub use exclusive::ExclusiveTwoLevel;
 pub use hierarchy::{InstructionOutcome, MemorySystem, ServiceLevel};
+pub use inclusive::InclusiveTwoLevel;
+pub use mattson::{MissRatioCurve, StackDistanceProfiler};
+pub use prefetch::StreamBufferSystem;
 pub use replacement::{Lfsr16, ReplState};
 pub use single::SingleLevel;
 pub use stats::{CacheStats, HierarchyStats};
+pub use system::SystemKind;
 pub use twolevel::ConventionalTwoLevel;
 pub use victim::VictimCacheSystem;

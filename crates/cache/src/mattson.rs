@@ -304,13 +304,9 @@ mod tests {
         }
 
         for capacity in [16u64, 64, 256, 1024] {
-            let cfg = CacheConfig::new(
-                capacity * 16,
-                16,
-                Associativity::Full,
-                ReplacementKind::Lru,
-            )
-            .expect("valid");
+            let cfg =
+                CacheConfig::new(capacity * 16, 16, Associativity::Full, ReplacementKind::Lru)
+                    .expect("valid");
             let mut cache = Cache::new(cfg);
             let mut misses = 0u64;
             for &l in &stream {

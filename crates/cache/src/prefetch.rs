@@ -91,11 +91,7 @@ impl BufferPool {
         self.clock += 1;
         let stamp = self.clock;
         let depth = self.depth;
-        let lru = self
-            .buffers
-            .iter_mut()
-            .min_by_key(|b| b.last_use)
-            .expect("at least one buffer");
+        let lru = self.buffers.iter_mut().min_by_key(|b| b.last_use).expect("at least one buffer");
         lru.restart(miss_line, depth, stamp, prefetches);
     }
 }
@@ -272,8 +268,7 @@ mod tests {
             let mut mem = 0;
             for i in 0..64u64 {
                 for base in [0x10_0000u64, 0x40_0000] {
-                    if s.access(MemRef::load(Addr::new(base + i * 16))) == ServiceLevel::Memory
-                    {
+                    if s.access(MemRef::load(Addr::new(base + i * 16))) == ServiceLevel::Memory {
                         mem += 1;
                     }
                 }

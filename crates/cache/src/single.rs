@@ -36,6 +36,14 @@ pub struct SingleLevel {
     l1d: Cache,
     line_bytes: u64,
     stats: HierarchyStats,
+    /// Line of the most recent instruction fetch (`u64::MAX` when unknown
+    /// or the filter is disabled). Sequential fetch streams mostly stay
+    /// within one line, and the last fetched line is resident by
+    /// construction — a hit left it in place, a miss filled it — so a
+    /// repeat fetch is a guaranteed L1 hit. Only maintained for a
+    /// direct-mapped L1I, where a repeat hit has no replacement side
+    /// effects to reproduce.
+    last_fetch: u64,
 }
 
 impl SingleLevel {
@@ -47,6 +55,7 @@ impl SingleLevel {
             l1d: Cache::new(l1_cfg),
             line_bytes: l1_cfg.line_bytes(),
             stats: HierarchyStats::default(),
+            last_fetch: u64::MAX,
         }
     }
 
@@ -62,12 +71,20 @@ impl SingleLevel {
 }
 
 impl MemorySystem for SingleLevel {
+    #[inline]
     fn access(&mut self, r: MemRef) -> ServiceLevel {
         let line = r.addr.line(self.line_bytes);
         let is_write = r.kind == AccessKind::Store;
         let (cache, miss_ctr) = match r.kind {
             AccessKind::InstrFetch => {
                 self.stats.instructions += 1;
+                if line.0 == self.last_fetch {
+                    self.l1i.note_filtered_hit();
+                    return ServiceLevel::L1;
+                }
+                if self.l1i.is_direct_mapped() {
+                    self.last_fetch = line.0;
+                }
                 (&mut self.l1i, &mut self.stats.l1i_misses)
             }
             AccessKind::Load | AccessKind::Store => {
@@ -80,7 +97,7 @@ impl MemorySystem for SingleLevel {
         }
         *miss_ctr += 1;
         self.stats.l2_misses += 1; // off-chip demand fetch
-        if let Some(ev) = cache.fill(line, is_write) {
+        if let Some(ev) = cache.fill_after_miss(line, is_write) {
             if ev.dirty {
                 self.stats.offchip_writebacks += 1;
             }
@@ -98,8 +115,8 @@ impl MemorySystem for SingleLevel {
         self.l1d.reset_stats();
     }
 
-
     fn invalidate_line(&mut self, line: tlc_trace::LineAddr) -> u32 {
+        self.last_fetch = u64::MAX; // the filtered line may be the target
         let mut purged = 0;
         purged += self.l1i.invalidate(line) as u32;
         purged += self.l1d.invalidate(line) as u32;

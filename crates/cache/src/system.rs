@@ -1,0 +1,198 @@
+//! [`SystemKind`]: closed-enum dispatch over the hierarchies a
+//! design-space sweep evaluates.
+//!
+//! The open [`MemorySystem`] trait stays the extension surface for the
+//! CLI and one-off experiments, but a sweep's inner loop touches the
+//! memory system two million times per configuration, and a
+//! `Box<dyn MemorySystem>` forces a virtual call (and blocks inlining)
+//! on every one of them. The paper's sweeps only ever instantiate three
+//! organisations — single-level, conventional two-level, exclusive
+//! two-level — so the hot path closes the set into an enum: `match`
+//! dispatch that the compiler can inline through and branch-predict.
+
+use crate::config::CacheConfig;
+use crate::exclusive::ExclusiveTwoLevel;
+use crate::hierarchy::{InstructionOutcome, MemorySystem, ServiceLevel};
+use crate::single::SingleLevel;
+use crate::stats::HierarchyStats;
+use crate::twolevel::ConventionalTwoLevel;
+use tlc_trace::{InstructionRecord, LineAddr, MemRef};
+
+/// A memory system drawn from the closed set of sweep organisations.
+///
+/// Implements [`MemorySystem`] (by `match`, not vtable), so it drops
+/// into any code written against the trait while keeping the inner
+/// loop devirtualized.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_cache::{Associativity, CacheConfig, MemorySystem, SystemKind};
+///
+/// # fn main() -> Result<(), tlc_cache::ConfigError> {
+/// let l1 = CacheConfig::paper(4 * 1024, Associativity::Direct)?;
+/// let l2 = CacheConfig::paper(64 * 1024, Associativity::SetAssoc(4))?;
+/// let mut sys = SystemKind::conventional(l1, l2);
+/// assert!(sys.describe().contains("L1"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub enum SystemKind {
+    /// Split direct-mapped L1 caches only (paper §3).
+    Single(SingleLevel),
+    /// Unified L2 with the standard (inclusive-tending) fill policy
+    /// (paper §4–§7).
+    Conventional(ConventionalTwoLevel),
+    /// Two-level exclusive caching with victim swap (paper §8).
+    Exclusive(ExclusiveTwoLevel),
+}
+
+impl SystemKind {
+    /// Builds the single-level organisation.
+    pub fn single(l1: CacheConfig) -> Self {
+        SystemKind::Single(SingleLevel::new(l1))
+    }
+
+    /// Builds the conventional two-level organisation.
+    pub fn conventional(l1: CacheConfig, l2: CacheConfig) -> Self {
+        SystemKind::Conventional(ConventionalTwoLevel::new(l1, l2))
+    }
+
+    /// Builds the exclusive two-level organisation.
+    pub fn exclusive(l1: CacheConfig, l2: CacheConfig) -> Self {
+        SystemKind::Exclusive(ExclusiveTwoLevel::new(l1, l2))
+    }
+
+    /// Processes a single reference (enum-dispatched hot path).
+    #[inline]
+    pub fn access(&mut self, r: MemRef) -> ServiceLevel {
+        match self {
+            SystemKind::Single(s) => s.access(r),
+            SystemKind::Conventional(s) => s.access(r),
+            SystemKind::Exclusive(s) => s.access(r),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> &HierarchyStats {
+        match self {
+            SystemKind::Single(s) => s.stats(),
+            SystemKind::Conventional(s) => s.stats(),
+            SystemKind::Exclusive(s) => s.stats(),
+        }
+    }
+
+    /// Clears statistics without flushing cache contents.
+    pub fn reset_stats(&mut self) {
+        match self {
+            SystemKind::Single(s) => s.reset_stats(),
+            SystemKind::Conventional(s) => s.reset_stats(),
+            SystemKind::Exclusive(s) => s.reset_stats(),
+        }
+    }
+
+    /// A short human-readable description of the organisation.
+    pub fn describe(&self) -> String {
+        match self {
+            SystemKind::Single(s) => s.describe(),
+            SystemKind::Conventional(s) => s.describe(),
+            SystemKind::Exclusive(s) => s.describe(),
+        }
+    }
+}
+
+impl MemorySystem for SystemKind {
+    fn access(&mut self, r: MemRef) -> ServiceLevel {
+        SystemKind::access(self, r)
+    }
+
+    fn stats(&self) -> &HierarchyStats {
+        SystemKind::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        SystemKind::reset_stats(self)
+    }
+
+    fn describe(&self) -> String {
+        SystemKind::describe(self)
+    }
+
+    fn access_instruction(&mut self, rec: &InstructionRecord) -> InstructionOutcome {
+        let fetch = SystemKind::access(self, MemRef::fetch(rec.fetch));
+        let data = rec.data.map(|d| SystemKind::access(self, d));
+        InstructionOutcome { fetch, data }
+    }
+
+    fn invalidate_line(&mut self, line: LineAddr) -> u32 {
+        match self {
+            SystemKind::Single(s) => s.invalidate_line(line),
+            SystemKind::Conventional(s) => s.invalidate_line(line),
+            SystemKind::Exclusive(s) => s.invalidate_line(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Associativity;
+    use tlc_trace::Addr;
+
+    fn cfg(bytes: u64, assoc: Associativity) -> CacheConfig {
+        CacheConfig::paper(bytes, assoc).expect("valid config")
+    }
+
+    fn drive(sys: &mut dyn MemorySystem, n: u64) {
+        for i in 0..n {
+            let rec = InstructionRecord::with_data(
+                Addr::new(0x40_0000 + (i % 512) * 4),
+                MemRef::load(Addr::new(0x1000_0000 + (i % 2048) * 16)),
+            );
+            sys.access_instruction(&rec);
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch() {
+        let l1 = cfg(1024, Associativity::Direct);
+        let l2 = cfg(8 * 1024, Associativity::SetAssoc(4));
+        let builders: [(SystemKind, Box<dyn MemorySystem>); 3] = [
+            (SystemKind::single(l1), Box::new(SingleLevel::new(l1))),
+            (SystemKind::conventional(l1, l2), Box::new(ConventionalTwoLevel::new(l1, l2))),
+            (SystemKind::exclusive(l1, l2), Box::new(ExclusiveTwoLevel::new(l1, l2))),
+        ];
+        for (mut kind, mut boxed) in builders {
+            drive(&mut kind, 5000);
+            drive(boxed.as_mut(), 5000);
+            assert_eq!(kind.stats(), boxed.stats(), "{}", boxed.describe());
+            assert_eq!(MemorySystem::describe(&kind), boxed.describe());
+        }
+    }
+
+    #[test]
+    fn reset_preserves_contents_like_the_inner_system() {
+        let l1 = cfg(1024, Associativity::Direct);
+        let l2 = cfg(8 * 1024, Associativity::SetAssoc(4));
+        let mut sys = SystemKind::conventional(l1, l2);
+        // A footprint that fits entirely in the 1 KB L1s: 256 B of code,
+        // 256 B of data.
+        let replay = |sys: &mut SystemKind| {
+            for i in 0..2000u64 {
+                let rec = InstructionRecord::with_data(
+                    Addr::new(0x40_0000 + (i % 64) * 4),
+                    MemRef::load(Addr::new(0x1000_0000 + (i % 16) * 16)),
+                );
+                sys.access_instruction(&rec);
+            }
+        };
+        replay(&mut sys);
+        sys.reset_stats();
+        assert_eq!(sys.stats().instructions, 0);
+        // Caches stayed warm: replaying the same footprint all hits.
+        replay(&mut sys);
+        assert_eq!(sys.stats().l1_misses(), 0, "warm replay must not miss");
+    }
+}

@@ -39,6 +39,13 @@ pub struct ConventionalTwoLevel {
     l2: Cache,
     line_bytes: u64,
     stats: HierarchyStats,
+    /// Line of the most recent instruction fetch (`u64::MAX` when unknown
+    /// or the filter is disabled). The last fetched line is resident by
+    /// construction — a hit left it in place, a miss filled it — so a
+    /// repeat fetch is a guaranteed L1 hit, resolved without probing the
+    /// array. Only maintained for a direct-mapped L1I, where a repeat hit
+    /// has no replacement side effects to reproduce.
+    last_fetch: u64,
 }
 
 impl ConventionalTwoLevel {
@@ -50,17 +57,14 @@ impl ConventionalTwoLevel {
     /// Panics if the two configurations disagree on line size (the paper
     /// uses 16-byte lines at both levels; refills assume equal lines).
     pub fn new(l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Self {
-        assert_eq!(
-            l1_cfg.line_bytes(),
-            l2_cfg.line_bytes(),
-            "L1 and L2 must share a line size"
-        );
+        assert_eq!(l1_cfg.line_bytes(), l2_cfg.line_bytes(), "L1 and L2 must share a line size");
         ConventionalTwoLevel {
             l1i: Cache::new(l1_cfg),
             l1d: Cache::new(l1_cfg),
             l2: Cache::new(l2_cfg),
             line_bytes: l1_cfg.line_bytes(),
             stats: HierarchyStats::default(),
+            last_fetch: u64::MAX,
         }
     }
 
@@ -85,55 +89,59 @@ impl ConventionalTwoLevel {
         if !victim.dirty {
             return;
         }
-        if self.l2.contains(victim.line) {
-            self.l2.fill(victim.line, true); // merge dirty into existing copy
-        } else {
+        // Merge dirty into the existing L2 copy in one scan.
+        if !self.l2.merge_if_present(victim.line, true) {
             self.stats.offchip_writebacks += 1;
         }
     }
 }
 
 impl MemorySystem for ConventionalTwoLevel {
+    #[inline]
     fn access(&mut self, r: MemRef) -> ServiceLevel {
         let line = r.addr.line(self.line_bytes);
         let is_write = r.kind == AccessKind::Store;
-        let (l1, miss_ctr) = match r.kind {
-            AccessKind::InstrFetch => {
-                self.stats.instructions += 1;
-                (&mut self.l1i, &mut self.stats.l1i_misses)
+        let is_fetch = r.kind == AccessKind::InstrFetch;
+        if is_fetch {
+            self.stats.instructions += 1;
+            if line.0 == self.last_fetch {
+                self.l1i.note_filtered_hit();
+                return ServiceLevel::L1;
             }
-            AccessKind::Load | AccessKind::Store => {
-                self.stats.data_refs += 1;
-                (&mut self.l1d, &mut self.stats.l1d_misses)
+            if self.l1i.is_direct_mapped() {
+                self.last_fetch = line.0;
             }
-        };
-        if l1.access(line, is_write) {
-            return ServiceLevel::L1;
+            if self.l1i.access(line, false) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1i_misses += 1;
+        } else {
+            self.stats.data_refs += 1;
+            if self.l1d.access(line, is_write) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1d_misses += 1;
         }
-        *miss_ctr += 1;
 
-        if self.l2.access(line, false) {
+        let level = if self.l2.access(line, false) {
             // L2 hit: refill L1 from L2.
             self.stats.l2_hits += 1;
-            let l1 = if r.kind == AccessKind::InstrFetch { &mut self.l1i } else { &mut self.l1d };
-            if let Some(v) = l1.fill(line, is_write) {
-                self.retire_l1_victim(v);
-            }
             ServiceLevel::L2
         } else {
             // L2 miss: fetch off-chip, fill both levels.
             self.stats.l2_misses += 1;
-            if let Some(v2) = self.l2.fill(line, false) {
+            if let Some(v2) = self.l2.fill_after_miss(line, false) {
                 if v2.dirty {
                     self.stats.offchip_writebacks += 1;
                 }
             }
-            let l1 = if r.kind == AccessKind::InstrFetch { &mut self.l1i } else { &mut self.l1d };
-            if let Some(v) = l1.fill(line, is_write) {
-                self.retire_l1_victim(v);
-            }
             ServiceLevel::Memory
+        };
+        let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+        if let Some(v) = l1.fill_after_miss(line, is_write) {
+            self.retire_l1_victim(v);
         }
+        level
     }
 
     fn stats(&self) -> &HierarchyStats {
@@ -147,8 +155,8 @@ impl MemorySystem for ConventionalTwoLevel {
         self.l2.reset_stats();
     }
 
-
     fn invalidate_line(&mut self, line: tlc_trace::LineAddr) -> u32 {
+        self.last_fetch = u64::MAX; // the filtered line may be the target
         let mut purged = 0;
         purged += self.l1i.invalidate(line) as u32;
         purged += self.l1d.invalidate(line) as u32;
@@ -207,11 +215,7 @@ mod tests {
         for i in 0..4096u64 {
             s.access(MemRef::load(Addr::new((i * 16) % 4096)));
         }
-        let dup = s
-            .l1d()
-            .iter_lines()
-            .filter(|l| s.l2().contains(*l))
-            .count();
+        let dup = s.l1d().iter_lines().filter(|l| s.l2().contains(*l)).count();
         let resident = s.l1d().resident_lines() as usize;
         assert!(resident > 0);
         assert!(
@@ -238,7 +242,7 @@ mod tests {
         let mut s = sys(1024, 2048, Associativity::Direct);
         let a = Addr::new(0x0000);
         s.access(MemRef::store(a)); // a in L1(dirty) and L2
-        // Evict a from L1 by a conflicting line; dirty a updates L2 copy.
+                                    // Evict a from L1 by a conflicting line; dirty a updates L2 copy.
         s.access(MemRef::load(Addr::new(1024)));
         // Now push a's dirty L2 copy out with an L2-conflicting line.
         s.access(MemRef::load(Addr::new(2048)));
@@ -259,20 +263,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "line size")]
     fn rejects_mismatched_line_sizes() {
-        let l1 = CacheConfig::new(
-            1024,
-            16,
-            Associativity::Direct,
-            crate::config::ReplacementKind::Lru,
-        )
-        .unwrap();
-        let l2 = CacheConfig::new(
-            8192,
-            32,
-            Associativity::Direct,
-            crate::config::ReplacementKind::Lru,
-        )
-        .unwrap();
+        let l1 =
+            CacheConfig::new(1024, 16, Associativity::Direct, crate::config::ReplacementKind::Lru)
+                .unwrap();
+        let l2 =
+            CacheConfig::new(8192, 32, Associativity::Direct, crate::config::ReplacementKind::Lru)
+                .unwrap();
         let _ = ConventionalTwoLevel::new(l1, l2);
     }
 

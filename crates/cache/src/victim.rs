@@ -131,7 +131,6 @@ impl MemorySystem for VictimCacheSystem {
         self.buffer.reset_stats();
     }
 
-
     fn invalidate_line(&mut self, line: tlc_trace::LineAddr) -> u32 {
         let mut purged = 0;
         purged += self.l1i.invalidate(line) as u32;
@@ -217,7 +216,7 @@ mod tests {
         s.access(MemRef::load(b)); // dirty a → buffer
         s.access(MemRef::load(a)); // back to L1, still dirty
         s.access(MemRef::load(b)); // dirty a → buffer again
-        // Flood the buffer to force a's eviction.
+                                   // Flood the buffer to force a's eviction.
         for i in 2..8u64 {
             s.access(MemRef::load(Addr::new(i * 0x400)));
         }

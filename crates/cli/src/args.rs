@@ -46,9 +46,8 @@ impl ArgMap {
                 if flag_names.contains(&name) {
                     out.flags.push(name.to_string());
                 } else {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| ArgError(format!("--{name} expects a value")))?;
+                    let v =
+                        it.next().ok_or_else(|| ArgError(format!("--{name} expects a value")))?;
                     out.options.insert(name.to_string(), v);
                 }
             } else {
@@ -81,9 +80,7 @@ impl ArgMap {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
         }
     }
 
@@ -93,10 +90,7 @@ impl ArgMap {
     ///
     /// Returns an error if the option is missing or unparsable.
     pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
-        let v = self
-            .options
-            .get(key)
-            .ok_or_else(|| ArgError(format!("--{key} is required")))?;
+        let v = self.options.get(key).ok_or_else(|| ArgError(format!("--{key} is required")))?;
         v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
     }
 }

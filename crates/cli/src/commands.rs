@@ -108,7 +108,8 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         other => return Err(ArgError(format!("unknown policy {other:?}"))),
     };
     let cell = if args.flag("dual") { CellKind::DualPorted } else { CellKind::SinglePorted };
-    let opts = SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
+    let opts =
+        SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
     let timing = TimingModel::paper();
     let area = AreaModel::new();
     let points = sweep(&full_space(&opts), benchmark, budget, &timing, &area);
@@ -191,7 +192,8 @@ pub fn cmd_timing(args: &ArgMap) -> Result<String, ArgError> {
     let a = area.cache_area(&geom, &t.org, cell);
     let e = energy.access_energy(&geom, &t.org, cell);
     let _ = writeln!(out, "  timing : {t}");
-    let _ = writeln!(out, "  area   : {} ({:.1}% periphery)", a.total(), a.overhead_fraction() * 100.0);
+    let _ =
+        writeln!(out, "  area   : {} ({:.1}% periphery)", a.total(), a.overhead_fraction() * 100.0);
     let _ = writeln!(out, "  energy : {e}");
     Ok(out)
 }
@@ -201,8 +203,8 @@ pub fn cmd_workload(args: &ArgMap) -> Result<String, ArgError> {
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("usage: tlc workload <spec.json> [options]".into()))?;
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let spec = WorkloadSpec::from_json(&json).map_err(|e| ArgError(e.to_string()))?;
     let mut workload = spec.build().map_err(|e| ArgError(e.to_string()))?;
     let cfg = parse_machine(args)?;
@@ -334,8 +336,19 @@ mod tests {
     #[test]
     fn evaluate_runs() {
         let out = run(&[
-            "evaluate", "--workload", "espresso", "--l1", "4", "--l2", "32", "--policy",
-            "exclusive", "--instr", "20000", "--warmup", "5000",
+            "evaluate",
+            "--workload",
+            "espresso",
+            "--l1",
+            "4",
+            "--l2",
+            "32",
+            "--policy",
+            "exclusive",
+            "--instr",
+            "20000",
+            "--warmup",
+            "5000",
         ])
         .expect("evaluate");
         assert!(out.contains("TPI"));
@@ -360,8 +373,7 @@ mod tests {
 
     #[test]
     fn profile_prints_curve() {
-        let out =
-            run(&["profile", "--workload", "eqntott", "--instr", "20000"]).expect("profile");
+        let out = run(&["profile", "--workload", "eqntott", "--instr", "20000"]).expect("profile");
         assert!(out.contains("Mattson"));
         assert!(out.contains("256K"));
     }
@@ -403,8 +415,7 @@ mod tests {
 
     #[test]
     fn compare_lists_all_organisations() {
-        let out = run(&["compare", "--workload", "espresso", "--instr", "30000"])
-            .expect("compare");
+        let out = run(&["compare", "--workload", "espresso", "--instr", "30000"]).expect("compare");
         for needle in
             ["single-level", "victim", "stream-buffer", "inclusive", "conventional", "exclusive"]
         {
@@ -416,7 +427,14 @@ mod tests {
     #[test]
     fn sweep_csv_mode() {
         let out = run(&[
-            "sweep", "--workload", "eqntott", "--instr", "5000", "--warmup", "1000", "--csv",
+            "sweep",
+            "--workload",
+            "eqntott",
+            "--instr",
+            "5000",
+            "--warmup",
+            "1000",
+            "--csv",
         ])
         .expect("sweep");
         assert!(out.starts_with("workload,label"));

@@ -118,8 +118,7 @@ pub fn evaluate_banked(
     // Banking multiplies only the L1 areas (the L2 keeps plain cells).
     let l1_geom = base.l1_geometry();
     let l1_t = timing.optimal(&l1_geom, tlc_area::CellKind::SinglePorted);
-    let l1_area =
-        area.total_area(&l1_geom, &l1_t.org, tlc_area::CellKind::SinglePorted).value();
+    let l1_area = area.total_area(&l1_geom, &l1_t.org, tlc_area::CellKind::SinglePorted).value();
     t.area_rbe += 2.0 * l1_area * (params.area_factor() - 1.0);
     t.issue_factor = 2.0 / (1.0 + p);
 

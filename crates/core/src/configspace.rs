@@ -57,19 +57,17 @@ pub fn two_level_configs(opts: &SpaceOptions) -> Vec<MachineConfig> {
             if l2 >= 2 * l1 {
                 // A `ways`-way L2 needs at least `ways` lines; all paper
                 // sizes satisfy this (2KB/16B = 128 lines ≥ 4).
-                out.push(
-                    MachineConfig {
-                        l1_size_bytes: l1 * 1024,
-                        l1_cell: opts.l1_cell,
-                        l2: Some(L2Spec {
-                            size_bytes: l2 * 1024,
-                            ways: opts.l2_ways,
-                            policy: opts.l2_policy,
-                        }),
-                        offchip_ns: opts.offchip_ns,
-                        line_bytes: 16,
-                    },
-                );
+                out.push(MachineConfig {
+                    l1_size_bytes: l1 * 1024,
+                    l1_cell: opts.l1_cell,
+                    l2: Some(L2Spec {
+                        size_bytes: l2 * 1024,
+                        ways: opts.l2_ways,
+                        policy: opts.l2_policy,
+                    }),
+                    offchip_ns: opts.offchip_ns,
+                    line_bytes: 16,
+                });
             }
         }
     }

@@ -10,13 +10,11 @@ use crate::machine::{L2Policy, MachineConfig, MachineTiming};
 use crate::tpi;
 use serde::{Deserialize, Serialize};
 use tlc_area::AreaModel;
-use tlc_cache::{
-    Associativity, CacheConfig, ConventionalTwoLevel, ExclusiveTwoLevel, HierarchyStats,
-    MemorySystem, SingleLevel,
-};
+use tlc_cache::{HierarchyStats, MemorySystem, SystemKind};
 use tlc_timing::TimingModel;
+use tlc_trace::arena::{ChunkView, FLAG_NONE, FLAG_STORE};
 use tlc_trace::spec::SpecBenchmark;
-use tlc_trace::{InstructionSource, Workload};
+use tlc_trace::{Addr, InstructionSource, MemRef, TraceArena, Workload};
 
 /// How long to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,14 +73,16 @@ pub struct DesignPoint {
     pub stats: HierarchyStats,
 }
 
-/// Builds the simulated memory system for a configuration.
+/// Builds the simulated memory system for a configuration as the
+/// closed-set [`SystemKind`] enum (the sweep fast path: `match` dispatch
+/// instead of a vtable in the per-instruction loop).
 ///
 /// # Panics
 ///
 /// Panics if the configuration's sizes are invalid (not powers of two,
 /// etc.) — configuration enumeration only produces valid ones.
-pub fn build_system(cfg: &MachineConfig) -> Box<dyn MemorySystem + Send> {
-    use tlc_cache::ReplacementKind;
+pub fn build_system_kind(cfg: &MachineConfig) -> SystemKind {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
     let l1 = CacheConfig::new(
         cfg.l1_size_bytes,
         cfg.line_bytes,
@@ -91,10 +91,13 @@ pub fn build_system(cfg: &MachineConfig) -> Box<dyn MemorySystem + Send> {
     )
     .expect("valid L1 configuration");
     match cfg.l2 {
-        None => Box::new(SingleLevel::new(l1)),
+        None => SystemKind::single(l1),
         Some(spec) => {
-            let assoc =
-                if spec.ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(spec.ways) };
+            let assoc = if spec.ways == 1 {
+                Associativity::Direct
+            } else {
+                Associativity::SetAssoc(spec.ways)
+            };
             let l2 = CacheConfig::new(
                 spec.size_bytes,
                 cfg.line_bytes,
@@ -103,11 +106,41 @@ pub fn build_system(cfg: &MachineConfig) -> Box<dyn MemorySystem + Send> {
             )
             .expect("valid L2 configuration");
             match spec.policy {
-                L2Policy::Conventional => Box::new(ConventionalTwoLevel::new(l1, l2)),
-                L2Policy::Exclusive => Box::new(ExclusiveTwoLevel::new(l1, l2)),
+                L2Policy::Conventional => SystemKind::conventional(l1, l2),
+                L2Policy::Exclusive => SystemKind::exclusive(l1, l2),
             }
         }
     }
+}
+
+/// Builds the simulated memory system for a configuration behind the
+/// open [`MemorySystem`] trait (the extension surface; sweeps use
+/// [`build_system_kind`]).
+///
+/// # Panics
+///
+/// As [`build_system_kind`].
+pub fn build_system(cfg: &MachineConfig) -> Box<dyn MemorySystem + Send> {
+    Box::new(build_system_kind(cfg))
+}
+
+/// Drives up to `limit` instructions from `source` through `sys`,
+/// returning how many were actually executed (less than `limit` only
+/// when the source exhausted).
+fn drive<S: InstructionSource + ?Sized, M: MemorySystem + ?Sized>(
+    sys: &mut M,
+    source: &mut S,
+    limit: u64,
+) -> u64 {
+    for n in 0..limit {
+        match source.next_instruction_opt() {
+            Some(rec) => {
+                sys.access_instruction(&rec);
+            }
+            None => return n,
+        }
+    }
+    limit
 }
 
 /// Runs `workload` through the system for `budget`, returning measured
@@ -117,36 +150,166 @@ pub fn simulate(cfg: &MachineConfig, workload: &mut Workload, budget: SimBudget)
 }
 
 /// As [`simulate`], for any [`InstructionSource`] — including recorded
-/// traces ([`tlc_trace::ReplaySource`]). If the source exhausts early the
-/// statistics cover whatever was measured up to that point (check
-/// `stats.instructions` against the budget).
+/// traces ([`tlc_trace::ReplaySource`]).
+///
+/// # Early exhaustion
+///
+/// A finite source may end before the budget is spent. The contract:
+/// warm-up consumes up to `budget.warmup_instructions`; statistics are
+/// then reset and measurement covers whatever remains, up to
+/// `budget.instructions`. A source that dies during warm-up therefore
+/// yields all-zero statistics — callers distinguish a short measurement
+/// from a full one by checking `stats.instructions` against the budget.
 pub fn simulate_source<S: InstructionSource + ?Sized>(
     cfg: &MachineConfig,
     source: &mut S,
     budget: SimBudget,
 ) -> HierarchyStats {
+    let mut sys = build_system_kind(cfg);
+    drive(&mut sys, source, budget.warmup_instructions);
+    sys.reset_stats();
+    drive(&mut sys, source, budget.instructions);
+    *sys.stats()
+}
+
+/// The pre-arena reference engine: drives the stream through the open
+/// [`MemorySystem`] trait object from [`build_system`], exactly as every
+/// evaluation did before the sweep engine existed — one virtual call per
+/// reference, regenerating the stream per invocation. Kept (rather than
+/// deleted) so the sweep benchmark has a stable baseline to measure the
+/// arena path against and so equivalence tests can pin the new engines
+/// to the old one bit-for-bit.
+pub fn simulate_source_dyn<S: InstructionSource + ?Sized>(
+    cfg: &MachineConfig,
+    source: &mut S,
+    budget: SimBudget,
+) -> HierarchyStats {
     let mut sys = build_system(cfg);
-    for _ in 0..budget.warmup_instructions {
-        match source.next_instruction_opt() {
-            Some(rec) => {
-                sys.access_instruction(&rec);
-            }
-            None => break,
+    drive(&mut *sys, source, budget.warmup_instructions);
+    sys.reset_stats();
+    drive(&mut *sys, source, budget.instructions);
+    *sys.stats()
+}
+
+/// As [`evaluate`], through the pre-arena reference engine
+/// ([`simulate_source_dyn`]). Bit-identical results, vtable-dispatch
+/// speed; used as the sweep benchmark's baseline.
+pub fn evaluate_dyn(
+    cfg: &MachineConfig,
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> DesignPoint {
+    let mut workload = benchmark.workload();
+    let stats = simulate_source_dyn(cfg, &mut workload, budget);
+    design_point(cfg, benchmark.name().to_string(), stats, timing, area)
+}
+
+/// Replays one arena chunk's packed columns through the system. This is
+/// the sweep's innermost loop: slice iteration, static dispatch (the
+/// caller monomorphizes it per concrete system type), no RNG, no
+/// allocation. Reference order matches
+/// [`MemorySystem::access_instruction`] exactly (fetch, then data), so
+/// statistics are bit-identical to the generic path.
+#[inline]
+fn replay_chunk<M: MemorySystem>(sys: &mut M, chunk: ChunkView<'_>, start: usize, end: usize) {
+    let fetch = &chunk.fetch[start..end];
+    let data = &chunk.data_addr[start..end];
+    let flags = &chunk.flags[start..end];
+    for i in 0..fetch.len() {
+        sys.access(MemRef::fetch(Addr::new(fetch[i])));
+        let flag = flags[i];
+        if flag != FLAG_NONE {
+            let addr = Addr::new(data[i]);
+            sys.access(if flag == FLAG_STORE { MemRef::store(addr) } else { MemRef::load(addr) });
         }
     }
-    sys.reset_stats();
-    for _ in 0..budget.instructions {
-        match source.next_instruction_opt() {
-            Some(rec) => {
-                sys.access_instruction(&rec);
-            }
-            None => break,
+}
+
+/// The chunk walk of [`simulate_arena`], monomorphized per concrete
+/// system type so every `access` call in the replay loop is a direct,
+/// inlinable call.
+fn replay_arena_on<M: MemorySystem>(sys: &mut M, arena: &TraceArena, budget: SimBudget) {
+    let warm = budget.warmup_instructions;
+    let total = warm.saturating_add(budget.instructions);
+    let mut pos = 0u64; // arena-global index of the next record
+    for chunk in arena.chunks() {
+        if pos >= total {
+            break;
         }
+        let take = (chunk.len() as u64).min(total - pos);
+        if pos >= warm {
+            // Entirely within measurement (reset already happened).
+            replay_chunk(sys, chunk, 0, take as usize);
+        } else if pos + take <= warm {
+            // Entirely within warm-up.
+            replay_chunk(sys, chunk, 0, take as usize);
+            if pos + take == warm {
+                sys.reset_stats();
+            }
+        } else {
+            // The warm-up boundary falls inside this chunk: split there.
+            let split = (warm - pos) as usize;
+            replay_chunk(sys, chunk, 0, split);
+            sys.reset_stats();
+            replay_chunk(sys, chunk, split, take as usize);
+        }
+        pos += take;
+    }
+    if pos <= warm {
+        // Arena exhausted inside warm-up (or zero measurement budget):
+        // nothing was measured.
+        sys.reset_stats();
+    }
+}
+
+/// As [`simulate_source`], replaying a captured [`TraceArena`] through
+/// the devirtualized fast path: the system kind is matched **once** and
+/// the whole replay runs on the concrete hierarchy type.
+///
+/// The same early-exhaustion contract applies when the arena holds fewer
+/// than `budget.warmup_instructions + budget.instructions` records.
+pub fn simulate_arena(
+    cfg: &MachineConfig,
+    arena: &TraceArena,
+    budget: SimBudget,
+) -> HierarchyStats {
+    let mut sys = build_system_kind(cfg);
+    match &mut sys {
+        SystemKind::Single(s) => replay_arena_on(s, arena, budget),
+        SystemKind::Conventional(s) => replay_arena_on(s, arena, budget),
+        SystemKind::Exclusive(s) => replay_arena_on(s, arena, budget),
     }
     *sys.stats()
 }
 
-/// Full §2 pipeline for one (configuration, benchmark) pair.
+fn design_point(
+    cfg: &MachineConfig,
+    workload: String,
+    stats: HierarchyStats,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> DesignPoint {
+    let t = MachineTiming::derive(cfg, timing, area);
+    let tpi = tpi::tpi_ns(&stats, &t);
+    DesignPoint {
+        machine: *cfg,
+        label: cfg.label(),
+        workload,
+        area_rbe: t.area_rbe,
+        l1_cycle_ns: t.l1_cycle_ns,
+        l2_cycles: t.l2_cycles,
+        tpi_ns: tpi,
+        cpi: tpi::cpi(tpi, &t),
+        stats,
+    }
+}
+
+/// Full §2 pipeline for one (configuration, benchmark) pair, generating
+/// the benchmark's stream on the fly. Sweeps over many configurations
+/// should capture the stream once ([`capture_benchmark`]) and use
+/// [`evaluate_arena`] instead.
 pub fn evaluate(
     cfg: &MachineConfig,
     benchmark: SpecBenchmark,
@@ -156,19 +319,29 @@ pub fn evaluate(
 ) -> DesignPoint {
     let mut workload = benchmark.workload();
     let stats = simulate(cfg, &mut workload, budget);
-    let t = MachineTiming::derive(cfg, timing, area);
-    let tpi = tpi::tpi_ns(&stats, &t);
-    DesignPoint {
-        machine: *cfg,
-        label: cfg.label(),
-        workload: benchmark.name().to_string(),
-        area_rbe: t.area_rbe,
-        l1_cycle_ns: t.l1_cycle_ns,
-        l2_cycles: t.l2_cycles,
-        tpi_ns: tpi,
-        cpi: tpi::cpi(tpi, &t),
-        stats,
-    }
+    design_point(cfg, benchmark.name().to_string(), stats, timing, area)
+}
+
+/// Captures exactly one `budget`'s worth (warm-up + measured) of
+/// `benchmark`'s stream into a shareable [`TraceArena`].
+pub fn capture_benchmark(benchmark: SpecBenchmark, budget: SimBudget) -> TraceArena {
+    let len = budget.warmup_instructions.saturating_add(budget.instructions);
+    TraceArena::capture(&mut benchmark.workload(), len)
+}
+
+/// As [`evaluate`], replaying a captured arena through the fast path.
+/// Produces a bit-identical [`DesignPoint`] when `arena` was captured
+/// from the benchmark's stream with at least a `budget`'s worth of
+/// instructions (see [`capture_benchmark`]).
+pub fn evaluate_arena(
+    cfg: &MachineConfig,
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> DesignPoint {
+    let stats = simulate_arena(cfg, arena, budget);
+    design_point(cfg, arena.name().to_string(), stats, timing, area)
 }
 
 #[cfg(test)]
@@ -273,5 +446,86 @@ mod tests {
         let b = SimBudget::standard().scaled(0.5);
         assert_eq!(b.instructions, 750_000);
         assert_eq!(b.warmup_instructions, 250_000);
+    }
+
+    #[test]
+    fn arena_evaluation_is_bit_identical_to_generator_evaluation() {
+        let (tm, am) = models();
+        let budget = SimBudget { instructions: 20_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Espresso, budget);
+        for cfg in [
+            MachineConfig::single_level(8, 50.0),
+            MachineConfig::two_level(4, 32, 4, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(4, 32, 4, L2Policy::Exclusive, 50.0),
+        ] {
+            let generated = evaluate(&cfg, SpecBenchmark::Espresso, budget, &tm, &am);
+            let replayed = evaluate_arena(&cfg, &arena, budget, &tm, &am);
+            assert_eq!(generated, replayed, "{}", cfg.label());
+            let legacy = evaluate_dyn(&cfg, SpecBenchmark::Espresso, budget, &tm, &am);
+            assert_eq!(legacy, replayed, "legacy engine diverged for {}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn arena_warmup_split_is_chunking_invariant() {
+        use tlc_trace::TraceArena;
+        // Chunk sizes chosen so the warm-up boundary lands mid-chunk,
+        // exactly on a chunk edge, and inside the first chunk.
+        let budget = SimBudget { instructions: 7_000, warmup_instructions: 3_000 };
+        let cfg = MachineConfig::two_level(2, 16, 4, L2Policy::Exclusive, 50.0);
+        let reference = {
+            let mut w = SpecBenchmark::Li.workload();
+            simulate_source(&cfg, &mut w, budget)
+        };
+        for chunk_len in [64usize, 1000, 3000, 10_000, 16_384] {
+            let arena =
+                TraceArena::capture_chunked(&mut SpecBenchmark::Li.workload(), 10_000, chunk_len);
+            let stats = simulate_arena(&cfg, &arena, budget);
+            assert_eq!(stats, reference, "chunk_len {chunk_len}");
+        }
+    }
+
+    /// The early-exhaustion contract of [`simulate_source`] /
+    /// [`simulate_arena`]: a short source measures what remains after
+    /// warm-up; a source that dies during warm-up measures nothing.
+    #[test]
+    fn early_exhaustion_contract() {
+        use tlc_trace::{ReplaySource, TraceArena};
+        let cfg = MachineConfig::two_level(1, 8, 4, L2Policy::Conventional, 50.0);
+        let budget = SimBudget { instructions: 5_000, warmup_instructions: 1_000 };
+        let records = SpecBenchmark::Gcc1.workload().take_instructions(3_000);
+
+        // 3000 records against a 1000+5000 budget: 2000 measured.
+        let mut short = ReplaySource::new("short", records.clone());
+        let stats = simulate_source(&cfg, &mut short, budget);
+        assert_eq!(stats.instructions, 2_000);
+        let arena = TraceArena::capture_chunked(
+            &mut ReplaySource::new("short", records.clone()),
+            u64::MAX,
+            700,
+        );
+        assert_eq!(simulate_arena(&cfg, &arena, budget), stats);
+
+        // 500 records exhaust inside the 1000-instruction warm-up:
+        // nothing measured, all-zero statistics.
+        let mut tiny = ReplaySource::new("tiny", records[..500].to_vec());
+        let stats = simulate_source(&cfg, &mut tiny, budget);
+        assert_eq!(stats, HierarchyStats::default());
+        let arena =
+            TraceArena::capture(&mut ReplaySource::new("tiny", records[..500].to_vec()), u64::MAX);
+        assert_eq!(simulate_arena(&cfg, &arena, budget), HierarchyStats::default());
+    }
+
+    #[test]
+    fn build_system_kind_matches_trait_object_builder() {
+        for cfg in [
+            MachineConfig::single_level(4, 50.0),
+            MachineConfig::two_level(2, 16, 4, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(2, 16, 4, L2Policy::Exclusive, 200.0),
+        ] {
+            let kind = build_system_kind(&cfg);
+            let boxed = build_system(&cfg);
+            assert_eq!(kind.describe(), boxed.describe(), "{}", cfg.label());
+        }
     }
 }

@@ -92,8 +92,7 @@ pub fn tpi_extended(stats: &HierarchyStats, t: &MachineTiming, model: &FutureWor
             // feel the extra latency.
             let lat = (t.l1_cycle_ns / datapath).ceil().max(1.0);
             let dpi = stats.data_refs as f64 / n;
-            let stall =
-                model.load_use_fraction * (lat - 1.0) * dpi * datapath;
+            let stall = model.load_use_fraction * (lat - 1.0) * dpi * datapath;
             (datapath, datapath / t.issue_factor + stall)
         }
     };
@@ -135,7 +134,13 @@ mod tests {
     }
 
     fn stats(instr: u64, data: u64, l2_hits: u64, l2_misses: u64) -> HierarchyStats {
-        HierarchyStats { instructions: instr, data_refs: data, l2_hits, l2_misses, ..Default::default() }
+        HierarchyStats {
+            instructions: instr,
+            data_refs: data,
+            l2_hits,
+            l2_misses,
+            ..Default::default()
+        }
     }
 
     #[test]

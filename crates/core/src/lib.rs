@@ -47,5 +47,7 @@ pub mod report;
 pub mod runner;
 pub mod tpi;
 
-pub use experiment::{evaluate, DesignPoint, SimBudget};
+pub use experiment::{
+    capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, DesignPoint, SimBudget,
+};
 pub use machine::{L2Policy, L2Spec, MachineConfig, MachineTiming};

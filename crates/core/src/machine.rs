@@ -93,16 +93,17 @@ impl MachineConfig {
     /// The paper's "x:y" label: L1 KB per side, then L2 KB (0 when
     /// absent) — e.g. `32:256` in Figure 5.
     pub fn label(&self) -> String {
-        format!(
-            "{}:{}",
-            self.l1_size_bytes / 1024,
-            self.l2.map_or(0, |l2| l2.size_bytes / 1024)
-        )
+        format!("{}:{}", self.l1_size_bytes / 1024, self.l2.map_or(0, |l2| l2.size_bytes / 1024))
     }
 
     /// Geometry of one L1 cache (direct-mapped, §2.1).
     pub fn l1_geometry(&self) -> CacheGeometry {
-        CacheGeometry { size_bytes: self.l1_size_bytes, line_bytes: self.line_bytes, ways: 1, addr_bits: 32 }
+        CacheGeometry {
+            size_bytes: self.l1_size_bytes,
+            line_bytes: self.line_bytes,
+            ways: 1,
+            addr_bits: 32,
+        }
     }
 
     /// Geometry of the L2 cache, if present.

@@ -154,10 +154,8 @@ mod tests {
     fn more_mshrs_never_hurt() {
         let (tm, am) = models();
         let cfg = MachineConfig::single_level(2, 50.0);
-        let r1 =
-            estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 1, &tm, &am);
-        let r8 =
-            estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 8, &tm, &am);
+        let r1 = estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 1, &tm, &am);
+        let r8 = estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 8, &tm, &am);
         assert!(
             r8.overlap_fraction >= r1.overlap_fraction,
             "8 MSHRs {:.3} vs 1 MSHR {:.3}",
@@ -183,8 +181,7 @@ mod tests {
         // rare misses are isolated.
         let (tm, am) = models();
         let cfg = MachineConfig::single_level(32, 50.0);
-        let dense =
-            estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 8, &tm, &am);
+        let dense = estimate_overlap(&cfg, SpecBenchmark::Tomcatv, SimBudget::quick(), 8, &tm, &am);
         let sparse =
             estimate_overlap(&cfg, SpecBenchmark::Espresso, SimBudget::quick(), 8, &tm, &am);
         assert!(

@@ -56,11 +56,7 @@ pub fn envelope_table(title: &str, points: &[DesignPoint]) -> String {
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{:>9} {:>12} {:>9}", "config", "area(rbe)", "TPI(ns)");
     for e in &env {
-        let _ = writeln!(
-            out,
-            "{:>9} {:>12.0} {:>9.2}",
-            points[e.index].label, e.area, e.tpi
-        );
+        let _ = writeln!(out, "{:>9} {:>12.0} {:>9.2}", points[e.index].label, e.area, e.tpi);
     }
     out
 }

@@ -1,17 +1,48 @@
 //! Parallel sweeps over the configuration space.
 //!
-//! Every (configuration, benchmark) evaluation is independent — the
-//! workload generators are seeded, so each evaluation re-creates its own
-//! identical stream — which makes the sweep embarrassingly parallel.
-//! [`sweep`] fans the configurations out over a thread pool sized to the
-//! machine and returns points in input order.
+//! Every (configuration, benchmark) evaluation is independent, which
+//! makes the sweep embarrassingly parallel — but the naive decomposition
+//! regenerates the benchmark's synthetic stream once *per configuration*
+//! (two virtual generator calls plus up to three RNG draws per
+//! instruction, times millions of instructions, times dozens of
+//! configurations). The sweeps here instead capture each benchmark's
+//! stream once into a shared [`TraceArena`] and fan the configurations
+//! out over a thread pool, each worker replaying the packed buffer
+//! through the devirtualized fast path
+//! ([`evaluate_arena`](crate::experiment::evaluate_arena)).
+//!
+//! Both decompositions produce bit-identical [`DesignPoint`]s: the arena
+//! holds exactly the stream the seeded generator would produce, and the
+//! replay issues references in the same order. [`sweep`] picks the arena
+//! path automatically unless the budget would make the capture enormous
+//! (see [`ARENA_BYTES_LIMIT`]); [`sweep_streaming_threads`] keeps the
+//! regenerate-per-configuration path available for comparison and for
+//! memory-constrained hosts.
 
-use crate::experiment::{evaluate, DesignPoint, SimBudget};
+use crate::experiment::{
+    capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, DesignPoint, SimBudget,
+};
 use crate::machine::MachineConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tlc_area::AreaModel;
 use tlc_timing::TimingModel;
 use tlc_trace::spec::SpecBenchmark;
+use tlc_trace::TraceArena;
+
+/// Upper bound on the arena capture size before [`sweep`] falls back to
+/// the streaming path: 1 GiB ≈ 63 M instructions at 17 bytes per packed
+/// record, far beyond the standard 2 M-instruction budget.
+pub const ARENA_BYTES_LIMIT: usize = 1 << 30;
+
+/// Packed bytes per captured instruction (fetch `u64` + data `u64` +
+/// flag `u8`); used to predict a capture's footprint before building it.
+pub const ARENA_BYTES_PER_RECORD: usize = 17;
+
+/// Predicted arena footprint in bytes for one benchmark at `budget`.
+pub fn arena_bytes_for(budget: SimBudget) -> usize {
+    let records = budget.warmup_instructions.saturating_add(budget.instructions);
+    usize::try_from(records).unwrap_or(usize::MAX).saturating_mul(ARENA_BYTES_PER_RECORD)
+}
 
 /// Evaluates every configuration on `benchmark`, in parallel. Results are
 /// returned in the same order as `configs`.
@@ -32,6 +63,12 @@ pub fn default_threads() -> usize {
 
 /// As [`sweep`], with an explicit thread count (tests use 1 or 2).
 ///
+/// Captures the benchmark's stream once and replays it for every
+/// configuration, unless the capture would exceed [`ARENA_BYTES_LIMIT`]
+/// (or there is only one configuration, where a capture cannot pay for
+/// itself) — then it streams instead. Either way the results are
+/// identical.
+///
 /// # Panics
 ///
 /// Panics if `threads` is zero.
@@ -44,10 +81,107 @@ pub fn sweep_threads(
     threads: usize,
 ) -> Vec<DesignPoint> {
     assert!(threads > 0, "need at least one worker thread");
+    if configs.len() <= 1 || arena_bytes_for(budget) > ARENA_BYTES_LIMIT {
+        return sweep_streaming_threads(configs, benchmark, budget, timing, area, threads);
+    }
+    let arena = capture_benchmark(benchmark, budget);
+    sweep_arena_threads(configs, &arena, budget, timing, area, threads)
+}
+
+/// Evaluates every configuration against an already-captured arena, in
+/// parallel, in input order. Callers that sweep the same benchmark
+/// several times (e.g. per off-chip latency or per L2 policy) capture
+/// once and call this directly.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    run_indexed(configs, threads, |cfg| evaluate_arena(cfg, arena, budget, timing, area))
+}
+
+/// The regenerate-per-configuration sweep: each evaluation rebuilds the
+/// benchmark's seeded generator and streams it from scratch. Kept public
+/// as the memory-lean fallback and as the reference the arena path is
+/// tested against.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_streaming_threads(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    run_indexed(configs, threads, |cfg| evaluate(cfg, benchmark, budget, timing, area))
+}
+
+/// The pre-arena baseline sweep: regenerates the stream per
+/// configuration *and* dispatches every reference through the
+/// `Box<dyn MemorySystem>` engine, exactly as `sweep` worked before the
+/// trace arena. Kept for the sweep benchmark (the speedup baseline) and
+/// for equivalence testing; new code should use [`sweep`].
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_dyn_threads(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    run_indexed(configs, threads, |cfg| evaluate_dyn(cfg, benchmark, budget, timing, area))
+}
+
+/// Sweeps `configs` across several benchmarks, capturing each
+/// benchmark's stream exactly once. Returns one result vector per
+/// benchmark, in benchmark order, each in `configs` order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_matrix(
+    configs: &[MachineConfig],
+    benchmarks: &[SpecBenchmark],
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<Vec<DesignPoint>> {
+    benchmarks.iter().map(|&b| sweep_threads(configs, b, budget, timing, area, threads)).collect()
+}
+
+/// Work-stealing fan-out: workers atomically claim configuration
+/// indices, results land back in input order.
+fn run_indexed<F>(configs: &[MachineConfig], threads: usize, eval: F) -> Vec<DesignPoint>
+where
+    F: Fn(&MachineConfig) -> DesignPoint + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
     if configs.is_empty() {
         return Vec::new();
     }
     let threads = threads.min(configs.len());
+    if threads == 1 {
+        // Run on the calling thread: spawning a worker is not only
+        // pointless serialisation, it is measurably slow — a fresh
+        // thread starts with a cold allocator heap, so every
+        // configuration's cache arrays page-fault from scratch.
+        return configs.iter().map(eval).collect();
+    }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
 
@@ -55,6 +189,7 @@ pub fn sweep_threads(
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let next = &next;
+            let eval = &eval;
             handles.push(scope.spawn(move || {
                 let mut mine = Vec::new();
                 loop {
@@ -62,7 +197,7 @@ pub fn sweep_threads(
                     if i >= configs.len() {
                         break;
                     }
-                    mine.push((i, evaluate(&configs[i], benchmark, budget, timing, area)));
+                    mine.push((i, eval(&configs[i])));
                 }
                 mine
             }));
@@ -80,7 +215,7 @@ pub fn sweep_threads(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::configspace::{single_level_configs, SpaceOptions};
+    use crate::configspace::{single_level_configs, two_level_configs, SpaceOptions};
 
     #[test]
     fn parallel_matches_serial() {
@@ -100,6 +235,52 @@ mod tests {
     }
 
     #[test]
+    fn arena_sweep_matches_streaming_sweep() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let mut configs = single_level_configs(&SpaceOptions::baseline())[..2].to_vec();
+        configs.extend_from_slice(&two_level_configs(&SpaceOptions::baseline())[..2]);
+        let budget = SimBudget { instructions: 15_000, warmup_instructions: 5_000 };
+        let streamed = sweep_streaming_threads(&configs, SpecBenchmark::Gcc1, budget, &tm, &am, 2);
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let replayed = sweep_arena_threads(&configs, &arena, budget, &tm, &am, 2);
+        assert_eq!(streamed, replayed, "arena sweep must be bit-identical to streaming");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_arena_results() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = two_level_configs(&SpaceOptions::baseline());
+        let configs = &configs[..5];
+        let budget = SimBudget { instructions: 10_000, warmup_instructions: 2_000 };
+        let arena = capture_benchmark(SpecBenchmark::Tomcatv, budget);
+        let one = sweep_arena_threads(configs, &arena, budget, &tm, &am, 1);
+        let many = sweep_arena_threads(configs, &arena, budget, &tm, &am, 5);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn matrix_groups_by_benchmark_in_order() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = single_level_configs(&SpaceOptions::baseline());
+        let configs = &configs[..2];
+        let budget = SimBudget { instructions: 5_000, warmup_instructions: 1_000 };
+        let benchmarks = [SpecBenchmark::Li, SpecBenchmark::Espresso];
+        let matrix = sweep_matrix(configs, &benchmarks, budget, &tm, &am, 2);
+        assert_eq!(matrix.len(), 2);
+        for (row, b) in matrix.iter().zip(&benchmarks) {
+            assert_eq!(row.len(), configs.len());
+            for p in row {
+                assert_eq!(p.workload, b.name());
+            }
+            // Each row matches its individual sweep exactly.
+            assert_eq!(row, &sweep_threads(configs, *b, budget, &tm, &am, 2));
+        }
+    }
+
+    #[test]
     fn preserves_input_order() {
         let tm = TimingModel::paper();
         let am = AreaModel::new();
@@ -115,9 +296,17 @@ mod tests {
     fn empty_space_is_fine() {
         let tm = TimingModel::paper();
         let am = AreaModel::new();
-        let points =
-            sweep_threads(&[], SpecBenchmark::Li, SimBudget::quick(), &tm, &am, 2);
+        let points = sweep_threads(&[], SpecBenchmark::Li, SimBudget::quick(), &tm, &am, 2);
         assert!(points.is_empty());
+    }
+
+    #[test]
+    fn arena_footprint_prediction() {
+        let b = SimBudget::standard();
+        assert_eq!(arena_bytes_for(b), 2_000_000 * 17);
+        assert!(arena_bytes_for(b) < ARENA_BYTES_LIMIT, "standard budget uses the arena path");
+        let huge = b.scaled(1000.0);
+        assert!(arena_bytes_for(huge) > ARENA_BYTES_LIMIT, "1000x budget streams instead");
     }
 
     #[test]

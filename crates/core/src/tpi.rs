@@ -40,8 +40,7 @@ pub fn tpi_ns(stats: &HierarchyStats, t: &MachineTiming) -> f64 {
         (0.0, t.offchip_rounded_ns + l1)
     };
     let base = n * l1 / t.issue_factor;
-    let total =
-        base + stats.l2_hits as f64 * hit_penalty + stats.l2_misses as f64 * miss_penalty;
+    let total = base + stats.l2_hits as f64 * hit_penalty + stats.l2_misses as f64 * miss_penalty;
     total / n
 }
 

@@ -296,12 +296,8 @@ impl DetailedTimingModel {
         // precharge PMOS.
         let len = d_rows * d.cell_height * cell.wire_factor();
         let c_line = len * d.c_metal + d_rows * d.c_diff * d.cell_pass_width;
-        let precharge = 0.45
-            + horowitz(
-                Self::rc(d.r_pmos_on / d.wordline_driver_width, c_line),
-                0.2,
-                0.5,
-            );
+        let precharge =
+            0.45 + horowitz(Self::rc(d.r_pmos_on / d.wordline_driver_width, c_line), 0.2, 0.5);
 
         let s = d.scale;
         TimingBreakdown {
@@ -325,12 +321,8 @@ impl DetailedTimingModel {
         let mut best: Option<CacheTiming> = None;
         for org in crate::model::candidate_orgs(geom) {
             let b = self.analyze(geom, &org, cell);
-            let cand = CacheTiming {
-                access_ns: b.access_ns(),
-                cycle_ns: b.cycle_ns(),
-                org,
-                breakdown: b,
-            };
+            let cand =
+                CacheTiming { access_ns: b.access_ns(), cycle_ns: b.cycle_ns(), org, breakdown: b };
             let subarrays = |t: &CacheTiming| t.org.data_subarrays() + t.org.tag_subarrays();
             let better = match &best {
                 None => true,
@@ -421,10 +413,14 @@ mod tests {
         let detailed = DetailedTimingModel::paper();
         let simple = TimingModel::paper();
         let sizes = [1u64, 2, 4, 8, 16, 32, 64, 128, 256];
-        let dv: Vec<f64> =
-            sizes.iter().map(|&kb| detailed.optimal(&dm(kb), CellKind::SinglePorted).cycle_ns).collect();
-        let sv: Vec<f64> =
-            sizes.iter().map(|&kb| simple.optimal(&dm(kb), CellKind::SinglePorted).cycle_ns).collect();
+        let dv: Vec<f64> = sizes
+            .iter()
+            .map(|&kb| detailed.optimal(&dm(kb), CellKind::SinglePorted).cycle_ns)
+            .collect();
+        let sv: Vec<f64> = sizes
+            .iter()
+            .map(|&kb| simple.optimal(&dm(kb), CellKind::SinglePorted).cycle_ns)
+            .collect();
         for i in 1..sizes.len() {
             assert!(
                 (dv[i] >= dv[i - 1] - 1e-9) == (sv[i] >= sv[i - 1] - 1e-9),

@@ -162,11 +162,9 @@ impl EnergyModel {
         };
         let data_array = array(d_rows, d_cols);
         let tag_array = array(t_rows, t_cols);
-        let decode = p.decoder_per_log_row
-            * (d_rows.max(1.0).log2() + t_rows.max(1.0).log2());
+        let decode = p.decoder_per_log_row * (d_rows.max(1.0).log2() + t_rows.max(1.0).log2());
         let sense = p.sense_per_col * (d_cols + t_cols);
-        let compare_and_output = p.comparator_per_bit
-            * (geom.tag_bits() as f64 * geom.ways as f64)
+        let compare_and_output = p.comparator_per_bit * (geom.tag_bits() as f64 * geom.ways as f64)
             + p.output_per_bit * 64.0;
         EnergyBreakdown { data_array, tag_array, decode, sense, compare_and_output }
     }

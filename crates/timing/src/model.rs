@@ -17,7 +17,9 @@
 
 use crate::tech::TechParams;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 use tlc_area::{ArrayOrg, CacheGeometry, CellKind};
 
 /// Itemised stage delays (ns, after technology scaling).
@@ -88,11 +90,7 @@ pub struct CacheTiming {
 
 impl fmt::Display for CacheTiming {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "access {:.2}ns / cycle {:.2}ns ({})",
-            self.access_ns, self.cycle_ns, self.org
-        )
+        write!(f, "access {:.2}ns / cycle {:.2}ns ({})", self.access_ns, self.cycle_ns, self.org)
     }
 }
 
@@ -110,20 +108,39 @@ impl fmt::Display for CacheTiming {
 /// assert!(large.cycle_ns > small.cycle_ns);
 /// assert!(small.cycle_ns > small.access_ns);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct TimingModel {
     tech: TechParams,
+    /// Memoised results of [`TimingModel::optimal`]. The organisation
+    /// search walks thousands of candidate layouts per call, yet a
+    /// design-space sweep asks about the same handful of geometries over
+    /// and over (every configuration sharing an L1 size shares its L1
+    /// timing). The entries are pure functions of `(geometry, cell)` and
+    /// the immutable `tech`, so caching is observationally transparent.
+    memo: Mutex<HashMap<OptimalKey, CacheTiming>>,
+}
+
+/// Memo key for [`TimingModel::optimal`]: the geometry fields plus the
+/// cell kind, all plain integers.
+type OptimalKey = (u64, u64, u32, u32, bool);
+
+impl Clone for TimingModel {
+    fn clone(&self) -> Self {
+        // The memo holds derived data only; a clone starts cold rather
+        // than copying (and thereby locking) the source's cache.
+        TimingModel { tech: self.tech, memo: Mutex::default() }
+    }
 }
 
 impl TimingModel {
     /// Model at the paper's operating point (0.5µm scaling).
     pub fn paper() -> Self {
-        TimingModel { tech: TechParams::paper_0_5um() }
+        TimingModel::with_tech(TechParams::paper_0_5um())
     }
 
     /// Model with explicit technology parameters.
     pub fn with_tech(tech: TechParams) -> Self {
-        TimingModel { tech }
+        TimingModel { tech, memo: Mutex::default() }
     }
 
     /// The technology parameters in use.
@@ -167,8 +184,7 @@ impl TimingModel {
             mux: if geom.ways > 1 { t.mux_driver } else { 0.0 },
             output: t.output_driver,
             precharge: t.precharge_base
-                + t.precharge_bitline_factor
-                    * (t.bitline_rc * (d_rows * d_rows) * wf2),
+                + t.precharge_bitline_factor * (t.bitline_rc * (d_rows * d_rows) * wf2),
         };
         // Apply the linear technology scale to every stage.
         let s = t.scale;
@@ -221,22 +237,45 @@ pub(crate) fn candidate_orgs(geom: &CacheGeometry) -> Vec<ArrayOrg> {
 impl TimingModel {
     /// Finds the organisation with the minimum cycle time (ties broken by
     /// access time), as the paper's §2.3 search does.
+    ///
+    /// Results are memoised per model instance: the search is a pure
+    /// function of the geometry, the cell kind and the (immutable)
+    /// technology parameters, and sweeps request the same geometries for
+    /// every configuration that shares a cache size.
     pub fn optimal(&self, geom: &CacheGeometry, cell: CellKind) -> CacheTiming {
+        let key: OptimalKey = (
+            geom.size_bytes,
+            geom.line_bytes,
+            geom.ways,
+            geom.addr_bits,
+            matches!(cell, CellKind::DualPorted),
+        );
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is still a valid memo, so keep using it.
+        if let Some(hit) = self.memo.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
+            return *hit;
+        }
+        // Search without holding the lock: sweep threads asking about
+        // distinct geometries should not serialise on each other. Two
+        // threads racing on the same key both compute the same value, so
+        // the duplicate insert is harmless.
+        let best = self.search_optimal(geom, cell);
+        self.memo.lock().unwrap_or_else(|p| p.into_inner()).insert(key, best);
+        best
+    }
+
+    /// The uncached §2.3 organisation search behind [`TimingModel::optimal`].
+    fn search_optimal(&self, geom: &CacheGeometry, cell: CellKind) -> CacheTiming {
         let mut best: Option<CacheTiming> = None;
         for org in Self::candidate_orgs(geom) {
             let b = self.analyze(geom, &org, cell);
-            let cand = CacheTiming {
-                access_ns: b.access_ns(),
-                cycle_ns: b.cycle_ns(),
-                org,
-                breakdown: b,
-            };
+            let cand =
+                CacheTiming { access_ns: b.access_ns(), cycle_ns: b.cycle_ns(), org, breakdown: b };
             // Near-ties in cycle time (within 5 ps) are broken toward the
             // organisation with fewer subarrays — the machine cycle is
             // quantised far more coarsely than that, and the paper's area
             // model charges real silicon for every extra subarray.
-            let subarrays =
-                |t: &CacheTiming| t.org.data_subarrays() + t.org.tag_subarrays();
+            let subarrays = |t: &CacheTiming| t.org.data_subarrays() + t.org.tag_subarrays();
             let better = match &best {
                 None => true,
                 Some(cur) => {
@@ -388,6 +427,20 @@ mod tests {
         let g_dm = CacheGeometry::paper(64 * 1024, 1);
         let b_dm = m.analyze(&g_dm, &ArrayOrg::UNIT, CellKind::SinglePorted);
         assert_eq!(b_dm.mux, 0.0, "direct-mapped read bypasses the mux driver");
+    }
+
+    #[test]
+    fn memoised_optimal_is_bit_identical_and_cell_keyed() {
+        let m = model();
+        let g = CacheGeometry::paper(32 * 1024, 2);
+        let cold = m.optimal(&g, CellKind::SinglePorted);
+        let warm = m.optimal(&g, CellKind::SinglePorted);
+        assert_eq!(cold, warm, "memo hit must replay the exact search result");
+        // The cell kind is part of the key: dual-ported must not collide.
+        let dual = m.optimal(&g, CellKind::DualPorted);
+        assert!(dual.cycle_ns > cold.cycle_ns);
+        // A clone starts cold but computes the same pure function.
+        assert_eq!(m.clone().optimal(&g, CellKind::SinglePorted), cold);
     }
 
     #[test]

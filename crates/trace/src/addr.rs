@@ -19,7 +19,9 @@ use std::fmt;
 /// assert_eq!(a.line(16).0, 0x123);
 /// assert_eq!(a.align_down(16), Addr::new(0x1230));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -98,7 +100,9 @@ impl From<Addr> for u64 {
 /// Line addresses coming from the same [`Addr::line`] call with the same
 /// line size are directly comparable; the cache simulator works in this
 /// domain exclusively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

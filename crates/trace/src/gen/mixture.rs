@@ -108,11 +108,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn region_source(base: u64, len: u64) -> Box<dyn AddrSource> {
-        Box::new(RegionSet::new(vec![Region::new(
-            AddrRange::new(Addr::new(base), len),
-            1.0,
-            1.0,
-        )]))
+        Box::new(RegionSet::new(vec![Region::new(AddrRange::new(Addr::new(base), len), 1.0, 1.0)]))
     }
 
     #[test]

@@ -204,10 +204,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "mean_run")]
     fn rejects_zero_run() {
-        let _ = RegionSet::new(vec![Region::new(
-            AddrRange::new(Addr::new(0), 64),
-            1.0,
-            0.0,
-        )]);
+        let _ = RegionSet::new(vec![Region::new(AddrRange::new(Addr::new(0), 64), 1.0, 0.0)]);
     }
 }

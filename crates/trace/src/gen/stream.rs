@@ -131,8 +131,7 @@ mod tests {
         // cache, i.e. a 50% per-access new-line rate.
         let mut rng = StdRng::seed_from_u64(0);
         let len = 1024u64;
-        let mut s =
-            StreamWalker::new(vec![StreamArray::new(AddrRange::new(Addr::new(0), len), 8)]);
+        let mut s = StreamWalker::new(vec![StreamArray::new(AddrRange::new(Addr::new(0), len), 8)]);
         let mut new_lines = 0;
         let mut seen = std::collections::HashSet::new();
         let accesses = len / 8; // one full pass

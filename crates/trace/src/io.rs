@@ -220,10 +220,7 @@ pub fn write_instruction_trace<W: Write>(
     for r in records {
         let (flags, data_addr) = match r.data {
             None => (0u8, None),
-            Some(d) => (
-                1 | ((d.kind == AccessKind::Store) as u8) << 1,
-                Some(d.addr.raw()),
-            ),
+            Some(d) => (1 | ((d.kind == AccessKind::Store) as u8) << 1, Some(d.addr.raw())),
         };
         out.write_all(&[flags])?;
         out.write_all(&r.fetch.raw().to_le_bytes())?;
@@ -328,10 +325,7 @@ mod tests {
     fn text_allows_comments_and_blanks() {
         let src = "# header\n\nI 0x100\n  L 0x200  \n";
         let parsed = read_text_trace(src.as_bytes()).unwrap();
-        assert_eq!(
-            parsed,
-            vec![MemRef::fetch(Addr::new(0x100)), MemRef::load(Addr::new(0x200))]
-        );
+        assert_eq!(parsed, vec![MemRef::fetch(Addr::new(0x100)), MemRef::load(Addr::new(0x200))]);
     }
 
     #[test]
@@ -374,10 +368,8 @@ mod tests {
 
     #[test]
     fn instruction_trace_rejects_truncation() {
-        let recs = vec![crate::InstructionRecord::with_data(
-            Addr::new(4),
-            MemRef::load(Addr::new(8)),
-        )];
+        let recs =
+            vec![crate::InstructionRecord::with_data(Addr::new(4), MemRef::load(Addr::new(8)))];
         let mut buf = Vec::new();
         write_instruction_trace(&mut buf, &recs).unwrap();
         buf.truncate(buf.len() - 3); // chop the data address

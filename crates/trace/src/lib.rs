@@ -31,6 +31,8 @@
 //! * [`MemRef`], [`InstructionRecord`] — reference records.
 //! * [`gen`] — composable address-stream generators.
 //! * [`Workload`] — instruction+data stream with a reference mix.
+//! * [`TraceArena`] — a stream captured once into packed chunks and
+//!   replayed by every configuration of a design-space sweep.
 //! * [`spec`] — the seven SPEC'89-like presets of the paper's Table 1.
 //! * [`TraceStats`] — Table-1-style counters and footprints.
 //! * [`io`] — binary and text trace serialisation.
@@ -39,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod arena;
 pub mod gen;
 pub mod io;
 mod record;
@@ -50,6 +53,7 @@ mod timeslice;
 mod workload;
 
 pub use addr::{Addr, AddrRange, LineAddr};
+pub use arena::{ArenaReplay, ChunkView, TraceArena};
 pub use record::{AccessKind, InstructionRecord, MemRef};
 pub use source::{InstructionSource, ReplaySource};
 pub use stats::{TraceStats, TraceSummary};

@@ -258,21 +258,22 @@ impl SpecBenchmark {
                     Region::new(AddrRange::new(Addr::new(HEAP_BASE), 256 * KB), 0.15, 4.0),
                 ]))
             }
-            SpecBenchmark::Doduc => {
-                Box::new(RegionSet::new(vec![
-                    Region::new(AddrRange::new(Addr::new(DATA_BASE), 8 * KB), 0.48, 6.0),
-                    Region::new(AddrRange::new(Addr::new(DATA_BASE + MB), 72 * KB), 0.34, 4.0),
-                    Region::new(AddrRange::new(Addr::new(HEAP_BASE), 384 * KB), 0.18, 3.0),
-                ]))
-            }
+            SpecBenchmark::Doduc => Box::new(RegionSet::new(vec![
+                Region::new(AddrRange::new(Addr::new(DATA_BASE), 8 * KB), 0.48, 6.0),
+                Region::new(AddrRange::new(Addr::new(DATA_BASE + MB), 72 * KB), 0.34, 4.0),
+                Region::new(AddrRange::new(Addr::new(HEAP_BASE), 384 * KB), 0.18, 3.0),
+            ])),
             SpecBenchmark::Li => {
                 // Hot stack/environment + pointer-chased cons heap.
                 let hot = RegionSet::new(vec![
                     Region::new(AddrRange::new(Addr::new(DATA_BASE), 4 * KB), 0.70, 3.0),
                     Region::new(AddrRange::new(Addr::new(DATA_BASE + MB), 24 * KB), 0.30, 2.0),
                 ]);
-                let heap =
-                    PermutationChase::new(AddrRange::new(Addr::new(HEAP_BASE), 160 * KB), 0.004, rng);
+                let heap = PermutationChase::new(
+                    AddrRange::new(Addr::new(HEAP_BASE), 160 * KB),
+                    0.004,
+                    rng,
+                );
                 Box::new(Mixture::new(vec![
                     MixEntry::new(0.72, 24.0, Box::new(hot)),
                     MixEntry::new(0.28, 8.0, Box::new(heap)),
@@ -389,12 +390,8 @@ mod tests {
             assert!(dpi > 0.1 && dpi < 0.7, "{b}: dpi {dpi}");
         }
         // fpppp has the highest data share, eqntott the lowest.
-        assert!(
-            SpecBenchmark::Fpppp.data_per_instr() > SpecBenchmark::Gcc1.data_per_instr()
-        );
-        assert!(
-            SpecBenchmark::Eqntott.data_per_instr() < SpecBenchmark::Espresso.data_per_instr()
-        );
+        assert!(SpecBenchmark::Fpppp.data_per_instr() > SpecBenchmark::Gcc1.data_per_instr());
+        assert!(SpecBenchmark::Eqntott.data_per_instr() < SpecBenchmark::Espresso.data_per_instr());
     }
 
     #[test]

@@ -290,7 +290,9 @@ impl WorkloadSpec {
         }
         let c = &self.code;
         if c.footprint_kb == 0 || c.n_sites == 0 {
-            return Err(SpecError::Invalid("code footprint and site count must be positive".into()));
+            return Err(SpecError::Invalid(
+                "code footprint and site count must be positive".into(),
+            ));
         }
         if c.body_min_bytes < 4 || c.body_min_bytes > c.body_max_bytes {
             return Err(SpecError::Invalid("invalid code body bounds".into()));
@@ -441,11 +443,7 @@ mod tests {
         assert!(matches!(spec2.build(), Err(SpecError::Invalid(_))));
 
         let spec3 = WorkloadSpec {
-            data: DataSpec::Stream(vec![StreamSpec {
-                base: 0,
-                size_kb: 1,
-                stride_bytes: 0,
-            }]),
+            data: DataSpec::Stream(vec![StreamSpec { base: 0, size_kb: 1, stride_bytes: 0 }]),
             ..sample_spec()
         };
         assert!(matches!(spec3.build(), Err(SpecError::Invalid(_))));

@@ -67,14 +67,7 @@ impl TimeSliced {
             "timesliced[{}]",
             sources.iter().map(|s| s.source_name()).collect::<Vec<_>>().join("+")
         );
-        TimeSliced {
-            name,
-            sources,
-            quantum,
-            current: 0,
-            issued_in_quantum: 0,
-            context_switches: 0,
-        }
+        TimeSliced { name, sources, quantum, current: 0, issued_in_quantum: 0, context_switches: 0 }
     }
 
     /// Context switches performed so far.
@@ -159,10 +152,7 @@ mod tests {
 
     #[test]
     fn exhausted_process_is_skipped() {
-        let a = ReplaySource::new(
-            "a",
-            vec![InstructionRecord::fetch_only(Addr::new(0x1000))],
-        );
+        let a = ReplaySource::new("a", vec![InstructionRecord::fetch_only(Addr::new(0x1000))]);
         let b = ReplaySource::new(
             "b",
             (0..5).map(|i| InstructionRecord::fetch_only(Addr::new(0x2000 + i * 4))).collect(),

@@ -46,7 +46,9 @@ fn main() {
     println!(
         "{}",
         points_table(
-            &format!("{benchmark}: {offchip}ns off-chip, 4-way conventional L2 (envelope marked *)"),
+            &format!(
+                "{benchmark}: {offchip}ns off-chip, 4-way conventional L2 (envelope marked *)"
+            ),
             &points
         )
     );

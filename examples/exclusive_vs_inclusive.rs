@@ -30,9 +30,7 @@ fn main() {
     let a = two_level_cache::trace::Addr::new(0x000); // L1 line 0, L2 line 0
     let e = two_level_cache::trace::Addr::new(0x100); // L1 line 0, L2 line 0
     use two_level_cache::trace::MemRef;
-    for (step, addr) in
-        [("A", a), ("E", e), ("A", a), ("E", e), ("A", a)]
-    {
+    for (step, addr) in [("A", a), ("E", e), ("A", a), ("E", e), ("A", a)] {
         let level = sys.access(MemRef::load(addr));
         println!(
             "ref {step}: served by {level:?}; L1 holds A:{} E:{}, L2 holds A:{} E:{}",

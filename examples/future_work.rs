@@ -30,8 +30,7 @@ fn main() {
 
     // The fixed datapath cycle a multicycle design would use: what the
     // fastest (1KB) L1 allows.
-    let datapath =
-        timing.optimal(&CacheGeometry::paper(1024, 1), CellKind::SinglePorted).cycle_ns;
+    let datapath = timing.optimal(&CacheGeometry::paper(1024, 1), CellKind::SinglePorted).cycle_ns;
     println!("datapath cycle for the multicycle model: {datapath:.2} ns\n");
 
     let models = [

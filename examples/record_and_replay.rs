@@ -39,7 +39,11 @@ fn main() -> std::io::Result<()> {
             let recs = SpecBenchmark::Li.workload().take_instructions(n_total);
             write_instruction_trace(BufWriter::new(File::create(&path)?), &recs)?;
             let size = std::fs::metadata(&path)?.len();
-            println!("trace file: {} bytes ({:.1} bytes/instruction)", size, size as f64 / n_total as f64);
+            println!(
+                "trace file: {} bytes ({:.1} bytes/instruction)",
+                size,
+                size as f64 / n_total as f64
+            );
 
             // Read it back — everything downstream uses only the file.
             let recs = read_instruction_trace(BufReader::new(File::open(&path)?))?;

@@ -1,0 +1,104 @@
+//! Arena-replay equivalence: the capture-once/replay-many sweep engine
+//! must be observationally identical to the original generate-per-eval
+//! pipeline — same `HierarchyStats`, same `tpi_ns`, bit for bit — for
+//! every benchmark and every hierarchy organisation, regardless of how
+//! the arena is chunked or how many worker threads replay it.
+//!
+//! These are the acceptance tests for the sweep engine's central claim:
+//! the ≥3× speedup (see `crates/bench/benches/sweep_throughput.rs` and
+//! `BENCH_sweep.json`) is a pure engine optimisation, not a change to
+//! the simulated machine.
+
+use tlc_area::AreaModel;
+use tlc_core::experiment::{capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, SimBudget};
+use tlc_core::runner::sweep_arena_threads;
+use tlc_core::{L2Policy, MachineConfig};
+use tlc_timing::TimingModel;
+use tlc_trace::spec::SpecBenchmark;
+use tlc_trace::TraceArena;
+
+const BUDGET: SimBudget = SimBudget { instructions: 12_000, warmup_instructions: 3_000 };
+
+/// One configuration per `SystemKind` variant: single-level, conventional
+/// two-level, and exclusive two-level.
+fn hierarchy_kinds() -> [MachineConfig; 3] {
+    [
+        MachineConfig::single_level(4, 50.0),
+        MachineConfig::two_level(4, 64, 4, L2Policy::Conventional, 50.0),
+        MachineConfig::two_level(4, 64, 4, L2Policy::Exclusive, 50.0),
+    ]
+}
+
+/// Every benchmark × every hierarchy kind: the arena replay and both
+/// generator-driven engines (monomorphised and the legacy vtable path)
+/// must agree on the entire `DesignPoint` — stats, `tpi_ns`, CPI, label.
+#[test]
+fn arena_replay_matches_generation_for_all_benchmarks_and_kinds() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    for benchmark in SpecBenchmark::ALL {
+        let arena = capture_benchmark(benchmark, BUDGET);
+        for cfg in hierarchy_kinds() {
+            let generated = evaluate(&cfg, benchmark, BUDGET, &tm, &am);
+            let replayed = evaluate_arena(&cfg, &arena, BUDGET, &tm, &am);
+            assert_eq!(
+                generated,
+                replayed,
+                "{} on {}: arena replay diverged from generation",
+                benchmark.name(),
+                cfg.label()
+            );
+            let legacy = evaluate_dyn(&cfg, benchmark, BUDGET, &tm, &am);
+            assert_eq!(
+                generated,
+                legacy,
+                "{} on {}: devirtualised engine diverged from the dyn path",
+                benchmark.name(),
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// Arena chunking is an allocation detail: replaying the same stream
+/// through pathological (tiny, prime, huge) chunk sizes must not change
+/// a single statistic.
+#[test]
+fn chunk_size_does_not_change_results() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    let len = BUDGET.warmup_instructions + BUDGET.instructions;
+    let reference = capture_benchmark(SpecBenchmark::Li, BUDGET);
+    let cfgs = hierarchy_kinds();
+    let expected: Vec<_> =
+        cfgs.iter().map(|c| evaluate_arena(c, &reference, BUDGET, &tm, &am)).collect();
+    for chunk_len in [7usize, 64, 1 << 12, 1 << 20] {
+        let arena = TraceArena::capture_chunked(&mut SpecBenchmark::Li.workload(), len, chunk_len);
+        for (cfg, want) in cfgs.iter().zip(&expected) {
+            let got = evaluate_arena(cfg, &arena, BUDGET, &tm, &am);
+            assert_eq!(&got, want, "chunk_len={chunk_len} changed {}", cfg.label());
+        }
+    }
+}
+
+/// Thread fan-out is a scheduling detail: a sweep over a mixed
+/// configuration list must return the same `DesignPoint`s in the same
+/// order for any worker count.
+#[test]
+fn thread_count_does_not_change_design_points() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    let configs: Vec<MachineConfig> = hierarchy_kinds()
+        .into_iter()
+        .chain([
+            MachineConfig::single_level(16, 50.0),
+            MachineConfig::two_level(2, 32, 1, L2Policy::Exclusive, 50.0),
+        ])
+        .collect();
+    let arena = capture_benchmark(SpecBenchmark::Eqntott, BUDGET);
+    let serial = sweep_arena_threads(&configs, &arena, BUDGET, &tm, &am, 1);
+    for threads in [2usize, 3, 8] {
+        let parallel = sweep_arena_threads(&configs, &arena, BUDGET, &tm, &am, threads);
+        assert_eq!(serial, parallel, "threads={threads} changed the sweep");
+    }
+}

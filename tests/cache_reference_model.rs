@@ -111,7 +111,8 @@ fn run_differential(
     };
     let cfg = CacheConfig::new(lines * 16, 16, assoc, repl).expect("valid config");
     let mut cache = Cache::new(cfg);
-    let mut naive = NaiveCache::new(lines / ways as u64, ways as usize, repl == ReplacementKind::Lru);
+    let mut naive =
+        NaiveCache::new(lines / ways as u64, ways as usize, repl == ReplacementKind::Lru);
 
     for (i, op) in ops.iter().enumerate() {
         match *op {
@@ -142,7 +143,10 @@ fn run_differential(
                 prop_assert_eq!(x1, x2, "op {}: extract({}) mismatch", i, line);
             }
         }
-        prop_assert_eq!(cache.contains(LineAddr(ops[0].line_of())), naive.contains(ops[0].line_of()));
+        prop_assert_eq!(
+            cache.contains(LineAddr(ops[0].line_of())),
+            naive.contains(ops[0].line_of())
+        );
     }
     prop_assert_eq!(cache.resident_lines(), naive.resident());
     Ok(())

@@ -62,10 +62,7 @@ fn miss_rates_decrease_with_cache_size() {
     for b in SpecBenchmark::ALL {
         let small = miss_rate(b, 2, N / 2);
         let large = miss_rate(b, 64, N / 2);
-        assert!(
-            large < small,
-            "{b}: miss rate must fall with size (2KB {small}, 64KB {large})"
-        );
+        assert!(large < small, "{b}: miss rate must fall with size (2KB {small}, 64KB {large})");
     }
 }
 

@@ -38,10 +38,7 @@ fn single_level_tpi_minimum_is_interior() {
             .min_by(|x, y| x.tpi_ns.partial_cmp(&y.tpi_ns).expect("no NaN"))
             .expect("nonempty");
         let kb = best.machine.l1_size_bytes / 1024;
-        assert!(
-            (8..=128).contains(&kb),
-            "{b}: minimum at {kb}KB, paper says 8KB–128KB"
-        );
+        assert!((8..=128).contains(&kb), "{b}: minimum at {kb}KB, paper says 8KB–128KB");
     }
 }
 
@@ -125,11 +122,7 @@ fn exclusive_dm_l2_competitive_with_conventional_4way() {
     // a 4-way set-associative second-level cache."
     let conv4 = run_space(&SpaceOptions::baseline(), SpecBenchmark::Gcc1);
     let excl_dm = run_space(
-        &SpaceOptions {
-            l2_ways: 1,
-            l2_policy: L2Policy::Exclusive,
-            ..SpaceOptions::baseline()
-        },
+        &SpaceOptions { l2_ways: 1, l2_policy: L2Policy::Exclusive, ..SpaceOptions::baseline() },
         SpecBenchmark::Gcc1,
     );
     // Compare the two envelopes where they overlap: within a few percent.
@@ -166,10 +159,7 @@ fn dual_ported_crossover_exists() {
         .find(|p| envelope_at(&env_base, p.area).is_some_and(|t| p.tpi < t))
         .map(|p| p.area);
     let x = crossover.expect("dual-ported must overtake the base cell somewhere");
-    assert!(
-        (30_000.0..2_000_000.0).contains(&x),
-        "crossover at {x:.0} rbe is implausible"
-    );
+    assert!((30_000.0..2_000_000.0).contains(&x), "crossover at {x:.0} rbe is implausible");
 }
 
 #[test]

@@ -28,12 +28,13 @@ fn ref_stream(max_lines: u64, len: usize) -> impl Strategy<Value = Vec<MemRef>> 
 
 /// Geometry strategy: L1 and L2 sizes (bytes) with L2 ≥ 2×L1, plus ways.
 fn geometry() -> impl Strategy<Value = (u64, u64, u32)> {
-    (6u32..10, 1u32..4, prop::sample::select(vec![1u32, 2, 4]))
-        .prop_map(|(l1_log, ratio_log, ways)| {
+    (6u32..10, 1u32..4, prop::sample::select(vec![1u32, 2, 4])).prop_map(
+        |(l1_log, ratio_log, ways)| {
             let l1 = 1u64 << l1_log; // 64..512 bytes
             let l2 = l1 << ratio_log; // 2x..8x
             (l1, l2, ways)
-        })
+        },
+    )
 }
 
 fn build_pair(

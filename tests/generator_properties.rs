@@ -16,15 +16,15 @@ fn code_spec() -> impl Strategy<Value = CodeSpec> {
             let mean_iters = (mean_iters * 1000.0).round() / 1000.0;
             let p_excursion = (p_excursion * 1000.0).round() / 1000.0;
             CodeSpec {
-            footprint_kb: 1 << log_kb,
-            n_sites,
-            body_min_bytes: 64,
-            body_max_bytes: 512,
-            mean_iters,
-            zipf_theta: 1.0,
-            p_excursion,
-            excursion_bytes: 256,
-            base: 0x40_0000,
+                footprint_kb: 1 << log_kb,
+                n_sites,
+                body_min_bytes: 64,
+                body_max_bytes: 512,
+                mean_iters,
+                zipf_theta: 1.0,
+                p_excursion,
+                excursion_bytes: 256,
+                base: 0x40_0000,
             }
         },
     )
@@ -125,10 +125,9 @@ proptest! {
         // both solo streams in lockstep with the quantum schedule.
         let mut solo_a = SpecBenchmark::Espresso.workload();
         let mut solo_b = SpecBenchmark::Tomcatv.workload();
-        let mut idx = 0usize;
         let mut current = 0;
         let mut in_quantum = 0u64;
-        for rec in merged {
+        for (idx, rec) in merged.into_iter().enumerate() {
             if in_quantum >= quantum {
                 in_quantum = 0;
                 current = (current + 1) % 2;
@@ -140,7 +139,6 @@ proptest! {
             };
             prop_assert_eq!(rec, expect, "divergence at merged index {}", idx);
             in_quantum += 1;
-            idx += 1;
         }
     }
 }

@@ -8,15 +8,17 @@ use two_level_cache::timing::TimingModel;
 
 /// Strategy over the paper's cache geometries.
 fn geometry() -> impl Strategy<Value = CacheGeometry> {
-    (10u32..19, prop::sample::select(vec![1u32, 2, 4, 8]))
-        .prop_filter_map("cache must hold >= ways lines", |(log_size, ways)| {
+    (10u32..19, prop::sample::select(vec![1u32, 2, 4, 8])).prop_filter_map(
+        "cache must hold >= ways lines",
+        |(log_size, ways)| {
             let size = 1u64 << log_size;
             if size / 16 >= ways as u64 {
                 Some(CacheGeometry::paper(size, ways))
             } else {
                 None
             }
-        })
+        },
+    )
 }
 
 proptest! {

@@ -92,8 +92,7 @@ fn future_work_conjectures_end_to_end() {
     let timing = TimingModel::paper();
     let area = AreaModel::new();
     let budget = SimBudget::quick();
-    let datapath =
-        timing.optimal(&CacheGeometry::paper(1024, 1), CellKind::SinglePorted).cycle_ns;
+    let datapath = timing.optimal(&CacheGeometry::paper(1024, 1), CellKind::SinglePorted).cycle_ns;
 
     let big_single = MachineConfig::single_level(256, 50.0);
     let two_level = MachineConfig::two_level(8, 128, 4, L2Policy::Conventional, 50.0);

@@ -81,10 +81,7 @@ fn multiprogramming_inflates_misses() {
     // gcc1 sharing with tomcatv on the same-size hierarchy, short quantum.
     let mut shared = SingleLevel::new(l1);
     let mut mp = TimeSliced::new(
-        vec![
-            Box::new(SpecBenchmark::Gcc1.workload()),
-            Box::new(SpecBenchmark::Tomcatv.workload()),
-        ],
+        vec![Box::new(SpecBenchmark::Gcc1.workload()), Box::new(SpecBenchmark::Tomcatv.workload())],
         2_000,
     );
     // Run 200K instructions total => ~100K of gcc1.
@@ -125,9 +122,8 @@ fn mattson_profile_agrees_with_cache_sim_on_real_workload() {
     // One profiling pass of li's data stream must match direct
     // fully-associative LRU simulation at several sizes.
     let mut w = SpecBenchmark::Li.workload();
-    let lines: Vec<_> = (0..60_000)
-        .filter_map(|_| w.next_instruction().data.map(|d| d.addr.line(16)))
-        .collect();
+    let lines: Vec<_> =
+        (0..60_000).filter_map(|_| w.next_instruction().data.map(|d| d.addr.line(16))).collect();
 
     let mut profiler = StackDistanceProfiler::new();
     for &l in &lines {

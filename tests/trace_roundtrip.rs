@@ -74,14 +74,13 @@ fn workloads_are_deterministic_and_infinite() {
 #[test]
 fn workload_streams_are_distinct_across_benchmarks() {
     // Different benchmarks must not accidentally share streams.
-    let streams: Vec<Vec<_>> = SpecBenchmark::ALL
-        .iter()
-        .map(|b| b.workload().take_instructions(200))
-        .collect();
+    let streams: Vec<Vec<_>> =
+        SpecBenchmark::ALL.iter().map(|b| b.workload().take_instructions(200)).collect();
     for i in 0..streams.len() {
         for j in i + 1..streams.len() {
             assert_ne!(
-                streams[i], streams[j],
+                streams[i],
+                streams[j],
                 "{} and {} produced identical streams",
                 SpecBenchmark::ALL[i],
                 SpecBenchmark::ALL[j]

@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde` cannot be fetched. This vendored replacement keeps the two
+//! trait names and the derive-macro surface the workspace uses, but routes
+//! everything through a single JSON-shaped [`__private::Value`] model
+//! instead of serde's visitor architecture. The companion `serde_json`
+//! stub parses/prints that model, and the `serde_derive` stub generates
+//! `Serialize`/`Deserialize` impls for the plain structs and enums this
+//! workspace defines.
+//!
+//! Only the subset this repository exercises is implemented; it is not a
+//! general serde replacement.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can render itself into the JSON-shaped value model.
+pub trait Serialize {
+    /// Converts `self` into a [`__private::Value`].
+    fn serialize_value(&self) -> __private::Value;
+}
+
+/// A type that can be reconstructed from the JSON-shaped value model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a parsed [`__private::Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match `Self`.
+    fn deserialize_value(v: &__private::Value) -> Result<Self, __private::Error>;
+
+    /// Called when a struct field of this type is absent from the input.
+    /// The default errors; `Option<T>` overrides it to produce `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the type tolerates a missing field.
+    fn deserialize_missing() -> Result<Self, __private::Error> {
+        Err(__private::Error::custom("missing field"))
+    }
+}
+
+/// Support machinery shared with `serde_json` and the derive macros.
+/// Not part of the public API contract.
+pub mod __private {
+    use std::fmt;
+
+    /// A JSON number, kept in its widest lossless representation.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Non-negative integer.
+        U(u64),
+        /// Negative integer.
+        I(i64),
+        /// Anything with a fractional part or exponent.
+        F(f64),
+    }
+
+    impl Number {
+        /// Value as `f64` (always possible, may round).
+        pub fn as_f64(self) -> f64 {
+            match self {
+                Number::U(v) => v as f64,
+                Number::I(v) => v as f64,
+                Number::F(v) => v,
+            }
+        }
+
+        /// Value as `u64` if losslessly representable.
+        pub fn as_u64(self) -> Option<u64> {
+            match self {
+                Number::U(v) => Some(v),
+                Number::I(v) if v >= 0 => Some(v as u64),
+                Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                    Some(v as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// Value as `i64` if losslessly representable.
+        pub fn as_i64(self) -> Option<i64> {
+            match self {
+                Number::U(v) if v <= i64::MAX as u64 => Some(v as i64),
+                Number::I(v) => Some(v),
+                Number::F(v)
+                    if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+                {
+                    Some(v as i64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// The JSON-shaped data model every `Serialize`/`Deserialize` impl
+    /// goes through. Object entries keep insertion order so serialised
+    /// output is stable.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// JSON number.
+        Num(Number),
+        /// JSON string.
+        Str(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object (ordered key/value pairs).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// Looks up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        /// One-word description of the value's shape, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::Num(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+
+    /// Serialisation/deserialisation error: a plain message.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error from any displayable message.
+        pub fn custom(msg: impl fmt::Display) -> Self {
+            Error { message: msg.to_string() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Derive-macro helper: fetches a required struct field, falling back
+    /// to the type's missing-field behaviour (errors for most types,
+    /// `None` for `Option`).
+    pub fn field<T: crate::Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(x) => {
+                T::deserialize_value(x).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+            }
+            None => T::deserialize_missing()
+                .map_err(|_| Error::custom(format!("missing field `{name}` in {ty}"))),
+        }
+    }
+}
+
+use __private::{Error, Number, Value};
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n.as_u64().and_then(|x| <$t>::try_from(x).ok()).ok_or_else(
+                        || Error::custom(concat!("number out of range for ", stringify!($t))),
+                    ),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n.as_i64().and_then(|x| <$t>::try_from(x).ok()).ok_or_else(
+                        || Error::custom(concat!("number out of range for ", stringify!($t))),
+                    ),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(n.as_f64() as $t),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected boolean, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+
+    fn deserialize_missing() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::deserialize_value(&items[0])?, B::deserialize_value(&items[1])?))
+            }
+            other => {
+                Err(Error::custom(format!("expected 2-element array, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+                C::deserialize_value(&items[2])?,
+            )),
+            other => {
+                Err(Error::custom(format!("expected 3-element array, found {}", other.kind())))
+            }
+        }
+    }
+}

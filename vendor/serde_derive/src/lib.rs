@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored `serde`
+//! stub's value-model traits. Implemented with hand-rolled token parsing
+//! (the build environment has neither `syn` nor `quote`), so it supports
+//! exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (with optional `#[serde(default = "fn")]`);
+//! * one-field tuple structs (newtypes);
+//! * enums of unit and/or one-field tuple variants, optionally with
+//!   `#[serde(rename_all = "snake_case")]`.
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    /// Path given by `#[serde(default = "path")]`, if any.
+    default_fn: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+/// The derive input shapes we understand.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    Enum { name: String, snake_case: bool, variants: Vec<Variant> },
+}
+
+/// Converts `CamelCase` to `snake_case` (serde's rename_all rule).
+fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts `key = "value"` pairs from a `#[serde(...)]` attribute body.
+fn serde_attr_pairs(group: &proc_macro::Group) -> Vec<(String, String)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(key) = &tokens[i] {
+            if i + 2 < tokens.len() {
+                if let (TokenTree::Punct(eq), TokenTree::Literal(lit)) =
+                    (&tokens[i + 1], &tokens[i + 2])
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        let value = raw.trim_matches('"').to_string();
+                        pairs.push((key.to_string(), value));
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            pairs.push((key.to_string(), String::new()));
+        }
+        i += 1;
+    }
+    pairs
+}
+
+/// Consumes leading `#[...]` attributes, returning the serde `key=value`
+/// pairs found among them.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(name)) = inner.first() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(body)) = inner.get(1) {
+                            pairs.extend(serde_attr_pairs(body));
+                        }
+                    }
+                }
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    pairs
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if *pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas (angle-bracket aware).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty").push(t.clone());
+    }
+    if parts.last().map(Vec::is_empty).unwrap_or(false) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Parses the fields of a named-field struct body.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        let default_fn = attrs.iter().find(|(k, _)| k == "default").map(|(_, v)| v.clone());
+        fields.push(Field { name, default_fn });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        pos += 1;
+        let mut has_payload = false;
+        if pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[pos] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if split_top_level_commas(&payload).len() != 1 {
+                            return Err(format!(
+                                "variant `{name}`: only one-field tuple variants are supported"
+                            ));
+                        }
+                        has_payload = true;
+                        pos += 1;
+                    }
+                    Delimiter::Brace => {
+                        return Err(format!("variant `{name}`: struct variants are not supported"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Skip to the comma separating variants.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    Ok(variants)
+}
+
+/// Parses a derive input into one of the supported shapes.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let item_attrs = take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => return Err(format!("expected type name, found `{other}`")),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are not supported by the vendored derive"));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct { name, fields: parse_named_fields(g)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                if split_top_level_commas(&payload).len() != 1 {
+                    return Err(format!("`{name}`: only one-field tuple structs are supported"));
+                }
+                Ok(Input::NewtypeStruct { name })
+            }
+            other => Err(format!("`{name}`: unsupported struct body {other:?}")),
+        },
+        "enum" => {
+            let snake_case = item_attrs.iter().any(|(k, v)| k == "rename_all" && v == "snake_case");
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Input::Enum { name, snake_case, variants: parse_variants(g)? })
+                }
+                other => Err(format!("`{name}`: unsupported enum body {other:?}")),
+            }
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+/// Tag under which a variant (de)serialises.
+fn variant_tag(v: &Variant, snake_case: bool) -> String {
+    if snake_case {
+        to_snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::__private::Value {{\n\
+                         ::serde::__private::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::__private::Value {{\n\
+                     ::serde::Serialize::serialize_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, snake_case, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let tag = variant_tag(v, snake_case);
+                    if v.has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::__private::Value::Object(vec![(\
+                             \"{tag}\".to_string(), ::serde::Serialize::serialize_value(inner))]),",
+                            v = v.name
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => ::serde::__private::Value::Str(\"{tag}\".to_string()),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::__private::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| match &f.default_fn {
+                    None => format!(
+                        "{n}: ::serde::__private::field(v, \"{name}\", \"{n}\")?,",
+                        n = f.name
+                    ),
+                    Some(path) => format!(
+                        "{n}: match v.get(\"{n}\") {{\n\
+                             Some(x) => ::serde::Deserialize::deserialize_value(x).map_err(|e| \
+                                 ::serde::__private::Error::custom(format!(\"{name}.{n}: {{e}}\")))?,\n\
+                             None => {path}(),\n\
+                         }},",
+                        n = f.name
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::__private::Value) \
+                         -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return Err(::serde::__private::Error::custom(format!(\
+                                 \"expected object for {name}, found {{}}\", v.kind())));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::__private::Value) \
+                     -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, snake_case, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.has_payload)
+                .map(|v| {
+                    format!(
+                        "\"{tag}\" => Ok({name}::{v}),",
+                        tag = variant_tag(v, snake_case),
+                        v = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| v.has_payload)
+                .map(|v| {
+                    format!(
+                        "\"{tag}\" => Ok({name}::{v}(::serde::Deserialize::deserialize_value(val)?)),",
+                        tag = variant_tag(v, snake_case),
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::__private::Value) \
+                         -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+                         match v {{\n\
+                             ::serde::__private::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::__private::Error::custom(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::__private::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, val) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::__private::Error::custom(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::__private::Error::custom(format!(\
+                                 \"expected variant of {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
