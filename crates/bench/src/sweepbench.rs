@@ -1,6 +1,7 @@
-//! Machine-readable sweep-engine benchmark: legacy vs streaming vs arena.
+//! Machine-readable sweep-engine benchmark: legacy vs streaming vs arena
+//! vs miss-stream filtered.
 //!
-//! Times three engines over the same configuration space:
+//! Times four engines over the same configuration space:
 //!
 //! 1. **legacy** — regenerate per configuration, `Box<dyn MemorySystem>`
 //!    dispatch (the engine every sweep used before this one; the speedup
@@ -9,18 +10,28 @@
 //!    [`SystemKind`](tlc_cache::SystemKind) dispatch (the memory-lean
 //!    fallback);
 //! 3. **arena** — capture once, replay the packed buffer per
-//!    configuration (the sweep fast path).
+//!    configuration;
+//! 4. **filtered** — capture once, simulate each distinct L1 once over
+//!    the arena, then fan every L2 over its L1's miss-stream events only
+//!    (the sweep fast path).
 //!
-//! All three must produce bit-identical design points; the report is
-//! rendered as JSON (committed as `BENCH_sweep.json` at the repository
-//! root; regenerate with `repro bench-sweep <path>`).
+//! All four must produce bit-identical design points. Because the
+//! filtered engine's whole advantage is on configurations that *share*
+//! an L1, the report also times the arena and filtered engines on the
+//! two-level subset of the space in isolation (`twolevel_*` fields) —
+//! that ratio is the "simulate the L1 once" win with the single-level
+//! legs excluded. The report is rendered as JSON (committed as
+//! `BENCH_sweep.json` at the repository root; regenerate with
+//! `repro bench-sweep <path>`).
 
 use crate::Harness;
 use serde::Serialize;
 use std::time::Instant;
 use tlc_core::configspace::{full_space, SpaceOptions};
 use tlc_core::experiment::{capture_benchmark, SimBudget};
-use tlc_core::runner::{sweep_arena_threads, sweep_dyn_threads, sweep_streaming_threads};
+use tlc_core::runner::{
+    sweep_arena_threads, sweep_dyn_threads, sweep_filtered_arena_threads, sweep_streaming_threads,
+};
 use tlc_core::{L2Policy, MachineConfig};
 use tlc_trace::spec::SpecBenchmark;
 
@@ -62,13 +73,30 @@ pub struct SweepBenchRow {
     pub capture_s: f64,
     /// Wall-clock seconds for the arena-replay sweep.
     pub replay_s: f64,
+    /// Wall-clock seconds for the miss-stream-filtered sweep (per-L1
+    /// capture plus per-configuration event replay; arena capture not
+    /// included, as for `replay_s`).
+    pub filtered_s: f64,
     /// Arena resident size in bytes.
     pub arena_bytes: u64,
-    /// `legacy_s / (capture_s + replay_s)` — the headline speedup.
+    /// `legacy_s / (capture_s + replay_s)` — the arena engine's speedup.
     pub speedup: f64,
     /// `streaming_s / (capture_s + replay_s)`.
     pub speedup_vs_streaming: f64,
-    /// Whether all three engines produced bit-identical design points.
+    /// `legacy_s / (capture_s + filtered_s)` — the filtered engine's
+    /// headline speedup.
+    pub speedup_filtered: f64,
+    /// Wall-clock seconds for the arena engine on the two-level subset
+    /// of the space only.
+    pub twolevel_arena_s: f64,
+    /// Wall-clock seconds for the filtered engine on the two-level
+    /// subset only.
+    pub twolevel_filtered_s: f64,
+    /// `twolevel_arena_s / twolevel_filtered_s` — the additional speedup
+    /// miss-stream filtering buys over arena replay where L1s are shared
+    /// (the acceptance metric: ≥ 2×).
+    pub twolevel_speedup: f64,
+    /// Whether all four engines produced bit-identical design points.
     pub identical: bool,
 }
 
@@ -93,8 +121,21 @@ pub struct SweepBenchReport {
     pub total_streaming_s: f64,
     /// Total wall-clock seconds for all captures plus replay sweeps.
     pub total_arena_s: f64,
-    /// `total_legacy_s / total_arena_s` — the headline speedup.
+    /// Total wall-clock seconds for all captures plus filtered sweeps.
+    pub total_filtered_s: f64,
+    /// `total_legacy_s / total_arena_s` — the arena engine's speedup.
     pub total_speedup: f64,
+    /// `total_legacy_s / total_filtered_s` — the filtered engine's
+    /// headline speedup.
+    pub total_speedup_filtered: f64,
+    /// Total two-level-subset seconds for the arena engine.
+    pub total_twolevel_arena_s: f64,
+    /// Total two-level-subset seconds for the filtered engine.
+    pub total_twolevel_filtered_s: f64,
+    /// `total_twolevel_arena_s / total_twolevel_filtered_s` — the
+    /// additional two-level speedup of miss-stream filtering (≥ 2× is
+    /// the acceptance bar).
+    pub total_twolevel_speedup: f64,
     /// Whether every benchmark's engines agreed bit-for-bit.
     pub all_identical: bool,
 }
@@ -103,6 +144,8 @@ pub struct SweepBenchReport {
 pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
     let timing = tlc_timing::TimingModel::paper();
     let area = tlc_area::AreaModel::new();
+    let twolevel: Vec<MachineConfig> =
+        cfg.configs.iter().copied().filter(|c| c.l2.is_some()).collect();
     let mut rows = Vec::new();
     for b in SpecBenchmark::ALL {
         eprintln!("# bench-sweep: {} ({} configs)...", b.name(), cfg.configs.len());
@@ -124,33 +167,78 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             sweep_arena_threads(&cfg.configs, &arena, cfg.budget, &timing, &area, cfg.threads);
         let replay_s = t3.elapsed().as_secs_f64();
 
+        let t4 = Instant::now();
+        let filtered = sweep_filtered_arena_threads(
+            &cfg.configs,
+            &arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let filtered_s = t4.elapsed().as_secs_f64();
+
+        // The two-level subset in isolation: the filtered engine's win
+        // with the unshared single-level legs excluded.
+        let t5 = Instant::now();
+        let twolevel_arena =
+            sweep_arena_threads(&twolevel, &arena, cfg.budget, &timing, &area, cfg.threads);
+        let twolevel_arena_s = t5.elapsed().as_secs_f64();
+
+        let t6 = Instant::now();
+        let twolevel_filtered = sweep_filtered_arena_threads(
+            &twolevel,
+            &arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let twolevel_filtered_s = t6.elapsed().as_secs_f64();
+
         rows.push(SweepBenchRow {
             benchmark: b.name().to_string(),
             legacy_s,
             streaming_s,
             capture_s,
             replay_s,
+            filtered_s,
             arena_bytes: arena.bytes() as u64,
             speedup: legacy_s / (capture_s + replay_s),
             speedup_vs_streaming: streaming_s / (capture_s + replay_s),
-            identical: legacy == replayed && streamed == replayed,
+            speedup_filtered: legacy_s / (capture_s + filtered_s),
+            twolevel_arena_s,
+            twolevel_filtered_s,
+            twolevel_speedup: twolevel_arena_s / twolevel_filtered_s,
+            identical: legacy == replayed
+                && streamed == replayed
+                && filtered == replayed
+                && twolevel_arena == twolevel_filtered,
         });
     }
     let total_legacy_s: f64 = rows.iter().map(|r| r.legacy_s).sum();
     let total_streaming_s: f64 = rows.iter().map(|r| r.streaming_s).sum();
     let total_arena_s: f64 = rows.iter().map(|r| r.capture_s + r.replay_s).sum();
+    let total_filtered_s: f64 = rows.iter().map(|r| r.capture_s + r.filtered_s).sum();
+    let total_twolevel_arena_s: f64 = rows.iter().map(|r| r.twolevel_arena_s).sum();
+    let total_twolevel_filtered_s: f64 = rows.iter().map(|r| r.twolevel_filtered_s).sum();
     SweepBenchReport {
-        schema: "tlc-sweep-bench/1".to_string(),
+        schema: "tlc-sweep-bench/2".to_string(),
         configs: cfg.configs.len() as u64,
         measured_instructions: cfg.budget.instructions,
         warmup_instructions: cfg.budget.warmup_instructions,
         threads: cfg.threads as u64,
         total_speedup: total_legacy_s / total_arena_s,
+        total_speedup_filtered: total_legacy_s / total_filtered_s,
+        total_twolevel_speedup: total_twolevel_arena_s / total_twolevel_filtered_s,
         all_identical: rows.iter().all(|r| r.identical),
         benchmarks: rows,
         total_legacy_s,
         total_streaming_s,
         total_arena_s,
+        total_filtered_s,
+        total_twolevel_arena_s,
+        total_twolevel_filtered_s,
     }
 }
 
@@ -177,8 +265,11 @@ mod tests {
         assert_eq!(report.benchmarks.len(), 7);
         assert!(report.all_identical, "engines must agree bit-for-bit");
         assert!(report.total_streaming_s > 0.0 && report.total_arena_s > 0.0);
+        assert!(report.total_filtered_s > 0.0 && report.total_twolevel_filtered_s > 0.0);
         let json = serde_json::to_string_pretty(&report).expect("serialises");
-        assert!(json.contains("\"schema\": \"tlc-sweep-bench/1\""));
+        assert!(json.contains("\"schema\": \"tlc-sweep-bench/2\""));
+        assert!(json.contains("\"filtered_s\""));
+        assert!(json.contains("\"twolevel_speedup\""));
         assert!(json.contains("\"all_identical\": true"));
     }
 

@@ -1,0 +1,695 @@
+//! Miss-stream filtering: simulate the L1 once, fan every L2 over its
+//! miss/victim event stream.
+//!
+//! ## Why this is sound
+//!
+//! Every hierarchy in this crate fills the requested line into the L1 on
+//! *every* L1 miss — whether the line came from the L2 or from off-chip
+//! ([`SingleLevel`](crate::SingleLevel),
+//! [`ConventionalTwoLevel`](crate::ConventionalTwoLevel), and the
+//! exclusive policy's two miss paths all do). The L1's *contents
+//! trajectory* (which tags occupy which sets, and hence which accesses
+//! miss and which victims are displaced) is therefore completely
+//! determined by the reference stream and the L1 geometry — never by the
+//! L2. A design-space sweep can simulate the L1 once per distinct front
+//! end, record the miss/victim events, and replay only those events
+//! through each L2 configuration.
+//!
+//! One subtlety: in the exclusive hierarchy an L1 fill's *dirty bit* does
+//! depend on L2 state (an L1-miss/L2-hit fills with `is_write || dirty`,
+//! where `dirty` came out of the L2 extract). The front-end therefore
+//! records only the L2-independent, store-only component
+//! ([`VictimLine::written`](tlc_trace::VictimLine)); the exclusive
+//! back-end reconstructs the exact dirty bit with a per-L1-set mirror of
+//! "was the current resident filled from a dirty L2 line" — see
+//! [`replay_exclusive`]. The conventional and single-level hierarchies
+//! fill the L1 with `is_write` only, so for them the recorded bit *is*
+//! the dirty bit.
+//!
+//! The L2's replacement state (including its pseudo-random LFSR) is
+//! driven by exactly the same call sequence as in the monolithic
+//! hierarchies, so every statistic is bit-identical — the equivalence
+//! suite in `tests/arena_equivalence.rs` pins all three back-ends to the
+//! arena engine across every benchmark.
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::hierarchy::{MemorySystem, ServiceLevel};
+use crate::stats::HierarchyStats;
+use tlc_trace::events::{
+    EventArena, EventChunkView, EVENT_HAS_VICTIM, EVENT_KIND_FETCH, EVENT_KIND_MASK,
+    EVENT_VICTIM_WRITTEN,
+};
+use tlc_trace::{AccessKind, LineAddr, MemRef, MissEvent, VictimLine};
+
+/// The L1 side of a decomposed hierarchy: split direct-mapped I/D caches
+/// that record one [`MissEvent`] per L1 miss into an [`EventArena`].
+///
+/// Implements [`MemorySystem`] so any replay loop that can drive a full
+/// hierarchy can drive the capture; `access` returns
+/// [`ServiceLevel::Memory`] on a miss (the L2 classification is exactly
+/// what varies per back-end). [`MemorySystem::reset_stats`] additionally
+/// bookmarks the warm-up boundary in the event stream, so back-ends can
+/// reset their counters at the same instant.
+///
+/// Statistics follow the store-only dirty convention: the L1 fills with
+/// `is_write`, matching the single-level and conventional hierarchies
+/// bit-for-bit; the exclusive back-end layers the L2-dependent dirty
+/// component on top (see the module docs).
+#[derive(Debug)]
+pub struct L1FrontEnd {
+    l1i: Cache,
+    l1d: Cache,
+    line_bytes: u64,
+    stats: HierarchyStats,
+    /// Same-line fetch filter, identical to the monolithic hierarchies
+    /// (see [`SingleLevel`](crate::SingleLevel)): the last fetched line
+    /// is resident by construction, so a repeat fetch is a guaranteed
+    /// hit — and emits no event.
+    last_fetch: u64,
+    events: EventArena,
+    warmup_events: u64,
+}
+
+impl L1FrontEnd {
+    /// Builds the front-end; instruction and data caches share `l1_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_cfg` is not direct-mapped. The paper's design space
+    /// only has direct-mapped L1s (§2.1), and the decomposition relies on
+    /// it: a victim and its displacer share the single way of one set, so
+    /// the exclusive back-end can mirror fill-dirty state per set.
+    pub fn new(l1_cfg: CacheConfig) -> Self {
+        let l1i = Cache::new(l1_cfg);
+        assert!(l1i.is_direct_mapped(), "miss-stream filtering requires a direct-mapped L1");
+        L1FrontEnd {
+            l1i,
+            l1d: Cache::new(l1_cfg),
+            line_bytes: l1_cfg.line_bytes(),
+            stats: HierarchyStats::default(),
+            last_fetch: u64::MAX,
+            events: EventArena::new(),
+            warmup_events: 0,
+        }
+    }
+
+    /// Resident size of the captured event stream so far, in bytes.
+    /// Callers bound a capture's footprint by checking this between
+    /// replay chunks.
+    pub fn event_bytes(&self) -> usize {
+        self.events.bytes()
+    }
+
+    /// Events captured so far.
+    pub fn event_count(&self) -> u64 {
+        self.events.len()
+    }
+
+    /// Finishes the capture, packaging the event stream, the warm-up
+    /// boundary, and the measured-window L1-side statistics into a
+    /// shareable [`MissStream`] named after the captured workload.
+    pub fn finish(self, name: &str) -> MissStream {
+        MissStream {
+            name: name.to_string(),
+            events: self.events,
+            warmup_events: self.warmup_events,
+            l1_stats: self.stats,
+            l1_size_bytes: self.l1i.config().size_bytes(),
+            line_bytes: self.line_bytes,
+        }
+    }
+}
+
+impl MemorySystem for L1FrontEnd {
+    #[inline]
+    fn access(&mut self, r: MemRef) -> ServiceLevel {
+        let line = r.addr.line(self.line_bytes);
+        let is_write = r.kind == AccessKind::Store;
+        let is_fetch = r.kind == AccessKind::InstrFetch;
+        let victim = if is_fetch {
+            self.stats.instructions += 1;
+            if line.0 == self.last_fetch {
+                self.l1i.note_filtered_hit();
+                return ServiceLevel::L1;
+            }
+            self.last_fetch = line.0;
+            if self.l1i.access(line, false) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1i_misses += 1;
+            self.l1i.fill_after_miss(line, false)
+        } else {
+            self.stats.data_refs += 1;
+            if self.l1d.access(line, is_write) {
+                return ServiceLevel::L1;
+            }
+            self.stats.l1d_misses += 1;
+            self.l1d.fill_after_miss(line, is_write)
+        };
+        self.events.push(MissEvent {
+            kind: r.kind,
+            line,
+            victim: victim.map(|v| VictimLine { line: v.line, written: v.dirty }),
+        });
+        ServiceLevel::Memory
+    }
+
+    fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Clears the L1-side statistics and bookmarks the warm-up boundary
+    /// at the current event count; events are *kept* (back-ends need the
+    /// warm-up events to warm their L2 state).
+    fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.warmup_events = self.events.len();
+    }
+
+    fn describe(&self) -> String {
+        format!("L1 miss-stream front-end: split L1 {}", self.l1i.config())
+    }
+}
+
+/// A captured L1 miss/victim stream: everything an L2 back-end needs to
+/// reproduce a full hierarchy simulation — the packed events, the warm-up
+/// boundary within them, and the (L2-independent) L1-side statistics of
+/// the measured window.
+///
+/// Immutable after capture; share by reference across sweep workers.
+#[derive(Debug)]
+pub struct MissStream {
+    name: String,
+    events: EventArena,
+    warmup_events: u64,
+    l1_stats: HierarchyStats,
+    l1_size_bytes: u64,
+    line_bytes: u64,
+}
+
+impl MissStream {
+    /// The captured workload's name (e.g. `"gcc1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total events (warm-up + measured).
+    pub fn len(&self) -> u64 {
+        self.events.len()
+    }
+
+    /// Whether the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events belonging to the warm-up window; back-ends replay them to
+    /// warm L2 state, then reset their counters.
+    pub fn warmup_events(&self) -> u64 {
+        self.warmup_events
+    }
+
+    /// Resident size of the packed event buffer, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.events.bytes()
+    }
+
+    /// L1-side statistics of the measured window (instructions, data
+    /// references, L1I/L1D misses; the L2-side counters are zero).
+    pub fn l1_stats(&self) -> &HierarchyStats {
+        &self.l1_stats
+    }
+
+    /// Size of each L1 cache the stream was captured through, in bytes.
+    pub fn l1_size_bytes(&self) -> u64 {
+        self.l1_size_bytes
+    }
+
+    /// Line size the stream was captured with, in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Iterates over all events in capture order (decoded; for tests and
+    /// diagnostics — replays walk the packed chunks internally).
+    pub fn events(&self) -> impl Iterator<Item = MissEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// L1 sets per side (for the exclusive back-end's fill-dirty mirror).
+    fn l1_sets(&self) -> usize {
+        (self.l1_size_bytes / self.line_bytes) as usize
+    }
+}
+
+/// One L2 back-end: consumes events, accumulates the L2-side counters.
+trait BackEnd {
+    /// Consumes one event. `fetch` is true for instruction-fetch misses;
+    /// `victim` carries the displaced line and its store-only written bit.
+    fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>);
+
+    /// Clears the counters at the warm-up boundary (L2 contents persist).
+    fn reset_counters(&mut self);
+
+    /// `(l2_hits, l2_misses, offchip_writebacks)` accumulated since the
+    /// last reset.
+    fn counters(&self) -> (u64, u64, u64);
+}
+
+/// Walks the packed event stream through `back`, resetting its counters
+/// at the warm-up boundary, and assembles the final statistics from the
+/// stream's L1-side counters plus the back-end's measured L2 counters.
+fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
+    let warm = stream.warmup_events;
+    let mut pos = 0u64;
+    for chunk in stream.events.chunks() {
+        let len = chunk.len() as u64;
+        if pos >= warm {
+            replay_event_chunk(back, chunk, 0, len as usize);
+        } else if pos + len <= warm {
+            replay_event_chunk(back, chunk, 0, len as usize);
+            if pos + len == warm {
+                back.reset_counters();
+            }
+        } else {
+            let split = (warm - pos) as usize;
+            replay_event_chunk(back, chunk, 0, split);
+            back.reset_counters();
+            replay_event_chunk(back, chunk, split, len as usize);
+        }
+        pos += len;
+    }
+    if pos <= warm {
+        // Stream exhausted inside warm-up (or boundary at the very end
+        // with no measured events): nothing was measured.
+        back.reset_counters();
+    }
+    let (l2_hits, l2_misses, offchip_writebacks) = back.counters();
+    HierarchyStats { l2_hits, l2_misses, offchip_writebacks, ..*stream.l1_stats() }
+}
+
+/// The replay inner loop: slice iteration over one chunk's packed
+/// columns, statically dispatched per concrete back-end.
+#[inline]
+fn replay_event_chunk<B: BackEnd>(
+    back: &mut B,
+    chunk: EventChunkView<'_>,
+    start: usize,
+    end: usize,
+) {
+    let lines = &chunk.line[start..end];
+    let victims = &chunk.victim[start..end];
+    let flags = &chunk.flags[start..end];
+    for i in 0..lines.len() {
+        let f = flags[i];
+        let victim = (f & EVENT_HAS_VICTIM != 0)
+            .then(|| (LineAddr(victims[i]), f & EVENT_VICTIM_WRITTEN != 0));
+        back.consume(f & EVENT_KIND_MASK == EVENT_KIND_FETCH, LineAddr(lines[i]), victim);
+    }
+}
+
+/// Back-end for [`SingleLevel`](crate::SingleLevel): every L1 miss is an
+/// off-chip demand fetch; a written victim is an off-chip writeback.
+#[derive(Debug, Default)]
+struct SingleBack {
+    l2_misses: u64,
+    offchip_writebacks: u64,
+}
+
+impl BackEnd for SingleBack {
+    #[inline]
+    fn consume(&mut self, _fetch: bool, _line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        self.l2_misses += 1;
+        if let Some((_, written)) = victim {
+            if written {
+                self.offchip_writebacks += 1;
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.l2_misses = 0;
+        self.offchip_writebacks = 0;
+    }
+
+    fn counters(&self) -> (u64, u64, u64) {
+        (0, self.l2_misses, self.offchip_writebacks)
+    }
+}
+
+/// Back-end for [`ConventionalTwoLevel`](crate::ConventionalTwoLevel):
+/// the same L2 call sequence as the monolithic hierarchy's miss path.
+#[derive(Debug)]
+struct ConventionalBack {
+    l2: Cache,
+    l2_hits: u64,
+    l2_misses: u64,
+    offchip_writebacks: u64,
+}
+
+impl BackEnd for ConventionalBack {
+    #[inline]
+    fn consume(&mut self, _fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        if self.l2.access(line, false) {
+            self.l2_hits += 1;
+        } else {
+            self.l2_misses += 1;
+            if let Some(v2) = self.l2.fill_after_miss(line, false) {
+                if v2.dirty {
+                    self.offchip_writebacks += 1;
+                }
+            }
+        }
+        // The L1 fill happens after the L2 interaction in the monolithic
+        // hierarchy; only its dirty victim touches the L2 (store-only
+        // dirty is exact for the conventional L1).
+        if let Some((vline, written)) = victim {
+            if written && !self.l2.merge_if_present(vline, true) {
+                self.offchip_writebacks += 1;
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.l2_hits = 0;
+        self.l2_misses = 0;
+        self.offchip_writebacks = 0;
+    }
+
+    fn counters(&self) -> (u64, u64, u64) {
+        (self.l2_hits, self.l2_misses, self.offchip_writebacks)
+    }
+}
+
+/// Back-end for [`ExclusiveTwoLevel`](crate::ExclusiveTwoLevel).
+///
+/// The one L2-dependent bit of L1 state is reconstructed here: when an
+/// L1-miss/L2-hit fills the L1, the monolithic hierarchy marks the L1
+/// line dirty if the extracted L2 copy was dirty. The back-end keeps a
+/// per-L1-set mirror (one bool per set per side, the L1 being
+/// direct-mapped) of exactly that bit for the *current* resident; a
+/// victim's true dirty bit is then `written || mirror[set]`, read before
+/// the new fill overwrites the mirror entry (victim and filled line share
+/// the set by construction).
+#[derive(Debug)]
+struct ExclusiveBack {
+    l2: Cache,
+    /// "Current resident was filled from a dirty L2 extract", per L1I set.
+    mirror_i: Vec<bool>,
+    /// Same, per L1D set.
+    mirror_d: Vec<bool>,
+    l1_set_mask: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    offchip_writebacks: u64,
+}
+
+impl ExclusiveBack {
+    /// Mirror of
+    /// [`ExclusiveTwoLevel::send_victim_to_l2`](crate::ExclusiveTwoLevel)
+    /// with no freed slot: merge into an existing copy, else insert into
+    /// the victim's own set, counting a dirty L2 eviction off-chip.
+    #[inline]
+    fn send_victim(&mut self, vline: LineAddr, vdirty: bool) {
+        if self.l2.merge_if_present(vline, vdirty) {
+            return;
+        }
+        if let Some(ev) = self.l2.fill_after_miss(vline, vdirty) {
+            if ev.dirty {
+                self.offchip_writebacks += 1;
+            }
+        }
+    }
+}
+
+impl BackEnd for ExclusiveBack {
+    #[inline]
+    fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        let set = (line.0 & self.l1_set_mask) as usize;
+        let mirror = if fetch { &mut self.mirror_i } else { &mut self.mirror_d };
+        // Read the victim's fill-dirty component BEFORE the new fill
+        // overwrites the set's mirror entry.
+        let victim = victim.map(|(vline, written)| (vline, written || mirror[set]));
+        if self.l2.access(line, false) {
+            self.l2_hits += 1;
+            let (dirty, slot) =
+                self.l2.extract(line).expect("L2 hit implies the line is extractable");
+            mirror[set] = dirty;
+            match victim {
+                Some((vline, vdirty)) => {
+                    if self.l2.set_index(vline) == slot.set && !self.l2.contains(vline) {
+                        // Figure 21-a swap: the victim takes the requested
+                        // line's way; the displaced line is the requested
+                        // line itself, already in L1.
+                        self.l2.fill_at(vline, vdirty, slot);
+                    } else {
+                        self.l2.fill_at(line, dirty, slot);
+                        self.send_victim(vline, vdirty);
+                    }
+                }
+                None => {
+                    self.l2.fill_at(line, dirty, slot);
+                }
+            }
+        } else {
+            self.l2_misses += 1;
+            // Off-chip refill bypasses the L2 and fills the L1 with the
+            // store-only dirty bit: no fill-dirty component.
+            mirror[set] = false;
+            if let Some((vline, vdirty)) = victim {
+                self.send_victim(vline, vdirty);
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.l2_hits = 0;
+        self.l2_misses = 0;
+        self.offchip_writebacks = 0;
+    }
+
+    fn counters(&self) -> (u64, u64, u64) {
+        (self.l2_hits, self.l2_misses, self.offchip_writebacks)
+    }
+}
+
+/// Replays `stream` as a [`SingleLevel`](crate::SingleLevel) hierarchy
+/// would experience it. Bit-identical to simulating the monolithic
+/// system on the original reference stream.
+pub fn replay_single(stream: &MissStream) -> HierarchyStats {
+    replay_on(&mut SingleBack::default(), stream)
+}
+
+/// Replays `stream` through a conventional L2, producing the exact
+/// statistics [`ConventionalTwoLevel`](crate::ConventionalTwoLevel)
+/// would report on the original reference stream.
+///
+/// # Panics
+///
+/// Panics if `l2_cfg`'s line size differs from the stream's.
+pub fn replay_conventional(l2_cfg: CacheConfig, stream: &MissStream) -> HierarchyStats {
+    assert_eq!(l2_cfg.line_bytes(), stream.line_bytes(), "L1 and L2 must share a line size");
+    let mut back = ConventionalBack {
+        l2: Cache::new(l2_cfg),
+        l2_hits: 0,
+        l2_misses: 0,
+        offchip_writebacks: 0,
+    };
+    replay_on(&mut back, stream)
+}
+
+/// Replays `stream` through an exclusive (victim-swap) L2, producing the
+/// exact statistics [`ExclusiveTwoLevel`](crate::ExclusiveTwoLevel)
+/// would report on the original reference stream.
+///
+/// # Panics
+///
+/// Panics if `l2_cfg`'s line size differs from the stream's.
+pub fn replay_exclusive(l2_cfg: CacheConfig, stream: &MissStream) -> HierarchyStats {
+    assert_eq!(l2_cfg.line_bytes(), stream.line_bytes(), "L1 and L2 must share a line size");
+    let sets = stream.l1_sets();
+    let mut back = ExclusiveBack {
+        l2: Cache::new(l2_cfg),
+        mirror_i: vec![false; sets],
+        mirror_d: vec![false; sets],
+        l1_set_mask: sets as u64 - 1,
+        l2_hits: 0,
+        l2_misses: 0,
+        offchip_writebacks: 0,
+    };
+    replay_on(&mut back, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Associativity, ReplacementKind};
+    use crate::exclusive::ExclusiveTwoLevel;
+    use crate::single::SingleLevel;
+    use crate::twolevel::ConventionalTwoLevel;
+    use tlc_trace::spec::SpecBenchmark;
+    use tlc_trace::{Addr, InstructionSource};
+
+    fn l1_cfg(bytes: u64) -> CacheConfig {
+        CacheConfig::new(bytes, 16, Associativity::Direct, ReplacementKind::PseudoRandom).unwrap()
+    }
+
+    fn l2_cfg(bytes: u64, ways: u32) -> CacheConfig {
+        let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
+        CacheConfig::new(bytes, 16, assoc, ReplacementKind::PseudoRandom).unwrap()
+    }
+
+    /// Captures `n` instructions of `b` through a front-end, with a
+    /// stats reset (warm-up bookmark) after `warm` instructions.
+    fn capture(b: SpecBenchmark, l1_bytes: u64, warm: u64, n: u64) -> MissStream {
+        let mut fe = L1FrontEnd::new(l1_cfg(l1_bytes));
+        let mut w = b.workload();
+        for _ in 0..warm {
+            fe.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        fe.reset_stats();
+        for _ in 0..n {
+            fe.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        fe.finish(b.name())
+    }
+
+    /// Drives the same window through a monolithic system.
+    fn reference<M: MemorySystem>(b: SpecBenchmark, sys: &mut M, warm: u64, n: u64) {
+        let mut w = b.workload();
+        for _ in 0..warm {
+            sys.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        sys.reset_stats();
+        for _ in 0..n {
+            sys.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+    }
+
+    #[test]
+    fn single_back_matches_monolithic() {
+        for b in [SpecBenchmark::Gcc1, SpecBenchmark::Tomcatv] {
+            let stream = capture(b, 1024, 2_000, 8_000);
+            let mut sys = SingleLevel::new(l1_cfg(1024));
+            reference(b, &mut sys, 2_000, 8_000);
+            assert_eq!(replay_single(&stream), *sys.stats(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn conventional_back_matches_monolithic() {
+        for (l1, l2, ways) in [(1024, 8192, 4), (2048, 4096, 1)] {
+            let stream = capture(SpecBenchmark::Gcc1, l1, 2_000, 8_000);
+            let mut sys = ConventionalTwoLevel::new(l1_cfg(l1), l2_cfg(l2, ways));
+            reference(SpecBenchmark::Gcc1, &mut sys, 2_000, 8_000);
+            assert_eq!(
+                replay_conventional(l2_cfg(l2, ways), &stream),
+                *sys.stats(),
+                "l1={l1} l2={l2} ways={ways}"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_back_matches_monolithic() {
+        for (l1, l2, ways) in [(1024, 8192, 4), (2048, 4096, 1), (1024, 2048, 4)] {
+            let stream = capture(SpecBenchmark::Li, l1, 2_000, 8_000);
+            let mut sys = ExclusiveTwoLevel::new(l1_cfg(l1), l2_cfg(l2, ways));
+            reference(SpecBenchmark::Li, &mut sys, 2_000, 8_000);
+            assert_eq!(
+                replay_exclusive(l2_cfg(l2, ways), &stream),
+                *sys.stats(),
+                "l1={l1} l2={l2} ways={ways}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_stream_serves_many_l2s() {
+        let stream = capture(SpecBenchmark::Espresso, 1024, 1_000, 5_000);
+        for l2 in [2048u64, 8192, 32768] {
+            let mut sys = ConventionalTwoLevel::new(l1_cfg(1024), l2_cfg(l2, 4));
+            reference(SpecBenchmark::Espresso, &mut sys, 1_000, 5_000);
+            assert_eq!(replay_conventional(l2_cfg(l2, 4), &stream), *sys.stats(), "l2={l2}");
+        }
+    }
+
+    #[test]
+    fn exclusive_fill_dirty_mirror_reconstructs_writebacks() {
+        // Hand-built ping-pong on the Figure 21 geometry: a store makes A
+        // dirty; swaps move it L1→L2→L1 with the dirty bit carried by the
+        // *fill*, not by stores — exactly the case the mirror exists for.
+        let l1 = l1_cfg(64); // 4 lines
+        let l2 = l2_cfg(256, 1); // 16 lines
+        let mut fe = L1FrontEnd::new(l1);
+        let mut sys = ExclusiveTwoLevel::new(l1, l2);
+        let a = Addr::new(0x000);
+        let e = Addr::new(0x100);
+        let mut refs = vec![MemRef::store(a)];
+        for i in 0..6u64 {
+            refs.push(MemRef::load(if i % 2 == 0 { e } else { a }));
+        }
+        for i in 1..8u64 {
+            refs.push(MemRef::load(Addr::new(i * 0x100)));
+        }
+        for r in &refs {
+            fe.access(*r);
+            sys.access(*r);
+        }
+        let stream = fe.finish("pingpong");
+        let got = replay_exclusive(l2, &stream);
+        assert_eq!(got, *sys.stats());
+        assert!(got.offchip_writebacks >= 1, "the dirty line must eventually go off-chip");
+    }
+
+    #[test]
+    fn warmup_boundary_resets_backend_counters() {
+        let stream = capture(SpecBenchmark::Fpppp, 1024, 3_000, 3_000);
+        let mut sys = ConventionalTwoLevel::new(l1_cfg(1024), l2_cfg(8192, 4));
+        reference(SpecBenchmark::Fpppp, &mut sys, 3_000, 3_000);
+        let got = replay_conventional(l2_cfg(8192, 4), &stream);
+        assert_eq!(got, *sys.stats());
+        assert_eq!(got.instructions, 3_000);
+    }
+
+    #[test]
+    fn empty_measurement_window_is_all_zero() {
+        // Reset at the very end: nothing measured, matching the arena
+        // engine's early-exhaustion contract.
+        let mut fe = L1FrontEnd::new(l1_cfg(1024));
+        let mut w = SpecBenchmark::Li.workload();
+        for _ in 0..500 {
+            fe.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        fe.reset_stats();
+        let stream = fe.finish("li");
+        assert_eq!(stream.warmup_events(), stream.len());
+        assert_eq!(replay_single(&stream), HierarchyStats::default());
+        assert_eq!(replay_conventional(l2_cfg(4096, 4), &stream), HierarchyStats::default());
+        assert_eq!(replay_exclusive(l2_cfg(4096, 4), &stream), HierarchyStats::default());
+    }
+
+    #[test]
+    fn front_end_filters_repeat_fetches() {
+        let mut fe = L1FrontEnd::new(l1_cfg(1024));
+        let a = Addr::new(0x40);
+        fe.access(MemRef::fetch(a));
+        fe.access(MemRef::fetch(a));
+        fe.access(MemRef::fetch(a));
+        assert_eq!(fe.stats().instructions, 3);
+        assert_eq!(fe.stats().l1i_misses, 1, "repeat fetches are guaranteed hits");
+        assert_eq!(fe.event_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn rejects_associative_l1() {
+        let cfg =
+            CacheConfig::new(1024, 16, Associativity::SetAssoc(2), ReplacementKind::PseudoRandom)
+                .unwrap();
+        let _ = L1FrontEnd::new(cfg);
+    }
+}

@@ -48,6 +48,7 @@ mod cache;
 mod classify;
 mod config;
 mod exclusive;
+pub mod filter;
 mod hierarchy;
 mod inclusive;
 mod mattson;
@@ -65,6 +66,7 @@ pub use cache::{Cache, Evicted, Slot};
 pub use classify::{MissBreakdown, MissClass, MissClassifier};
 pub use config::{Associativity, CacheConfig, ConfigError, ReplacementKind};
 pub use exclusive::ExclusiveTwoLevel;
+pub use filter::{L1FrontEnd, MissStream};
 pub use hierarchy::{InstructionOutcome, MemorySystem, ServiceLevel};
 pub use inclusive::InclusiveTwoLevel;
 pub use mattson::{MissRatioCurve, StackDistanceProfiler};

@@ -38,10 +38,24 @@ impl Fenwick {
     /// Replaces the tree with a larger one containing a 1 at each of
     /// `ones` (a plain resize would zero the new parent nodes, which must
     /// hold range sums over the old elements).
+    ///
+    /// Grows by doubling from the current size, so a stream of length n
+    /// triggers O(log n) rebuilds; each rebuild constructs the tree
+    /// bottom-up in O(len) — scatter the ones as leaf counts, then
+    /// propagate every node into its parent once — instead of n
+    /// O(log n) point updates.
     fn rebuild(&mut self, new_max_idx: usize, ones: impl Iterator<Item = usize>) {
-        self.tree = vec![0; (new_max_idx + 2).next_power_of_two().max(1024)];
+        let len = (new_max_idx + 2).next_power_of_two().max(2 * self.tree.len());
+        self.tree = vec![0; len];
         for idx in ones {
-            self.add(idx, 1);
+            debug_assert!(idx + 1 < len, "fenwick rebuild index {idx} out of range");
+            self.tree[idx + 1] = 1;
+        }
+        for i in 1..len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent < len {
+                self.tree[parent] += self.tree[i];
+            }
         }
     }
 
@@ -332,6 +346,37 @@ mod tests {
         }
         assert_eq!(p.accesses(), 5000);
         assert_eq!(p.misses_at_capacity(4), 3);
+    }
+
+    #[test]
+    fn bottom_up_rebuild_matches_incremental_adds() {
+        // Same ones scattered via rebuild and via point updates must
+        // produce identical prefix sums at every position.
+        let ones: Vec<usize> = (0..300).map(|i| (i * 7 + 3) % 900).collect();
+        let mut rebuilt = Fenwick::new();
+        rebuilt.rebuild(2000, ones.iter().copied());
+        let mut incremental = Fenwick::new();
+        incremental.tree = vec![0; rebuilt.tree.len()];
+        for &idx in &ones {
+            incremental.add(idx, 1);
+        }
+        assert_eq!(rebuilt.tree, incremental.tree);
+        for idx in [0usize, 1, 5, 899, 1500, 2000] {
+            assert_eq!(rebuilt.prefix(idx), incremental.prefix(idx), "prefix({idx})");
+        }
+        assert_eq!(rebuilt.total(), 300);
+    }
+
+    #[test]
+    fn rebuild_doubles_from_current_size() {
+        let mut f = Fenwick::new();
+        assert_eq!(f.tree.len(), 1024);
+        // A small request still doubles (no shrink, no 1024-floor churn).
+        f.rebuild(100, std::iter::empty());
+        assert_eq!(f.tree.len(), 2048);
+        // A large request jumps straight to its power of two.
+        f.rebuild(100_000, std::iter::empty());
+        assert_eq!(f.tree.len(), 131_072);
     }
 
     #[test]

@@ -6,9 +6,13 @@ use std::fmt::Write as _;
 use tlc_area::{AreaModel, CacheGeometry, CellKind};
 use tlc_cache::StackDistanceProfiler;
 use tlc_core::configspace::{full_space, SpaceOptions};
+use tlc_core::experiment::capture_benchmark;
 use tlc_core::experiment::{simulate_source, SimBudget};
 use tlc_core::report::{envelope_table, points_csv, points_table};
-use tlc_core::runner::sweep;
+use tlc_core::runner::{
+    default_threads, sweep, sweep_arena_threads, sweep_filtered_arena_threads,
+    sweep_streaming_threads,
+};
 use tlc_core::tpi::tpi_ns;
 use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
 use tlc_timing::{DetailedTimingModel, EnergyModel, TimingModel};
@@ -27,6 +31,7 @@ pub fn usage() -> String {
      \u{20}            [--offchip 50] [--instr N] [--warmup N]\n\
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
+     \u{20}            [--engine auto|streaming|arena|filtered]\n\
      \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
      \u{20}            --workload li [--instr N]\n\
      \u{20} timing     access/cycle time, area, and energy of one cache\n\
@@ -112,7 +117,35 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
     let timing = TimingModel::paper();
     let area = AreaModel::new();
-    let points = sweep(&full_space(&opts), benchmark, budget, &timing, &area);
+    let configs = full_space(&opts);
+    let points = match args.get("engine").unwrap_or("auto") {
+        // The default heuristic: miss-stream filtering over a captured
+        // arena, streaming when the capture would be enormous.
+        "auto" => sweep(&configs, benchmark, budget, &timing, &area),
+        "streaming" => {
+            sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, default_threads())
+        }
+        "arena" => {
+            let arena = capture_benchmark(benchmark, budget);
+            sweep_arena_threads(&configs, &arena, budget, &timing, &area, default_threads())
+        }
+        "filtered" => {
+            let arena = capture_benchmark(benchmark, budget);
+            sweep_filtered_arena_threads(
+                &configs,
+                &arena,
+                budget,
+                &timing,
+                &area,
+                default_threads(),
+            )
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown engine {other:?}; choose auto, streaming, arena or filtered"
+            )))
+        }
+    };
     if args.flag("csv") {
         return Ok(points_csv(&points));
     }
@@ -439,5 +472,33 @@ mod tests {
         .expect("sweep");
         assert!(out.starts_with("workload,label"));
         assert!(out.lines().count() > 40);
+    }
+
+    #[test]
+    fn sweep_engines_agree_and_bad_engine_is_rejected() {
+        let base = [
+            "sweep",
+            "--workload",
+            "li",
+            "--instr",
+            "4000",
+            "--warmup",
+            "1000",
+            "--csv",
+            "--engine",
+        ];
+        let mut outputs = Vec::new();
+        for engine in ["auto", "streaming", "arena", "filtered"] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.push(engine);
+            outputs.push(run(&argv).unwrap_or_else(|e| panic!("engine {engine}: {e:?}")));
+        }
+        for o in &outputs[1..] {
+            assert_eq!(&outputs[0], o, "engines must produce identical sweeps");
+        }
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.push("warp");
+        let err = run(&argv).expect_err("unknown engine must be rejected");
+        assert!(format!("{err:?}").contains("unknown engine"));
     }
 }

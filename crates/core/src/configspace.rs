@@ -82,6 +82,34 @@ pub fn full_space(opts: &SpaceOptions) -> Vec<MachineConfig> {
     v
 }
 
+/// Deduplicates a configuration list, preserving first-appearance order.
+///
+/// Returns `(unique, occurrence)` where `unique` holds each distinct
+/// configuration once and `occurrence[i]` is the index into `unique` of
+/// `configs[i]` — so per-unique results fan back out to input order with
+/// `occurrence.iter().map(|&u| results[u])`. Overlapping figure families
+/// (e.g. the single-level leg shared by the conventional and exclusive
+/// variants of [`full_space`]) otherwise evaluate the same point twice.
+///
+/// Comparison is exact [`PartialEq`] on [`MachineConfig`] (a linear scan:
+/// the `f64` off-chip latency keeps the type out of `HashMap`s, and
+/// spaces are dozens of entries, not millions).
+pub fn unique_configs(configs: &[MachineConfig]) -> (Vec<MachineConfig>, Vec<usize>) {
+    let mut unique: Vec<MachineConfig> = Vec::new();
+    let mut occurrence = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let u = match unique.iter().position(|c| c == cfg) {
+            Some(u) => u,
+            None => {
+                unique.push(*cfg);
+                unique.len() - 1
+            }
+        };
+        occurrence.push(u);
+    }
+    (unique, occurrence)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +141,41 @@ mod tests {
         // The victim-cache regime is excluded.
         assert!(!labels.contains(&"4:4".to_string()));
         assert!(!labels.contains(&"8:4".to_string()));
+    }
+
+    #[test]
+    fn unique_configs_dedups_and_maps_back() {
+        let base = full_space(&SpaceOptions::baseline());
+        let mut doubled = base.clone();
+        doubled.extend(base.iter().copied());
+        let (unique, occurrence) = unique_configs(&doubled);
+        assert_eq!(unique, base, "dedup keeps first-appearance order");
+        assert_eq!(occurrence.len(), doubled.len());
+        for (i, &u) in occurrence.iter().enumerate() {
+            assert_eq!(unique[u], doubled[i], "occurrence {i} maps to the wrong unique entry");
+        }
+    }
+
+    #[test]
+    fn unique_configs_keeps_distinct_variants_apart() {
+        // The exclusive variant shares its single-level leg with the
+        // baseline but not its two-level points.
+        let mut opts = SpaceOptions::baseline();
+        let conv = full_space(&opts);
+        opts.l2_policy = L2Policy::Exclusive;
+        let excl = full_space(&opts);
+        let mut both = conv.clone();
+        both.extend(excl.iter().copied());
+        let (unique, _) = unique_configs(&both);
+        let singles = single_level_configs(&SpaceOptions::baseline()).len();
+        assert_eq!(unique.len(), both.len() - singles, "only the single-level leg overlaps");
+    }
+
+    #[test]
+    fn unique_configs_empty_input() {
+        let (unique, occurrence) = unique_configs(&[]);
+        assert!(unique.is_empty());
+        assert!(occurrence.is_empty());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use crate::machine::{L2Policy, MachineConfig, MachineTiming};
 use crate::tpi;
 use serde::{Deserialize, Serialize};
 use tlc_area::AreaModel;
-use tlc_cache::{HierarchyStats, MemorySystem, SystemKind};
+use tlc_cache::filter::{replay_conventional, replay_exclusive, replay_single};
+use tlc_cache::{HierarchyStats, L1FrontEnd, MemorySystem, MissStream, SystemKind};
 use tlc_timing::TimingModel;
 use tlc_trace::arena::{ChunkView, FLAG_NONE, FLAG_STORE};
 use tlc_trace::spec::SpecBenchmark;
@@ -284,6 +285,119 @@ pub fn simulate_arena(
     *sys.stats()
 }
 
+/// Captures the miss/victim event stream of one L1 front-end (shared by
+/// every configuration with this `l1_size_bytes`/`line_bytes`) from a
+/// trace arena: the arena is replayed through split direct-mapped L1
+/// caches **once**, and only the events the L2 would observe are kept.
+///
+/// Mirrors [`simulate_arena`]'s warm-up split and early-exhaustion
+/// contract, so [`simulate_filtered`] on the result is bit-identical to
+/// [`simulate_arena`] on the full arena. Returns `None` when the packed
+/// event stream outgrows `byte_limit` (checked between chunks; an L1 so
+/// small that most references miss could otherwise approach the arena's
+/// own footprint) — callers fall back to the arena engine.
+pub fn capture_miss_stream(
+    l1_size_bytes: u64,
+    line_bytes: u64,
+    arena: &TraceArena,
+    budget: SimBudget,
+    byte_limit: usize,
+) -> Option<MissStream> {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    let l1 = CacheConfig::new(
+        l1_size_bytes,
+        line_bytes,
+        Associativity::Direct,
+        ReplacementKind::PseudoRandom,
+    )
+    .expect("valid L1 configuration");
+    let mut fe = L1FrontEnd::new(l1);
+    let warm = budget.warmup_instructions;
+    let total = warm.saturating_add(budget.instructions);
+    let mut pos = 0u64;
+    for chunk in arena.chunks() {
+        if pos >= total {
+            break;
+        }
+        if fe.event_bytes() > byte_limit {
+            return None;
+        }
+        let take = (chunk.len() as u64).min(total - pos);
+        if pos >= warm {
+            replay_chunk(&mut fe, chunk, 0, take as usize);
+        } else if pos + take <= warm {
+            replay_chunk(&mut fe, chunk, 0, take as usize);
+            if pos + take == warm {
+                fe.reset_stats();
+            }
+        } else {
+            let split = (warm - pos) as usize;
+            replay_chunk(&mut fe, chunk, 0, split);
+            fe.reset_stats();
+            replay_chunk(&mut fe, chunk, split, take as usize);
+        }
+        pos += take;
+    }
+    if pos <= warm {
+        fe.reset_stats();
+    }
+    if fe.event_bytes() > byte_limit {
+        return None;
+    }
+    Some(fe.finish(arena.name()))
+}
+
+/// As [`simulate_arena`], replaying a captured [`MissStream`] through the
+/// configuration's L2 back-end only — the miss-stream filtering fast
+/// path. Bit-identical to the arena engine when `stream` was captured
+/// with the same budget from the same arena.
+///
+/// # Panics
+///
+/// Panics if `cfg`'s L1 size or line size differs from the stream's (the
+/// stream encodes one specific L1 front-end).
+pub fn simulate_filtered(cfg: &MachineConfig, stream: &MissStream) -> HierarchyStats {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    assert_eq!(cfg.l1_size_bytes, stream.l1_size_bytes(), "stream captured for a different L1");
+    assert_eq!(cfg.line_bytes, stream.line_bytes(), "stream captured for a different line size");
+    match cfg.l2 {
+        None => replay_single(stream),
+        Some(spec) => {
+            let assoc = if spec.ways == 1 {
+                Associativity::Direct
+            } else {
+                Associativity::SetAssoc(spec.ways)
+            };
+            let l2 = CacheConfig::new(
+                spec.size_bytes,
+                cfg.line_bytes,
+                assoc,
+                ReplacementKind::PseudoRandom,
+            )
+            .expect("valid L2 configuration");
+            match spec.policy {
+                L2Policy::Conventional => replay_conventional(l2, stream),
+                L2Policy::Exclusive => replay_exclusive(l2, stream),
+            }
+        }
+    }
+}
+
+/// As [`evaluate_arena`], through the miss-stream filtering engine
+/// ([`simulate_filtered`]): the L1 cost was paid once at capture, so this
+/// touches only the L1-miss events. Bit-identical to [`evaluate_arena`]
+/// when `stream` came from [`capture_miss_stream`] over the same arena
+/// and budget.
+pub fn evaluate_filtered(
+    cfg: &MachineConfig,
+    stream: &MissStream,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> DesignPoint {
+    let stats = simulate_filtered(cfg, stream);
+    design_point(cfg, stream.name().to_string(), stats, timing, area)
+}
+
 fn design_point(
     cfg: &MachineConfig,
     workload: String,
@@ -464,6 +578,38 @@ mod tests {
             let legacy = evaluate_dyn(&cfg, SpecBenchmark::Espresso, budget, &tm, &am);
             assert_eq!(legacy, replayed, "legacy engine diverged for {}", cfg.label());
         }
+    }
+
+    #[test]
+    fn filtered_evaluation_is_bit_identical_to_arena_evaluation() {
+        let (tm, am) = models();
+        let budget = SimBudget { instructions: 20_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let stream = capture_miss_stream(4 * 1024, 16, &arena, budget, usize::MAX)
+            .expect("unbounded capture succeeds");
+        assert!(!stream.is_empty(), "gcc1 misses in a 4KB L1");
+        let total = budget.warmup_instructions + budget.instructions;
+        assert!(stream.len() < total / 2, "events must be a small fraction of the references");
+        for cfg in [
+            MachineConfig::single_level(4, 50.0),
+            MachineConfig::two_level(4, 32, 4, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(4, 32, 4, L2Policy::Exclusive, 50.0),
+            MachineConfig::two_level(4, 8, 1, L2Policy::Exclusive, 200.0),
+        ] {
+            let via_arena = evaluate_arena(&cfg, &arena, budget, &tm, &am);
+            let via_stream = evaluate_filtered(&cfg, &stream, &tm, &am);
+            assert_eq!(via_arena, via_stream, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different L1")]
+    fn filtered_rejects_mismatched_l1() {
+        let budget = SimBudget { instructions: 2_000, warmup_instructions: 500 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let stream = capture_miss_stream(1024, 16, &arena, budget, usize::MAX).unwrap();
+        let cfg = MachineConfig::single_level(8, 50.0);
+        let _ = simulate_filtered(&cfg, &stream);
     }
 
     #[test]

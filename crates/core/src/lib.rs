@@ -48,6 +48,7 @@ pub mod runner;
 pub mod tpi;
 
 pub use experiment::{
-    capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, DesignPoint, SimBudget,
+    capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
+    evaluate_filtered, DesignPoint, SimBudget,
 };
 pub use machine::{L2Policy, L2Spec, MachineConfig, MachineTiming};

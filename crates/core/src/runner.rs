@@ -19,8 +19,10 @@
 //! regenerate-per-configuration path available for comparison and for
 //! memory-constrained hosts.
 
+use crate::configspace::unique_configs;
 use crate::experiment::{
-    capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, DesignPoint, SimBudget,
+    capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
+    evaluate_filtered, DesignPoint, SimBudget,
 };
 use crate::machine::MachineConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +44,35 @@ pub const ARENA_BYTES_PER_RECORD: usize = 17;
 pub fn arena_bytes_for(budget: SimBudget) -> usize {
     let records = budget.warmup_instructions.saturating_add(budget.instructions);
     usize::try_from(records).unwrap_or(usize::MAX).saturating_mul(ARENA_BYTES_PER_RECORD)
+}
+
+/// Upper bound on one captured miss stream's packed size before the
+/// filtered sweep falls back to plain arena replay for that L1 group.
+/// Matches [`ARENA_BYTES_LIMIT`]; in practice a miss stream is 1–10% of
+/// the arena (Table 1 miss rates), so the bound only trips for L1s small
+/// enough that most references miss.
+pub const MISS_STREAM_BYTES_LIMIT: usize = ARENA_BYTES_LIMIT;
+
+/// The key identifying one L1 front-end for miss-stream filtering:
+/// `(l1_size_bytes, line_bytes)`. Cell kind, ports, and off-chip latency
+/// affect only the timing/area models, never the simulated trajectory,
+/// so configurations differing only in those share a captured stream.
+pub type L1Key = (u64, u64);
+
+/// Groups configuration indices by their L1 front-end, in order of first
+/// appearance. Each entry is `(key, indices into configs)`; every index
+/// appears exactly once. This is the capture schedule of the filtered
+/// sweep: one L1 simulation per returned group.
+pub fn l1_groups(configs: &[MachineConfig]) -> Vec<(L1Key, Vec<usize>)> {
+    let mut groups: Vec<(L1Key, Vec<usize>)> = Vec::new();
+    for (i, cfg) in configs.iter().enumerate() {
+        let key = (cfg.l1_size_bytes, cfg.line_bytes);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    groups
 }
 
 /// Evaluates every configuration on `benchmark`, in parallel. Results are
@@ -85,7 +116,7 @@ pub fn sweep_threads(
         return sweep_streaming_threads(configs, benchmark, budget, timing, area, threads);
     }
     let arena = capture_benchmark(benchmark, budget);
-    sweep_arena_threads(configs, &arena, budget, timing, area, threads)
+    sweep_filtered_arena_threads(configs, &arena, budget, timing, area, threads)
 }
 
 /// Evaluates every configuration against an already-captured arena, in
@@ -104,7 +135,57 @@ pub fn sweep_arena_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs, threads, |cfg| evaluate_arena(cfg, arena, budget, timing, area))
+    run_indexed(configs.len(), threads, |i| {
+        evaluate_arena(&configs[i], arena, budget, timing, area)
+    })
+}
+
+/// The miss-stream filtering sweep: configurations are grouped by L1
+/// front-end ([`l1_groups`]), the arena is replayed through each distinct
+/// L1 **once** to capture its miss/victim event stream, and every
+/// configuration then replays only its group's events through its L2
+/// back-end. Bit-identical to [`sweep_arena_threads`]; the L1 work —
+/// which the arena path repeats for every configuration sharing an L1 —
+/// is paid once per group.
+///
+/// Groups of one configuration skip the capture (it cannot pay for
+/// itself), and a group whose event stream would exceed
+/// [`MISS_STREAM_BYTES_LIMIT`] falls back to plain arena replay, so the
+/// sweep's memory stays bounded by the same reasoning as the 1 GiB arena
+/// bound. Results are returned in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_filtered_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    assert!(threads > 0, "need at least one worker thread");
+    let groups = l1_groups(configs);
+    // Phase A: one L1 capture per group that will amortise it.
+    let streams = run_indexed(groups.len(), threads, |g| {
+        let (key, idxs) = &groups[g];
+        if idxs.len() < 2 {
+            return None;
+        }
+        capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT)
+    });
+    let mut stream_of = vec![None; configs.len()];
+    for (g, (_, idxs)) in groups.iter().enumerate() {
+        for &i in idxs {
+            stream_of[i] = streams[g].as_ref();
+        }
+    }
+    // Phase B: fan the configurations over the captured streams.
+    run_indexed(configs.len(), threads, |i| match stream_of[i] {
+        Some(stream) => evaluate_filtered(&configs[i], stream, timing, area),
+        None => evaluate_arena(&configs[i], arena, budget, timing, area),
+    })
 }
 
 /// The regenerate-per-configuration sweep: each evaluation rebuilds the
@@ -123,7 +204,7 @@ pub fn sweep_streaming_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs, threads, |cfg| evaluate(cfg, benchmark, budget, timing, area))
+    run_indexed(configs.len(), threads, |i| evaluate(&configs[i], benchmark, budget, timing, area))
 }
 
 /// The pre-arena baseline sweep: regenerates the stream per
@@ -143,12 +224,20 @@ pub fn sweep_dyn_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs, threads, |cfg| evaluate_dyn(cfg, benchmark, budget, timing, area))
+    run_indexed(configs.len(), threads, |i| {
+        evaluate_dyn(&configs[i], benchmark, budget, timing, area)
+    })
 }
 
 /// Sweeps `configs` across several benchmarks, capturing each
 /// benchmark's stream exactly once. Returns one result vector per
 /// benchmark, in benchmark order, each in `configs` order.
+///
+/// Duplicate configurations — common when overlapping figure families
+/// are concatenated — are evaluated once per benchmark
+/// ([`unique_configs`]) and their results fanned back out to every
+/// occurrence, so the output is position-for-position what a naive
+/// per-config sweep would return.
 ///
 /// # Panics
 ///
@@ -161,29 +250,38 @@ pub fn sweep_matrix(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<Vec<DesignPoint>> {
-    benchmarks.iter().map(|&b| sweep_threads(configs, b, budget, timing, area, threads)).collect()
+    let (unique, occurrence) = unique_configs(configs);
+    benchmarks
+        .iter()
+        .map(|&b| {
+            let row = sweep_threads(&unique, b, budget, timing, area, threads);
+            occurrence.iter().map(|&u| row[u].clone()).collect()
+        })
+        .collect()
 }
 
-/// Work-stealing fan-out: workers atomically claim configuration
-/// indices, results land back in input order.
-fn run_indexed<F>(configs: &[MachineConfig], threads: usize, eval: F) -> Vec<DesignPoint>
+/// Work-stealing fan-out: workers atomically claim indices `0..n`,
+/// results land back in index order.
+fn run_indexed<T, F>(n: usize, threads: usize, eval: F) -> Vec<T>
 where
-    F: Fn(&MachineConfig) -> DesignPoint + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Sync,
 {
     assert!(threads > 0, "need at least one worker thread");
-    if configs.is_empty() {
+    if n == 0 {
         return Vec::new();
     }
-    let threads = threads.min(configs.len());
+    let threads = threads.min(n);
     if threads == 1 {
         // Run on the calling thread: spawning a worker is not only
         // pointless serialisation, it is measurably slow — a fresh
         // thread starts with a cold allocator heap, so every
         // configuration's cache arrays page-fault from scratch.
-        return configs.iter().map(eval).collect();
+        return (0..n).map(eval).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -194,10 +292,10 @@ where
                 let mut mine = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= configs.len() {
+                    if i >= n {
                         break;
                     }
-                    mine.push((i, eval(&configs[i])));
+                    mine.push((i, eval(i)));
                 }
                 mine
             }));
@@ -298,6 +396,96 @@ mod tests {
         let am = AreaModel::new();
         let points = sweep_threads(&[], SpecBenchmark::Li, SimBudget::quick(), &tm, &am, 2);
         assert!(points.is_empty());
+    }
+
+    #[test]
+    fn l1_groups_cover_every_index_once() {
+        let mut opts = SpaceOptions::baseline();
+        let mut configs = crate::configspace::full_space(&opts);
+        opts.l2_policy = crate::machine::L2Policy::Exclusive;
+        configs.extend(crate::configspace::two_level_configs(&opts));
+        let groups = l1_groups(&configs);
+        // Nine L1 sizes, one line size: nine front-ends for the 81-config
+        // conventional+exclusive space.
+        assert_eq!(groups.len(), 9);
+        let mut seen = vec![false; configs.len()];
+        for (key, idxs) in &groups {
+            for &i in idxs {
+                assert!(!seen[i], "index {i} in two groups");
+                seen[i] = true;
+                assert_eq!((configs[i].l1_size_bytes, configs[i].line_bytes), *key);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index grouped");
+        // First-appearance order: the single-level leg enumerates L1
+        // sizes ascending.
+        assert_eq!(groups[0].0 .0, 1024);
+        assert_eq!(groups[8].0 .0, 256 * 1024);
+    }
+
+    #[test]
+    fn filtered_sweep_matches_arena_sweep() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        // Mixed space: singles, conventional, exclusive — shared L1s.
+        let mut opts = SpaceOptions::baseline();
+        let mut configs = single_level_configs(&opts)[..3].to_vec();
+        configs.extend_from_slice(&two_level_configs(&opts)[..6]);
+        opts.l2_policy = crate::machine::L2Policy::Exclusive;
+        configs.extend_from_slice(&two_level_configs(&opts)[..6]);
+        let budget = SimBudget { instructions: 15_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let plain = sweep_arena_threads(&configs, &arena, budget, &tm, &am, 2);
+        for threads in [1, 3] {
+            let filtered =
+                sweep_filtered_arena_threads(&configs, &arena, budget, &tm, &am, threads);
+            assert_eq!(plain, filtered, "filtered sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn filtered_sweep_handles_singleton_groups() {
+        // Every config has a distinct L1: all groups are singletons, so
+        // the whole sweep takes the arena fallback path.
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let configs = single_level_configs(&SpaceOptions::baseline());
+        let configs = &configs[..3];
+        let budget = SimBudget { instructions: 8_000, warmup_instructions: 2_000 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let plain = sweep_arena_threads(configs, &arena, budget, &tm, &am, 1);
+        let filtered = sweep_filtered_arena_threads(configs, &arena, budget, &tm, &am, 2);
+        assert_eq!(plain, filtered);
+    }
+
+    #[test]
+    fn tight_byte_limit_falls_back_to_arena_replay() {
+        // A zero byte limit rejects every capture; the filtered sweep
+        // must still return bit-identical results via the fallback.
+        let budget = SimBudget { instructions: 5_000, warmup_instructions: 1_000 };
+        let arena = capture_benchmark(SpecBenchmark::Tomcatv, budget);
+        assert!(capture_miss_stream(1024, 16, &arena, budget, 0).is_none());
+        assert!(capture_miss_stream(1024, 16, &arena, budget, usize::MAX).is_some());
+    }
+
+    #[test]
+    fn matrix_dedups_duplicate_configs() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let base = single_level_configs(&SpaceOptions::baseline());
+        // Same config three times plus a distinct one, shuffled.
+        let configs = [base[0], base[1], base[0], base[0]];
+        let budget = SimBudget { instructions: 5_000, warmup_instructions: 1_000 };
+        let matrix = sweep_matrix(&configs, &[SpecBenchmark::Espresso], budget, &tm, &am, 2);
+        let row = &matrix[0];
+        assert_eq!(row.len(), 4, "results fan back out to input positions");
+        assert_eq!(row[0], row[2]);
+        assert_eq!(row[0], row[3]);
+        assert_eq!(row[0].label, base[0].label());
+        assert_eq!(row[1].label, base[1].label());
+        // Identical to the undeduplicated sweep.
+        let direct = sweep_threads(&configs, SpecBenchmark::Espresso, budget, &tm, &am, 2);
+        assert_eq!(*row, direct);
     }
 
     #[test]

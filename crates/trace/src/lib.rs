@@ -33,6 +33,8 @@
 //! * [`Workload`] — instruction+data stream with a reference mix.
 //! * [`TraceArena`] — a stream captured once into packed chunks and
 //!   replayed by every configuration of a design-space sweep.
+//! * [`EventArena`] — an L1 front-end's miss/victim event stream,
+//!   captured once and fanned over every L2 configuration sharing it.
 //! * [`spec`] — the seven SPEC'89-like presets of the paper's Table 1.
 //! * [`TraceStats`] — Table-1-style counters and footprints.
 //! * [`io`] — binary and text trace serialisation.
@@ -42,6 +44,7 @@
 
 mod addr;
 pub mod arena;
+pub mod events;
 pub mod gen;
 pub mod io;
 mod record;
@@ -54,6 +57,7 @@ mod workload;
 
 pub use addr::{Addr, AddrRange, LineAddr};
 pub use arena::{ArenaReplay, ChunkView, TraceArena};
+pub use events::{EventArena, EventChunkView, MissEvent, VictimLine};
 pub use record::{AccessKind, InstructionRecord, MemRef};
 pub use source::{InstructionSource, ReplaySource};
 pub use stats::{TraceStats, TraceSummary};

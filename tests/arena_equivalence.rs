@@ -9,13 +9,19 @@
 //! `BENCH_sweep.json`) is a pure engine optimisation, not a change to
 //! the simulated machine.
 
+use proptest::prelude::*;
 use tlc_area::AreaModel;
-use tlc_core::experiment::{capture_benchmark, evaluate, evaluate_arena, evaluate_dyn, SimBudget};
-use tlc_core::runner::sweep_arena_threads;
+use tlc_cache::filter::MissStream;
+use tlc_cache::{Associativity, CacheConfig, L1FrontEnd, MemorySystem, ReplacementKind};
+use tlc_core::experiment::{
+    capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
+    evaluate_filtered, SimBudget,
+};
+use tlc_core::runner::{sweep_arena_threads, sweep_filtered_arena_threads};
 use tlc_core::{L2Policy, MachineConfig};
 use tlc_timing::TimingModel;
 use tlc_trace::spec::SpecBenchmark;
-use tlc_trace::TraceArena;
+use tlc_trace::{AccessKind, Addr, LineAddr, MemRef, MissEvent, TraceArena, VictimLine};
 
 const BUDGET: SimBudget = SimBudget { instructions: 12_000, warmup_instructions: 3_000 };
 
@@ -78,6 +84,195 @@ fn chunk_size_does_not_change_results() {
             let got = evaluate_arena(cfg, &arena, BUDGET, &tm, &am);
             assert_eq!(&got, want, "chunk_len={chunk_len} changed {}", cfg.label());
         }
+    }
+}
+
+/// Miss-stream filtering equivalence: for every benchmark, every
+/// hierarchy kind (single-level, conventional/inclusive-tending,
+/// exclusive victim-swap) and several (L1, L2) geometry pairs, the
+/// filtered engine — L1 simulated once per front-end, L2 replaying only
+/// the captured events — must produce the same `DesignPoint` bit for bit
+/// as both the arena engine and the legacy dyn engine.
+#[test]
+fn filtered_equivalence() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    for benchmark in SpecBenchmark::ALL {
+        let arena = capture_benchmark(benchmark, BUDGET);
+        for l1_kb in [2u64, 4] {
+            let stream = capture_miss_stream(l1_kb * 1024, 16, &arena, BUDGET, usize::MAX)
+                .expect("unbounded capture succeeds");
+            let mut configs = vec![MachineConfig::single_level(l1_kb, 50.0)];
+            for l2_kb in [8u64, 64] {
+                for (ways, policy) in [
+                    (4, L2Policy::Conventional),
+                    (4, L2Policy::Exclusive),
+                    (1, L2Policy::Exclusive),
+                ] {
+                    configs.push(MachineConfig::two_level(l1_kb, l2_kb, ways, policy, 50.0));
+                }
+            }
+            for cfg in &configs {
+                let filtered = evaluate_filtered(cfg, &stream, &tm, &am);
+                let replayed = evaluate_arena(cfg, &arena, BUDGET, &tm, &am);
+                assert_eq!(
+                    filtered,
+                    replayed,
+                    "{} on {}: filtered engine diverged from arena replay",
+                    benchmark.name(),
+                    cfg.label()
+                );
+                let legacy = evaluate_dyn(cfg, benchmark, BUDGET, &tm, &am);
+                assert_eq!(
+                    filtered,
+                    legacy,
+                    "{} on {}: filtered engine diverged from the dyn engine",
+                    benchmark.name(),
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+/// The filtered sweep is a drop-in replacement for the arena sweep:
+/// same mixed configuration list, any thread count, identical output.
+#[test]
+fn filtered_sweep_matches_arena_sweep_at_any_thread_count() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    let configs: Vec<MachineConfig> = hierarchy_kinds()
+        .into_iter()
+        .chain([
+            MachineConfig::two_level(4, 32, 4, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(4, 16, 1, L2Policy::Exclusive, 200.0),
+            MachineConfig::single_level(16, 50.0),
+        ])
+        .collect();
+    let arena = capture_benchmark(SpecBenchmark::Doduc, BUDGET);
+    let reference = sweep_arena_threads(&configs, &arena, BUDGET, &tm, &am, 1);
+    for threads in [1usize, 2, 5] {
+        let filtered = sweep_filtered_arena_threads(&configs, &arena, BUDGET, &tm, &am, threads);
+        assert_eq!(reference, filtered, "threads={threads} changed the filtered sweep");
+    }
+}
+
+/// A naive reference model of the split direct-mapped L1 front-end:
+/// per-set resident line + written bit, plus the same-line fetch filter.
+/// Computes the exact miss/victim event sequence the capture must emit.
+struct NaiveL1 {
+    sets: u64,
+    isets: Vec<Option<(u64, bool)>>,
+    dsets: Vec<Option<(u64, bool)>>,
+    last_fetch: u64,
+    events: Vec<MissEvent>,
+    warmup_events: u64,
+}
+
+impl NaiveL1 {
+    fn new(l1_bytes: u64, line_bytes: u64) -> Self {
+        let sets = l1_bytes / line_bytes;
+        NaiveL1 {
+            sets,
+            isets: vec![None; sets as usize],
+            dsets: vec![None; sets as usize],
+            last_fetch: u64::MAX,
+            events: Vec::new(),
+            warmup_events: 0,
+        }
+    }
+
+    fn access(&mut self, r: MemRef) {
+        let line = r.addr.line(16);
+        let (side, is_write) = match r.kind {
+            AccessKind::InstrFetch => {
+                if line.0 == self.last_fetch {
+                    return;
+                }
+                self.last_fetch = line.0;
+                (&mut self.isets, false)
+            }
+            AccessKind::Load => (&mut self.dsets, false),
+            AccessKind::Store => (&mut self.dsets, true),
+        };
+        let set = (line.0 % self.sets) as usize;
+        match side[set] {
+            Some((resident, ref mut written)) if resident == line.0 => {
+                *written |= is_write;
+            }
+            old => {
+                self.events.push(MissEvent {
+                    kind: r.kind,
+                    line,
+                    victim: old.map(|(l, w)| VictimLine { line: LineAddr(l), written: w }),
+                });
+                side[set] = Some((line.0, is_write));
+            }
+        }
+    }
+
+    fn mark_warmup(&mut self) {
+        self.warmup_events = self.events.len() as u64;
+    }
+}
+
+fn capture_via_front_end(refs: &[MemRef], l1_bytes: u64, warm: usize) -> MissStream {
+    let cfg = CacheConfig::new(l1_bytes, 16, Associativity::Direct, ReplacementKind::PseudoRandom)
+        .expect("valid L1");
+    let mut fe = L1FrontEnd::new(cfg);
+    for r in &refs[..warm] {
+        fe.access(*r);
+    }
+    fe.reset_stats();
+    for r in &refs[warm..] {
+        fe.access(*r);
+    }
+    fe.finish("random")
+}
+
+/// Strategy: a short random reference stream over a bounded line space.
+fn ref_stream(max_lines: u64, len: usize) -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec((0..max_lines, 0u8..3), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(line, kind)| {
+                let addr = Addr::new(line * 16);
+                match kind {
+                    0 => MemRef::fetch(addr),
+                    1 => MemRef::load(addr),
+                    _ => MemRef::store(addr),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The capture agrees event-for-event (kind, line, victim, written
+    /// bit, warm-up bookmark) with the naive per-set reference model on
+    /// random short traces.
+    #[test]
+    fn front_end_events_match_naive_model(
+        refs in ref_stream(96, 300),
+        l1_log in 6u32..9, // 64..256 bytes: 4..16 lines, plenty of evictions
+        warm_frac in 0usize..4,
+    ) {
+        let l1_bytes = 1u64 << l1_log;
+        let warm = refs.len() * warm_frac / 4;
+        let stream = capture_via_front_end(&refs, l1_bytes, warm);
+        let mut naive = NaiveL1::new(l1_bytes, 16);
+        for r in &refs[..warm] {
+            naive.access(*r);
+        }
+        naive.mark_warmup();
+        for r in &refs[warm..] {
+            naive.access(*r);
+        }
+        let got: Vec<MissEvent> = stream.events().collect();
+        prop_assert_eq!(&got, &naive.events, "event streams diverged");
+        prop_assert_eq!(stream.warmup_events(), naive.warmup_events);
+        prop_assert_eq!(stream.l1_size_bytes(), l1_bytes);
     }
 }
 
