@@ -1,7 +1,7 @@
 //! Machine-readable sweep-engine benchmark: legacy vs streaming vs arena
-//! vs miss-stream filtered.
+//! vs miss-stream filtered vs family-batched.
 //!
-//! Times four engines over the same configuration space:
+//! Times five engines over the same configuration space:
 //!
 //! 1. **legacy** — regenerate per configuration, `Box<dyn MemorySystem>`
 //!    dispatch (the engine every sweep used before this one; the speedup
@@ -12,16 +12,19 @@
 //! 3. **arena** — capture once, replay the packed buffer per
 //!    configuration;
 //! 4. **filtered** — capture once, simulate each distinct L1 once over
-//!    the arena, then fan every L2 over its L1's miss-stream events only
-//!    (the sweep fast path).
+//!    the arena, then fan every L2 over its L1's miss-stream events only;
+//! 5. **family** — filtered, plus one event pass per (L1, policy, ways)
+//!    family drives every L2 size at once (the sweep fast path).
 //!
-//! All four must produce bit-identical design points. Because the
-//! filtered engine's whole advantage is on configurations that *share*
-//! an L1, the report also times the arena and filtered engines on the
-//! two-level subset of the space in isolation (`twolevel_*` fields) —
-//! that ratio is the "simulate the L1 once" win with the single-level
-//! legs excluded. The report is rendered as JSON (committed as
-//! `BENCH_sweep.json` at the repository root; regenerate with
+//! All five must produce bit-identical design points. Because the
+//! filtered and family engines' whole advantage is on configurations
+//! that *share* an L1, the report also times the arena, filtered and
+//! family engines on the two-level subset of the space in isolation
+//! (`twolevel_*` fields) — those ratios are the "simulate the L1 once"
+//! and "decode the events once per family" wins with the single-level
+//! legs excluded (`twolevel_family_speedup` ≥ 1.5× is the family
+//! engine's acceptance bar). The report is rendered as JSON (committed
+//! as `BENCH_sweep.json` at the repository root; regenerate with
 //! `repro bench-sweep <path>`).
 
 use crate::Harness;
@@ -30,7 +33,8 @@ use std::time::Instant;
 use tlc_core::configspace::{full_space, SpaceOptions};
 use tlc_core::experiment::{capture_benchmark, SimBudget};
 use tlc_core::runner::{
-    sweep_arena_threads, sweep_dyn_threads, sweep_filtered_arena_threads, sweep_streaming_threads,
+    sweep_arena_threads, sweep_dyn_threads, sweep_family_arena_threads,
+    sweep_filtered_arena_threads, sweep_streaming_threads,
 };
 use tlc_core::{L2Policy, MachineConfig};
 use tlc_trace::spec::SpecBenchmark;
@@ -77,6 +81,10 @@ pub struct SweepBenchRow {
     /// capture plus per-configuration event replay; arena capture not
     /// included, as for `replay_s`).
     pub filtered_s: f64,
+    /// Wall-clock seconds for the family-batched sweep (per-L1 capture
+    /// plus one event pass per (L1, policy, ways) family; arena capture
+    /// not included, as for `replay_s`).
+    pub family_s: f64,
     /// Arena resident size in bytes.
     pub arena_bytes: u64,
     /// `legacy_s / (capture_s + replay_s)` — the arena engine's speedup.
@@ -86,6 +94,9 @@ pub struct SweepBenchRow {
     /// `legacy_s / (capture_s + filtered_s)` — the filtered engine's
     /// headline speedup.
     pub speedup_filtered: f64,
+    /// `legacy_s / (capture_s + family_s)` — the family engine's
+    /// headline speedup.
+    pub speedup_family: f64,
     /// Wall-clock seconds for the arena engine on the two-level subset
     /// of the space only.
     pub twolevel_arena_s: f64,
@@ -96,7 +107,14 @@ pub struct SweepBenchRow {
     /// miss-stream filtering buys over arena replay where L1s are shared
     /// (the acceptance metric: ≥ 2×).
     pub twolevel_speedup: f64,
-    /// Whether all four engines produced bit-identical design points.
+    /// Wall-clock seconds for the family engine on the two-level subset
+    /// only.
+    pub twolevel_family_s: f64,
+    /// `twolevel_filtered_s / twolevel_family_s` — the additional
+    /// speedup family batching buys over per-configuration filtered
+    /// replay (the acceptance metric: ≥ 1.5×).
+    pub twolevel_family_speedup: f64,
+    /// Whether all five engines produced bit-identical design points.
     pub identical: bool,
 }
 
@@ -123,11 +141,16 @@ pub struct SweepBenchReport {
     pub total_arena_s: f64,
     /// Total wall-clock seconds for all captures plus filtered sweeps.
     pub total_filtered_s: f64,
+    /// Total wall-clock seconds for all captures plus family sweeps.
+    pub total_family_s: f64,
     /// `total_legacy_s / total_arena_s` — the arena engine's speedup.
     pub total_speedup: f64,
     /// `total_legacy_s / total_filtered_s` — the filtered engine's
     /// headline speedup.
     pub total_speedup_filtered: f64,
+    /// `total_legacy_s / total_family_s` — the family engine's headline
+    /// speedup.
+    pub total_speedup_family: f64,
     /// Total two-level-subset seconds for the arena engine.
     pub total_twolevel_arena_s: f64,
     /// Total two-level-subset seconds for the filtered engine.
@@ -136,6 +159,12 @@ pub struct SweepBenchReport {
     /// additional two-level speedup of miss-stream filtering (≥ 2× is
     /// the acceptance bar).
     pub total_twolevel_speedup: f64,
+    /// Total two-level-subset seconds for the family engine.
+    pub total_twolevel_family_s: f64,
+    /// `total_twolevel_filtered_s / total_twolevel_family_s` — the
+    /// additional two-level speedup of family batching over filtered
+    /// replay (≥ 1.5× is the acceptance bar).
+    pub total_twolevel_family_speedup: f64,
     /// Whether every benchmark's engines agreed bit-for-bit.
     pub all_identical: bool,
 }
@@ -178,8 +207,19 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         );
         let filtered_s = t4.elapsed().as_secs_f64();
 
-        // The two-level subset in isolation: the filtered engine's win
-        // with the unshared single-level legs excluded.
+        let t4b = Instant::now();
+        let family = sweep_family_arena_threads(
+            &cfg.configs,
+            &arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let family_s = t4b.elapsed().as_secs_f64();
+
+        // The two-level subset in isolation: the filtered and family
+        // engines' win with the unshared single-level legs excluded.
         let t5 = Instant::now();
         let twolevel_arena =
             sweep_arena_threads(&twolevel, &arena, cfg.budget, &timing, &area, cfg.threads);
@@ -196,6 +236,11 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         );
         let twolevel_filtered_s = t6.elapsed().as_secs_f64();
 
+        let t7 = Instant::now();
+        let twolevel_family =
+            sweep_family_arena_threads(&twolevel, &arena, cfg.budget, &timing, &area, cfg.threads);
+        let twolevel_family_s = t7.elapsed().as_secs_f64();
+
         rows.push(SweepBenchRow {
             benchmark: b.name().to_string(),
             legacy_s,
@@ -203,42 +248,54 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             capture_s,
             replay_s,
             filtered_s,
+            family_s,
             arena_bytes: arena.bytes() as u64,
             speedup: legacy_s / (capture_s + replay_s),
             speedup_vs_streaming: streaming_s / (capture_s + replay_s),
             speedup_filtered: legacy_s / (capture_s + filtered_s),
+            speedup_family: legacy_s / (capture_s + family_s),
             twolevel_arena_s,
             twolevel_filtered_s,
             twolevel_speedup: twolevel_arena_s / twolevel_filtered_s,
+            twolevel_family_s,
+            twolevel_family_speedup: twolevel_filtered_s / twolevel_family_s,
             identical: legacy == replayed
                 && streamed == replayed
                 && filtered == replayed
-                && twolevel_arena == twolevel_filtered,
+                && family == replayed
+                && twolevel_arena == twolevel_filtered
+                && twolevel_family == twolevel_filtered,
         });
     }
     let total_legacy_s: f64 = rows.iter().map(|r| r.legacy_s).sum();
     let total_streaming_s: f64 = rows.iter().map(|r| r.streaming_s).sum();
     let total_arena_s: f64 = rows.iter().map(|r| r.capture_s + r.replay_s).sum();
     let total_filtered_s: f64 = rows.iter().map(|r| r.capture_s + r.filtered_s).sum();
+    let total_family_s: f64 = rows.iter().map(|r| r.capture_s + r.family_s).sum();
     let total_twolevel_arena_s: f64 = rows.iter().map(|r| r.twolevel_arena_s).sum();
     let total_twolevel_filtered_s: f64 = rows.iter().map(|r| r.twolevel_filtered_s).sum();
+    let total_twolevel_family_s: f64 = rows.iter().map(|r| r.twolevel_family_s).sum();
     SweepBenchReport {
-        schema: "tlc-sweep-bench/2".to_string(),
+        schema: "tlc-sweep-bench/3".to_string(),
         configs: cfg.configs.len() as u64,
         measured_instructions: cfg.budget.instructions,
         warmup_instructions: cfg.budget.warmup_instructions,
         threads: cfg.threads as u64,
         total_speedup: total_legacy_s / total_arena_s,
         total_speedup_filtered: total_legacy_s / total_filtered_s,
+        total_speedup_family: total_legacy_s / total_family_s,
         total_twolevel_speedup: total_twolevel_arena_s / total_twolevel_filtered_s,
+        total_twolevel_family_speedup: total_twolevel_filtered_s / total_twolevel_family_s,
         all_identical: rows.iter().all(|r| r.identical),
         benchmarks: rows,
         total_legacy_s,
         total_streaming_s,
         total_arena_s,
         total_filtered_s,
+        total_family_s,
         total_twolevel_arena_s,
         total_twolevel_filtered_s,
+        total_twolevel_family_s,
     }
 }
 
@@ -266,10 +323,13 @@ mod tests {
         assert!(report.all_identical, "engines must agree bit-for-bit");
         assert!(report.total_streaming_s > 0.0 && report.total_arena_s > 0.0);
         assert!(report.total_filtered_s > 0.0 && report.total_twolevel_filtered_s > 0.0);
+        assert!(report.total_family_s > 0.0 && report.total_twolevel_family_s > 0.0);
         let json = serde_json::to_string_pretty(&report).expect("serialises");
-        assert!(json.contains("\"schema\": \"tlc-sweep-bench/2\""));
+        assert!(json.contains("\"schema\": \"tlc-sweep-bench/3\""));
         assert!(json.contains("\"filtered_s\""));
+        assert!(json.contains("\"family_s\""));
         assert!(json.contains("\"twolevel_speedup\""));
+        assert!(json.contains("\"twolevel_family_speedup\""));
         assert!(json.contains("\"all_identical\": true"));
     }
 

@@ -239,54 +239,70 @@ impl MissStream {
         self.events.iter()
     }
 
-    /// L1 sets per side (for the exclusive back-end's fill-dirty mirror).
-    fn l1_sets(&self) -> usize {
+    /// L1 sets per side (for the exclusive back-end's fill-dirty mirror;
+    /// shared with the family-batched back-ends in
+    /// [`filter_family`](crate::filter_family)).
+    pub(crate) fn l1_sets(&self) -> usize {
         (self.l1_size_bytes / self.line_bytes) as usize
     }
 }
 
-/// One L2 back-end: consumes events, accumulates the L2-side counters.
-trait BackEnd {
+/// Anything that can consume a decoded event stream: the scalar back-ends
+/// below and the family-batched back-ends in
+/// [`filter_family`](crate::filter_family).
+pub(crate) trait EventSink {
     /// Consumes one event. `fetch` is true for instruction-fetch misses;
     /// `victim` carries the displaced line and its store-only written bit.
     fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>);
 
     /// Clears the counters at the warm-up boundary (L2 contents persist).
     fn reset_counters(&mut self);
+}
 
+/// One scalar L2 back-end: an [`EventSink`] that can report the three
+/// L2-side counters.
+trait BackEnd: EventSink {
     /// `(l2_hits, l2_misses, offchip_writebacks)` accumulated since the
     /// last reset.
     fn counters(&self) -> (u64, u64, u64);
 }
 
-/// Walks the packed event stream through `back`, resetting its counters
-/// at the warm-up boundary, and assembles the final statistics from the
-/// stream's L1-side counters plus the back-end's measured L2 counters.
-fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
+/// Walks the packed event stream through `sink`, resetting its counters
+/// at the warm-up boundary exactly where the arena engine resets the
+/// monolithic hierarchy's statistics (including the mid-chunk split and
+/// the exhausted-inside-warm-up reset).
+pub(crate) fn walk_events<S: EventSink>(sink: &mut S, stream: &MissStream) {
     let warm = stream.warmup_events;
     let mut pos = 0u64;
     for chunk in stream.events.chunks() {
         let len = chunk.len() as u64;
         if pos >= warm {
-            replay_event_chunk(back, chunk, 0, len as usize);
+            replay_event_chunk(sink, chunk, 0, len as usize);
         } else if pos + len <= warm {
-            replay_event_chunk(back, chunk, 0, len as usize);
+            replay_event_chunk(sink, chunk, 0, len as usize);
             if pos + len == warm {
-                back.reset_counters();
+                sink.reset_counters();
             }
         } else {
             let split = (warm - pos) as usize;
-            replay_event_chunk(back, chunk, 0, split);
-            back.reset_counters();
-            replay_event_chunk(back, chunk, split, len as usize);
+            replay_event_chunk(sink, chunk, 0, split);
+            sink.reset_counters();
+            replay_event_chunk(sink, chunk, split, len as usize);
         }
         pos += len;
     }
     if pos <= warm {
         // Stream exhausted inside warm-up (or boundary at the very end
         // with no measured events): nothing was measured.
-        back.reset_counters();
+        sink.reset_counters();
     }
+}
+
+/// Walks the stream through `back` and assembles the final statistics
+/// from the stream's L1-side counters plus the back-end's measured L2
+/// counters.
+fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
+    walk_events(back, stream);
     let (l2_hits, l2_misses, offchip_writebacks) = back.counters();
     HierarchyStats { l2_hits, l2_misses, offchip_writebacks, ..*stream.l1_stats() }
 }
@@ -294,7 +310,7 @@ fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
 /// The replay inner loop: slice iteration over one chunk's packed
 /// columns, statically dispatched per concrete back-end.
 #[inline]
-fn replay_event_chunk<B: BackEnd>(
+fn replay_event_chunk<B: EventSink>(
     back: &mut B,
     chunk: EventChunkView<'_>,
     start: usize,
@@ -319,7 +335,7 @@ struct SingleBack {
     offchip_writebacks: u64,
 }
 
-impl BackEnd for SingleBack {
+impl EventSink for SingleBack {
     #[inline]
     fn consume(&mut self, _fetch: bool, _line: LineAddr, victim: Option<(LineAddr, bool)>) {
         self.l2_misses += 1;
@@ -334,7 +350,9 @@ impl BackEnd for SingleBack {
         self.l2_misses = 0;
         self.offchip_writebacks = 0;
     }
+}
 
+impl BackEnd for SingleBack {
     fn counters(&self) -> (u64, u64, u64) {
         (0, self.l2_misses, self.offchip_writebacks)
     }
@@ -350,7 +368,7 @@ struct ConventionalBack {
     offchip_writebacks: u64,
 }
 
-impl BackEnd for ConventionalBack {
+impl EventSink for ConventionalBack {
     #[inline]
     fn consume(&mut self, _fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
         if self.l2.access(line, false) {
@@ -378,7 +396,9 @@ impl BackEnd for ConventionalBack {
         self.l2_misses = 0;
         self.offchip_writebacks = 0;
     }
+}
 
+impl BackEnd for ConventionalBack {
     fn counters(&self) -> (u64, u64, u64) {
         (self.l2_hits, self.l2_misses, self.offchip_writebacks)
     }
@@ -425,7 +445,7 @@ impl ExclusiveBack {
     }
 }
 
-impl BackEnd for ExclusiveBack {
+impl EventSink for ExclusiveBack {
     #[inline]
     fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
         let set = (line.0 & self.l1_set_mask) as usize;
@@ -470,7 +490,9 @@ impl BackEnd for ExclusiveBack {
         self.l2_misses = 0;
         self.offchip_writebacks = 0;
     }
+}
 
+impl BackEnd for ExclusiveBack {
     fn counters(&self) -> (u64, u64, u64) {
         (self.l2_hits, self.l2_misses, self.offchip_writebacks)
     }

@@ -1,0 +1,623 @@
+//! Family-batched replay: one pass over a miss stream drives *every* L2
+//! size of a configuration family at once.
+//!
+//! The design spaces of the paper vary, for a fixed L1, only the L2
+//! *capacity* (§2.1: L2 from 2×L1 up to 256KB, same 16B lines, same
+//! associativity, same policy). The scalar back-ends in
+//! [`filter`](crate::filter) already replay only the L1 miss events, but
+//! they still decode the packed 17-byte events once per configuration.
+//! Here one decode of each event fans into N structure-of-arrays L2
+//! states — per-configuration slot arrays, counters, and crucially a
+//! **per-configuration [`Lfsr16`]**, so pseudo-random replacement draws
+//! happen in exactly the order the standalone back-end would make them
+//! and every statistic stays bit-identical.
+//!
+//! ## Why batching preserves the bit-exact contract
+//!
+//! Each member's L2 observes the same event sequence it would see alone:
+//! the batched loop applies one event to every member before moving on,
+//! and members never share mutable state. The only stateful randomness is
+//! the replacement LFSR, which [`Cache`](crate::Cache) consults
+//! *only* when a set-associative fill finds no free way — a condition
+//! each member evaluates against its own slots. Giving each member its
+//! own LFSR (same seed as a fresh [`Cache`](crate::Cache)) therefore reproduces the
+//! standalone draw sequence exactly. The exclusive policy's per-L1-set
+//! fill-dirty mirror must also be per member — its entries come out of
+//! the member's own L2 extracts, whose dirty bits depend on L2 capacity —
+//! so it is carried per configuration, not once per family (see
+//! `docs/models.md`).
+//!
+//! ## The direct-mapped fast path
+//!
+//! For a conventional family of direct-mapped L2s the batched loop
+//! collapses further: nested power-of-two DM caches index with prefix
+//! bits, and demand-filled content is *inclusive* across sizes (resident
+//! at size S ⇒ resident at 2S), so one "smallest hitting size" threshold
+//! per access answers the whole family. Hits and victim writebacks then
+//! accumulate into per-threshold histograms instead of per-member
+//! counters — see `DmConventionalFamily` for the invariant.
+
+use crate::config::{CacheConfig, ReplacementKind};
+use crate::filter::{replay_single, walk_events, EventSink, MissStream};
+use crate::replacement::Lfsr16;
+use crate::stats::HierarchyStats;
+use tlc_trace::LineAddr;
+
+/// Slot encoding: `(line << 1) | dirty`, with `u64::MAX` as the invalid
+/// sentinel. `INVALID >> 1` is `2^63 - 1`, which can never equal a real
+/// line address (lines are byte addresses divided by the line size), so
+/// a single shifted compare tests "valid and tag matches".
+const INVALID: u64 = u64::MAX;
+
+/// One member's L2 array plus its private counters and LFSR.
+///
+/// Slots are set-major (`slots[set * ways + way]`), matching
+/// [`Cache`](crate::Cache)'s layout, but hold one packed `u64` per way instead of a
+/// 16-byte `Way` struct: half the memory touched per probe, and no
+/// statistics or replacement-policy dispatch on the hot path.
+#[derive(Debug)]
+struct L2State {
+    slots: Vec<u64>,
+    set_mask: u64,
+    lfsr: Lfsr16,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl L2State {
+    fn new(cfg: &CacheConfig) -> Self {
+        L2State {
+            slots: vec![INVALID; cfg.lines() as usize],
+            set_mask: cfg.num_sets() - 1,
+            lfsr: Lfsr16::default(),
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Replica of [`Cache::fill_after_miss`](crate::Cache::fill_after_miss) for the pseudo-random
+    /// policy: free way first (no draw), else one LFSR draw — exactly
+    /// the scalar back-end's call order. Counts a dirty eviction as an
+    /// off-chip writeback.
+    #[inline]
+    fn fill_after_miss(&mut self, ways: usize, ways_pow2: bool, line: u64, dirty: bool) {
+        let base = (line & self.set_mask) as usize * ways;
+        let way = if ways == 1 {
+            0
+        } else if let Some(i) = (0..ways).find(|&i| self.slots[base + i] == INVALID) {
+            i
+        } else {
+            let r = self.lfsr.next() as u32;
+            (if ways_pow2 { r & (ways as u32 - 1) } else { r % ways as u32 }) as usize
+        };
+        let old = self.slots[base + way];
+        if old != INVALID && old & 1 == 1 {
+            self.writebacks += 1;
+        }
+        self.slots[base + way] = (line << 1) | dirty as u64;
+    }
+
+    /// Replica of [`Cache::merge_if_present`](crate::Cache::merge_if_present): merge the dirty bit into
+    /// a resident copy, reporting whether one was found (replacement
+    /// touch is a no-op under pseudo-random).
+    #[inline]
+    fn merge_if_present(&mut self, ways: usize, line: u64, dirty: bool) -> bool {
+        let base = (line & self.set_mask) as usize * ways;
+        for w in &mut self.slots[base..base + ways] {
+            if *w >> 1 == line {
+                *w |= dirty as u64;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Shared geometry of a family: associativity (identical across members
+/// by the public API's contract) plus its derived power-of-two flag.
+#[derive(Debug, Clone, Copy)]
+struct FamilyWays {
+    ways: usize,
+    pow2: bool,
+}
+
+impl FamilyWays {
+    /// Validates that every member shares the stream's line size, the
+    /// pseudo-random policy (the only one whose replacement state the
+    /// batched arrays model), and one associativity.
+    fn of(l2_cfgs: &[CacheConfig], stream: &MissStream) -> FamilyWays {
+        let ways = l2_cfgs[0].ways();
+        for cfg in l2_cfgs {
+            assert_eq!(cfg.line_bytes(), stream.line_bytes(), "L1 and L2 must share a line size");
+            assert_eq!(
+                cfg.replacement(),
+                ReplacementKind::PseudoRandom,
+                "family-batched replay models pseudo-random replacement only"
+            );
+            assert_eq!(cfg.ways(), ways, "a family shares one L2 associativity");
+        }
+        FamilyWays { ways: ways as usize, pow2: ways.is_power_of_two() }
+    }
+}
+
+/// Batched conventional back-end: the family counterpart of
+/// `filter::ConventionalBack`, one [`L2State`] per member.
+///
+/// `W` is the compile-time associativity — the hot set scans unroll for
+/// the common widths (2/4/8-way); `W = 0` selects the dynamic fallback
+/// that reads the width from [`FamilyWays`] at run time.
+#[derive(Debug)]
+struct ConventionalFamily<const W: usize> {
+    states: Vec<L2State>,
+    fw: FamilyWays,
+}
+
+impl<const W: usize> EventSink for ConventionalFamily<W> {
+    #[inline]
+    fn consume(&mut self, _fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        let l = line.0;
+        let ways = if W == 0 { self.fw.ways } else { W };
+        let pow2 = if W == 0 { self.fw.pow2 } else { true };
+        for st in &mut self.states {
+            let base = (l & st.set_mask) as usize * ways;
+            let hit = st.slots[base..base + ways].iter().any(|&s| s >> 1 == l);
+            if hit {
+                // `access(line, false)`: dirty-merge of `false` and the
+                // pseudo-random touch are both no-ops.
+                st.hits += 1;
+            } else {
+                st.misses += 1;
+                st.fill_after_miss(ways, pow2, l, false);
+            }
+            if let Some((vline, written)) = victim {
+                if written && !st.merge_if_present(ways, vline.0, true) {
+                    st.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        for st in &mut self.states {
+            st.reset_counters();
+        }
+    }
+}
+
+/// Batched exclusive back-end: the family counterpart of
+/// `filter::ExclusiveBack`. The per-L1-set fill-dirty mirror is carried
+/// **per member**: a mirror entry records whether the member's own L2
+/// extract was dirty, which depends on that member's capacity (see the
+/// module docs).
+#[derive(Debug)]
+struct ExclusiveFamilyMember {
+    l2: L2State,
+    /// "Current resident was filled from a dirty L2 extract", per L1I set.
+    mirror_i: Vec<bool>,
+    /// Same, per L1D set.
+    mirror_d: Vec<bool>,
+}
+
+#[derive(Debug)]
+struct ExclusiveFamily<const W: usize> {
+    members: Vec<ExclusiveFamilyMember>,
+    fw: FamilyWays,
+    l1_set_mask: u64,
+}
+
+impl<const W: usize> EventSink for ExclusiveFamily<W> {
+    #[inline]
+    fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        let l = line.0;
+        let ways = if W == 0 { self.fw.ways } else { W };
+        let pow2 = if W == 0 { self.fw.pow2 } else { true };
+        let set = (l & self.l1_set_mask) as usize;
+        for m in &mut self.members {
+            let mirror = if fetch { &mut m.mirror_i } else { &mut m.mirror_d };
+            // Read the victim's fill-dirty component BEFORE the new fill
+            // overwrites the set's mirror entry.
+            let victim = victim.map(|(vline, written)| (vline.0, written || mirror[set]));
+            let st = &mut m.l2;
+            let base = (l & st.set_mask) as usize * ways;
+            let hit_way = (0..ways).find(|&w| st.slots[base + w] >> 1 == l);
+            if let Some(hw) = hit_way {
+                st.hits += 1;
+                // `extract`: read the dirty bit and free the slot.
+                let dirty = st.slots[base + hw] & 1;
+                st.slots[base + hw] = INVALID;
+                mirror[set] = dirty == 1;
+                match victim {
+                    Some((vl, vdirty)) => {
+                        if (vl & st.set_mask) == (l & st.set_mask)
+                            && !st.slots[base..base + ways].iter().any(|&s| s >> 1 == vl)
+                        {
+                            // Figure 21-a swap: the victim takes the
+                            // requested line's way.
+                            st.slots[base + hw] = (vl << 1) | vdirty as u64;
+                        } else {
+                            st.slots[base + hw] = (l << 1) | dirty;
+                            if !st.merge_if_present(ways, vl, vdirty) {
+                                st.fill_after_miss(ways, pow2, vl, vdirty);
+                            }
+                        }
+                    }
+                    None => {
+                        st.slots[base + hw] = (l << 1) | dirty;
+                    }
+                }
+            } else {
+                st.misses += 1;
+                // Off-chip refill bypasses the L2: no fill-dirty component.
+                mirror[set] = false;
+                if let Some((vl, vdirty)) = victim {
+                    if !st.merge_if_present(ways, vl, vdirty) {
+                        st.fill_after_miss(ways, pow2, vl, vdirty);
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        for m in &mut self.members {
+            m.l2.reset_counters();
+        }
+    }
+}
+
+/// Batched conventional direct-mapped fast path.
+///
+/// Invariant (maintained inductively, sizes sorted ascending): a
+/// demand-filled DM cache's set `s` holds exactly the most recent event
+/// line in `s`'s conflict group, and nested power-of-two set masks nest
+/// the conflict groups — so residency is *inclusive* across the family
+/// (resident at size `k` ⇒ resident at every larger size). Each access
+/// therefore has one threshold `t` = smallest size index that hits; the
+/// event is a hit for every member `k ≥ t` and installs (evicting) for
+/// every `k < t`. Victim merges get the same treatment with their own
+/// threshold. Hits and victim writebacks accumulate into per-threshold
+/// histograms (index `K` = "nowhere"), turned into per-member counters
+/// by prefix sums at the end.
+///
+/// Dirty bits are *not* inclusive (an install at a small size clears the
+/// bit a larger size preserves), so they live in the per-size slot
+/// arrays as usual.
+#[derive(Debug)]
+struct DmConventionalFamily {
+    /// Per size (ascending): one slot per set.
+    slots: Vec<Vec<u64>>,
+    set_masks: Vec<u64>,
+    /// `hit_hist[t]`: events whose smallest hitting size index is `t`.
+    hit_hist: Vec<u64>,
+    /// `vic_hist[t]`: written victims whose smallest resident size is `t`.
+    vic_hist: Vec<u64>,
+    /// Dirty evictions on install, per size.
+    evict_wb: Vec<u64>,
+}
+
+impl DmConventionalFamily {
+    fn new(cfgs_ascending: &[&CacheConfig]) -> Self {
+        let k = cfgs_ascending.len();
+        DmConventionalFamily {
+            slots: cfgs_ascending.iter().map(|c| vec![INVALID; c.num_sets() as usize]).collect(),
+            set_masks: cfgs_ascending.iter().map(|c| c.num_sets() - 1).collect(),
+            hit_hist: vec![0; k + 1],
+            vic_hist: vec![0; k + 1],
+            evict_wb: vec![0; k],
+        }
+    }
+
+    /// Smallest size index at which `line` is resident, or `len` if none.
+    #[inline]
+    fn threshold(&self, line: u64) -> usize {
+        for (k, mask) in self.set_masks.iter().enumerate() {
+            if self.slots[k][(line & mask) as usize] >> 1 == line {
+                return k;
+            }
+        }
+        self.set_masks.len()
+    }
+
+    /// Per-member `(l2_hits, l2_misses, offchip_writebacks)` in ascending
+    /// size order.
+    fn counters(&self) -> Vec<(u64, u64, u64)> {
+        let total_hits: u64 = self.hit_hist.iter().sum();
+        let total_vics: u64 = self.vic_hist.iter().sum();
+        let mut hits = 0u64;
+        let mut vics = 0u64;
+        (0..self.set_masks.len())
+            .map(|k| {
+                hits += self.hit_hist[k];
+                vics += self.vic_hist[k];
+                (hits, total_hits - hits, self.evict_wb[k] + (total_vics - vics))
+            })
+            .collect()
+    }
+}
+
+impl EventSink for DmConventionalFamily {
+    #[inline]
+    fn consume(&mut self, _fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+        let l = line.0;
+        let t = self.threshold(l);
+        self.hit_hist[t] += 1;
+        for k in 0..t {
+            let slot = &mut self.slots[k][(l & self.set_masks[k]) as usize];
+            if *slot != INVALID && *slot & 1 == 1 {
+                self.evict_wb[k] += 1;
+            }
+            *slot = l << 1;
+        }
+        if let Some((vline, written)) = victim {
+            if written {
+                let vl = vline.0;
+                let tv = self.threshold(vl);
+                self.vic_hist[tv] += 1;
+                for k in tv..self.set_masks.len() {
+                    self.slots[k][(vl & self.set_masks[k]) as usize] |= 1;
+                }
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.hit_hist.iter_mut().for_each(|h| *h = 0);
+        self.vic_hist.iter_mut().for_each(|h| *h = 0);
+        self.evict_wb.iter_mut().for_each(|h| *h = 0);
+    }
+}
+
+/// Assembles one member's [`HierarchyStats`] from its three L2 counters
+/// plus the stream's L1-side counters.
+fn assemble(
+    stream: &MissStream,
+    (l2_hits, l2_misses, offchip_writebacks): (u64, u64, u64),
+) -> HierarchyStats {
+    HierarchyStats { l2_hits, l2_misses, offchip_writebacks, ..*stream.l1_stats() }
+}
+
+/// Replays `stream` once through a whole family of conventional L2s,
+/// returning one [`HierarchyStats`] per member of `l2_cfgs`, in input
+/// order — each bit-identical to
+/// [`replay_conventional`](crate::filter::replay_conventional) on the
+/// same configuration.
+///
+/// A family of direct-mapped members takes the threshold/histogram fast
+/// path (`DmConventionalFamily`); any other associativity takes the
+/// generic batched loop.
+///
+/// # Panics
+///
+/// Panics if any member's line size differs from the stream's, if any
+/// member uses a replacement policy other than pseudo-random, or if
+/// members disagree on associativity.
+pub fn replay_conventional_family(
+    l2_cfgs: &[CacheConfig],
+    stream: &MissStream,
+) -> Vec<HierarchyStats> {
+    if l2_cfgs.is_empty() {
+        return Vec::new();
+    }
+    let fw = FamilyWays::of(l2_cfgs, stream);
+    if fw.ways == 1 {
+        // Sort members by capacity (stably, so duplicates keep their
+        // relative order) and scatter the ascending-order counters back.
+        let mut order: Vec<usize> = (0..l2_cfgs.len()).collect();
+        order.sort_by_key(|&i| l2_cfgs[i].size_bytes());
+        let ascending: Vec<&CacheConfig> = order.iter().map(|&i| &l2_cfgs[i]).collect();
+        let mut fam = DmConventionalFamily::new(&ascending);
+        walk_events(&mut fam, stream);
+        let counters = fam.counters();
+        let mut out = vec![HierarchyStats::default(); l2_cfgs.len()];
+        for (k, &i) in order.iter().enumerate() {
+            out[i] = assemble(stream, counters[k]);
+        }
+        return out;
+    }
+    fn run<const W: usize>(
+        l2_cfgs: &[CacheConfig],
+        stream: &MissStream,
+        fw: FamilyWays,
+    ) -> Vec<HierarchyStats> {
+        let mut fam =
+            ConventionalFamily::<W> { states: l2_cfgs.iter().map(L2State::new).collect(), fw };
+        walk_events(&mut fam, stream);
+        fam.states.iter().map(|st| assemble(stream, (st.hits, st.misses, st.writebacks))).collect()
+    }
+    // Monomorphise the common associativities so the set scans unroll.
+    match fw.ways {
+        2 => run::<2>(l2_cfgs, stream, fw),
+        4 => run::<4>(l2_cfgs, stream, fw),
+        8 => run::<8>(l2_cfgs, stream, fw),
+        _ => run::<0>(l2_cfgs, stream, fw),
+    }
+}
+
+/// Replays `stream` once through a whole family of exclusive
+/// (victim-swap) L2s, returning one [`HierarchyStats`] per member of
+/// `l2_cfgs`, in input order — each bit-identical to
+/// [`replay_exclusive`](crate::filter::replay_exclusive) on the same
+/// configuration.
+///
+/// # Panics
+///
+/// As [`replay_conventional_family`].
+pub fn replay_exclusive_family(
+    l2_cfgs: &[CacheConfig],
+    stream: &MissStream,
+) -> Vec<HierarchyStats> {
+    if l2_cfgs.is_empty() {
+        return Vec::new();
+    }
+    let fw = FamilyWays::of(l2_cfgs, stream);
+    fn run<const W: usize>(
+        l2_cfgs: &[CacheConfig],
+        stream: &MissStream,
+        fw: FamilyWays,
+    ) -> Vec<HierarchyStats> {
+        let sets = stream.l1_sets();
+        let mut fam = ExclusiveFamily::<W> {
+            members: l2_cfgs
+                .iter()
+                .map(|cfg| ExclusiveFamilyMember {
+                    l2: L2State::new(cfg),
+                    mirror_i: vec![false; sets],
+                    mirror_d: vec![false; sets],
+                })
+                .collect(),
+            fw,
+            l1_set_mask: sets as u64 - 1,
+        };
+        walk_events(&mut fam, stream);
+        fam.members
+            .iter()
+            .map(|m| assemble(stream, (m.l2.hits, m.l2.misses, m.l2.writebacks)))
+            .collect()
+    }
+    // Monomorphise the common associativities so the set scans unroll.
+    match fw.ways {
+        1 => run::<1>(l2_cfgs, stream, fw),
+        2 => run::<2>(l2_cfgs, stream, fw),
+        4 => run::<4>(l2_cfgs, stream, fw),
+        8 => run::<8>(l2_cfgs, stream, fw),
+        _ => run::<0>(l2_cfgs, stream, fw),
+    }
+}
+
+/// The single-level "family": every member shares the L1-only statistics,
+/// so the stream is walked once and the result cloned `members` times.
+pub fn replay_single_family(stream: &MissStream, members: usize) -> Vec<HierarchyStats> {
+    vec![replay_single(stream); members]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Associativity;
+    use crate::filter::{replay_conventional, replay_exclusive, L1FrontEnd};
+    use crate::hierarchy::MemorySystem;
+    use tlc_trace::spec::SpecBenchmark;
+    use tlc_trace::InstructionSource;
+
+    fn l1_cfg(bytes: u64) -> CacheConfig {
+        CacheConfig::new(bytes, 16, Associativity::Direct, ReplacementKind::PseudoRandom).unwrap()
+    }
+
+    fn l2_cfg(bytes: u64, ways: u32) -> CacheConfig {
+        let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
+        CacheConfig::new(bytes, 16, assoc, ReplacementKind::PseudoRandom).unwrap()
+    }
+
+    fn capture(b: SpecBenchmark, l1_bytes: u64, warm: u64, n: u64) -> MissStream {
+        let mut fe = L1FrontEnd::new(l1_cfg(l1_bytes));
+        let mut w = b.workload();
+        for _ in 0..warm {
+            fe.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        fe.reset_stats();
+        for _ in 0..n {
+            fe.access_instruction(&w.next_instruction_opt().unwrap());
+        }
+        fe.finish(b.name())
+    }
+
+    #[test]
+    fn conventional_family_matches_scalar_backend() {
+        for ways in [1u32, 4] {
+            let stream = capture(SpecBenchmark::Gcc1, 1024, 2_000, 8_000);
+            let cfgs: Vec<CacheConfig> =
+                [2048u64, 4096, 8192, 32768].map(|b| l2_cfg(b, ways)).to_vec();
+            let batched = replay_conventional_family(&cfgs, &stream);
+            for (cfg, got) in cfgs.iter().zip(&batched) {
+                assert_eq!(*got, replay_conventional(*cfg, &stream), "ways={ways} {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_family_matches_scalar_backend() {
+        for ways in [1u32, 4] {
+            let stream = capture(SpecBenchmark::Li, 1024, 2_000, 8_000);
+            let cfgs: Vec<CacheConfig> =
+                [2048u64, 4096, 8192, 32768].map(|b| l2_cfg(b, ways)).to_vec();
+            let batched = replay_exclusive_family(&cfgs, &stream);
+            for (cfg, got) in cfgs.iter().zip(&batched) {
+                assert_eq!(*got, replay_exclusive(*cfg, &stream), "ways={ways} {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn dm_fast_path_handles_unsorted_and_duplicate_sizes() {
+        let stream = capture(SpecBenchmark::Espresso, 1024, 1_000, 6_000);
+        let cfgs: Vec<CacheConfig> = [8192u64, 2048, 8192, 4096].map(|b| l2_cfg(b, 1)).to_vec();
+        let batched = replay_conventional_family(&cfgs, &stream);
+        for (cfg, got) in cfgs.iter().zip(&batched) {
+            assert_eq!(*got, replay_conventional(*cfg, &stream), "{cfg}");
+        }
+        assert_eq!(batched[0], batched[2], "duplicate sizes share statistics");
+    }
+
+    #[test]
+    fn dm_fast_path_misses_are_monotone_in_size() {
+        let stream = capture(SpecBenchmark::Tomcatv, 1024, 1_000, 8_000);
+        let cfgs: Vec<CacheConfig> =
+            [2048u64, 4096, 8192, 16384, 32768].map(|b| l2_cfg(b, 1)).to_vec();
+        let stats = replay_conventional_family(&cfgs, &stream);
+        for pair in stats.windows(2) {
+            assert!(
+                pair[1].l2_misses <= pair[0].l2_misses,
+                "a bigger DM L2 can never miss more on the same stream"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_boundary_resets_family_counters() {
+        let stream = capture(SpecBenchmark::Fpppp, 1024, 3_000, 3_000);
+        for cfgs in [[l2_cfg(4096, 4), l2_cfg(16384, 4)], [l2_cfg(4096, 1), l2_cfg(16384, 1)]] {
+            let conv = replay_conventional_family(&cfgs, &stream);
+            let excl = replay_exclusive_family(&cfgs, &stream);
+            for (cfg, (c, e)) in cfgs.iter().zip(conv.iter().zip(&excl)) {
+                assert_eq!(*c, replay_conventional(*cfg, &stream));
+                assert_eq!(*e, replay_exclusive(*cfg, &stream));
+                assert_eq!(c.instructions, 3_000);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_family_and_empty_window() {
+        let stream = capture(SpecBenchmark::Li, 1024, 500, 0);
+        assert!(replay_conventional_family(&[], &stream).is_empty());
+        assert!(replay_exclusive_family(&[], &stream).is_empty());
+        let cfgs = [l2_cfg(4096, 4)];
+        assert_eq!(replay_conventional_family(&cfgs, &stream)[0], HierarchyStats::default());
+        assert_eq!(replay_exclusive_family(&cfgs, &stream)[0], HierarchyStats::default());
+        assert_eq!(replay_single_family(&stream, 3), vec![HierarchyStats::default(); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn rejects_mixed_associativity() {
+        let stream = capture(SpecBenchmark::Li, 1024, 500, 500);
+        let _ = replay_conventional_family(&[l2_cfg(4096, 4), l2_cfg(8192, 2)], &stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo-random")]
+    fn rejects_non_random_replacement() {
+        let stream = capture(SpecBenchmark::Li, 1024, 500, 500);
+        let cfg =
+            CacheConfig::new(4096, 16, Associativity::SetAssoc(4), ReplacementKind::Lru).unwrap();
+        let _ = replay_conventional_family(&[cfg], &stream);
+    }
+}

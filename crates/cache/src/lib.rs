@@ -49,6 +49,7 @@ mod classify;
 mod config;
 mod exclusive;
 pub mod filter;
+pub mod filter_family;
 mod hierarchy;
 mod inclusive;
 mod mattson;

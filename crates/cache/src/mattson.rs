@@ -236,9 +236,14 @@ pub struct MissRatioCurve {
 }
 
 impl MissRatioCurve {
-    /// Miss ratio at the given capacity, if profiled.
+    /// Miss ratio at the given capacity, if profiled. Capacities are
+    /// stored ascending ([`StackDistanceProfiler::curve`] emits them in
+    /// doubling order), so the lookup is a binary search.
     pub fn at(&self, capacity_lines: u64) -> Option<f64> {
-        self.points.iter().find(|(c, _)| *c == capacity_lines).map(|(_, m)| *m)
+        self.points
+            .binary_search_by_key(&capacity_lines, |&(c, _)| c)
+            .ok()
+            .map(|i| self.points[i].1)
     }
 }
 
@@ -298,6 +303,26 @@ mod tests {
         }
         assert_eq!(curve.at(1024), Some(p.miss_ratio_at_capacity(1024)));
         assert_eq!(curve.at(3), None);
+    }
+
+    #[test]
+    fn curve_lookup_covers_endpoints_and_absent_capacities() {
+        let mut p = StackDistanceProfiler::new();
+        for i in 0..500u64 {
+            p.record(line(i % 40));
+        }
+        let curve = p.curve(256);
+        // Both endpoints of the profiled range resolve...
+        assert_eq!(curve.at(1), Some(p.miss_ratio_at_capacity(1)));
+        assert_eq!(curve.at(256), Some(p.miss_ratio_at_capacity(256)));
+        // ...every interior power of two resolves...
+        for &(c, m) in &curve.points {
+            assert_eq!(curve.at(c), Some(m));
+        }
+        // ...and capacities outside or between the points do not.
+        assert_eq!(curve.at(0), None, "below the smallest profiled capacity");
+        assert_eq!(curve.at(512), None, "above the largest profiled capacity");
+        assert_eq!(curve.at(96), None, "between profiled powers of two");
     }
 
     #[test]

@@ -10,8 +10,8 @@ use tlc_core::experiment::capture_benchmark;
 use tlc_core::experiment::{simulate_source, SimBudget};
 use tlc_core::report::{envelope_table, points_csv, points_table};
 use tlc_core::runner::{
-    default_threads, sweep, sweep_arena_threads, sweep_filtered_arena_threads,
-    sweep_streaming_threads,
+    default_threads, sweep_arena_threads, sweep_family_arena_threads, sweep_filtered_arena_threads,
+    sweep_streaming_threads, sweep_threads,
 };
 use tlc_core::tpi::tpi_ns;
 use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
@@ -31,7 +31,7 @@ pub fn usage() -> String {
      \u{20}            [--offchip 50] [--instr N] [--warmup N]\n\
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
-     \u{20}            [--engine auto|streaming|arena|filtered]\n\
+     \u{20}            [--engine auto|streaming|arena|filtered|family] [--threads N]\n\
      \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
      \u{20}            --workload li [--instr N]\n\
      \u{20} timing     access/cycle time, area, and energy of one cache\n\
@@ -117,32 +117,33 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
     let timing = TimingModel::paper();
     let area = AreaModel::new();
+    let threads: usize = args.get_or("threads", default_threads())?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
     let configs = full_space(&opts);
     let points = match args.get("engine").unwrap_or("auto") {
-        // The default heuristic: miss-stream filtering over a captured
-        // arena, streaming when the capture would be enormous.
-        "auto" => sweep(&configs, benchmark, budget, &timing, &area),
+        // The default heuristic: family-batched miss-stream filtering over
+        // a captured arena, streaming when the capture would be enormous.
+        "auto" => sweep_threads(&configs, benchmark, budget, &timing, &area, threads),
         "streaming" => {
-            sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, default_threads())
+            sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, threads)
         }
         "arena" => {
             let arena = capture_benchmark(benchmark, budget);
-            sweep_arena_threads(&configs, &arena, budget, &timing, &area, default_threads())
+            sweep_arena_threads(&configs, &arena, budget, &timing, &area, threads)
         }
         "filtered" => {
             let arena = capture_benchmark(benchmark, budget);
-            sweep_filtered_arena_threads(
-                &configs,
-                &arena,
-                budget,
-                &timing,
-                &area,
-                default_threads(),
-            )
+            sweep_filtered_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+        }
+        "family" => {
+            let arena = capture_benchmark(benchmark, budget);
+            sweep_family_arena_threads(&configs, &arena, budget, &timing, &area, threads)
         }
         other => {
             return Err(ArgError(format!(
-                "unknown engine {other:?}; choose auto, streaming, arena or filtered"
+                "unknown engine {other:?}; choose auto, streaming, arena, filtered or family"
             )))
         }
     };
@@ -488,7 +489,7 @@ mod tests {
             "--engine",
         ];
         let mut outputs = Vec::new();
-        for engine in ["auto", "streaming", "arena", "filtered"] {
+        for engine in ["auto", "streaming", "arena", "filtered", "family"] {
             let mut argv: Vec<&str> = base.to_vec();
             argv.push(engine);
             outputs.push(run(&argv).unwrap_or_else(|e| panic!("engine {engine}: {e:?}")));
@@ -500,5 +501,25 @@ mod tests {
         argv.push("warp");
         let err = run(&argv).expect_err("unknown engine must be rejected");
         assert!(format!("{err:?}").contains("unknown engine"));
+    }
+
+    #[test]
+    fn sweep_thread_count_is_parsed_and_validated() {
+        let base = ["sweep", "--workload", "li", "--instr", "4000", "--warmup", "1000", "--csv"];
+        let mut outputs = Vec::new();
+        for threads in ["1", "2"] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--threads", threads]);
+            outputs.push(run(&argv).unwrap_or_else(|e| panic!("--threads {threads}: {e:?}")));
+        }
+        assert_eq!(outputs[0], outputs[1], "thread count must not change results");
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--threads", "0"]);
+        let err = run(&argv).expect_err("--threads 0 must be rejected");
+        assert!(format!("{err:?}").contains("--threads"));
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--threads", "many"]);
+        let err = run(&argv).expect_err("non-numeric --threads must be rejected");
+        assert!(format!("{err:?}").contains("--threads"));
     }
 }

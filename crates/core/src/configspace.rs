@@ -91,20 +91,25 @@ pub fn full_space(opts: &SpaceOptions) -> Vec<MachineConfig> {
 /// (e.g. the single-level leg shared by the conventional and exclusive
 /// variants of [`full_space`]) otherwise evaluate the same point twice.
 ///
-/// Comparison is exact [`PartialEq`] on [`MachineConfig`] (a linear scan:
-/// the `f64` off-chip latency keeps the type out of `HashMap`s, and
-/// spaces are dozens of entries, not millions).
+/// Comparison is exact: the dedup key covers every [`MachineConfig`]
+/// field, with the `f64` off-chip latency keyed by its bit pattern
+/// (`to_bits`) so the whole tuple is hashable — two configurations
+/// compare equal exactly when their keys do. A `HashMap` from key to
+/// unique index keeps the pass O(n) even for the concatenated
+/// many-figure spaces.
 pub fn unique_configs(configs: &[MachineConfig]) -> (Vec<MachineConfig>, Vec<usize>) {
+    use std::collections::HashMap;
+    type Key = (u64, CellKind, Option<L2Spec>, u64, u64);
+    let mut seen: HashMap<Key, usize> = HashMap::with_capacity(configs.len());
     let mut unique: Vec<MachineConfig> = Vec::new();
     let mut occurrence = Vec::with_capacity(configs.len());
     for cfg in configs {
-        let u = match unique.iter().position(|c| c == cfg) {
-            Some(u) => u,
-            None => {
-                unique.push(*cfg);
-                unique.len() - 1
-            }
-        };
+        let key: Key =
+            (cfg.l1_size_bytes, cfg.l1_cell, cfg.l2, cfg.offchip_ns.to_bits(), cfg.line_bytes);
+        let u = *seen.entry(key).or_insert_with(|| {
+            unique.push(*cfg);
+            unique.len() - 1
+        });
         occurrence.push(u);
     }
     (unique, occurrence)

@@ -398,6 +398,90 @@ pub fn evaluate_filtered(
     design_point(cfg, stream.name().to_string(), stats, timing, area)
 }
 
+/// As [`simulate_filtered`] over a whole *family* of configurations in
+/// one pass: every member must share the stream's L1 and line size plus
+/// one L2 policy and associativity (or all be single-level), and the
+/// event stream is decoded exactly once for all of them
+/// ([`tlc_cache::filter_family`]). Returns one statistics record per
+/// member of `cfgs`, in input order, each bit-identical to
+/// [`simulate_filtered`] on that member.
+///
+/// Members that differ only in off-chip latency or L1 cell kind — or
+/// that repeat an L2 size outright — share one simulated L2 internally:
+/// the family is deduplicated by L2 capacity and the statistics fanned
+/// back out.
+///
+/// # Panics
+///
+/// Panics if `cfgs` mix L2 policies, associativities, L1 sizes, or line
+/// sizes, or if any member's L1 geometry differs from the stream's.
+pub fn simulate_family(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<HierarchyStats> {
+    use tlc_cache::filter_family::{
+        replay_conventional_family, replay_exclusive_family, replay_single_family,
+    };
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    if cfgs.is_empty() {
+        return Vec::new();
+    }
+    for cfg in cfgs {
+        assert_eq!(cfg.l1_size_bytes, stream.l1_size_bytes(), "stream captured for a different L1");
+        assert_eq!(
+            cfg.line_bytes,
+            stream.line_bytes(),
+            "stream captured for a different line size"
+        );
+    }
+    let family = cfgs[0].l2.map(|s| (s.policy, s.ways));
+    assert!(
+        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways)) == family),
+        "a family shares one L2 policy and associativity"
+    );
+    let Some((policy, ways)) = family else {
+        return replay_single_family(stream, cfgs.len());
+    };
+    // Deduplicate by L2 capacity; duplicate sizes share one simulation.
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut size_of: Vec<usize> = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let sz = cfg.l2.expect("two-level family").size_bytes;
+        let k = sizes.iter().position(|&s| s == sz).unwrap_or_else(|| {
+            sizes.push(sz);
+            sizes.len() - 1
+        });
+        size_of.push(k);
+    }
+    let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
+    let l2_cfgs: Vec<CacheConfig> = sizes
+        .iter()
+        .map(|&sz| {
+            CacheConfig::new(sz, stream.line_bytes(), assoc, ReplacementKind::PseudoRandom)
+                .expect("valid L2 configuration")
+        })
+        .collect();
+    let per_size = match policy {
+        L2Policy::Conventional => replay_conventional_family(&l2_cfgs, stream),
+        L2Policy::Exclusive => replay_exclusive_family(&l2_cfgs, stream),
+    };
+    size_of.into_iter().map(|k| per_size[k]).collect()
+}
+
+/// As [`evaluate_filtered`] over a whole family in one pass
+/// ([`simulate_family`]): one event decode serves every member, and each
+/// member still gets its own timing/area derivation. Returns one
+/// [`DesignPoint`] per member of `cfgs`, in input order.
+pub fn evaluate_family(
+    cfgs: &[MachineConfig],
+    stream: &MissStream,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> Vec<DesignPoint> {
+    let stats = simulate_family(cfgs, stream);
+    cfgs.iter()
+        .zip(stats)
+        .map(|(cfg, s)| design_point(cfg, stream.name().to_string(), s, timing, area))
+        .collect()
+}
+
 fn design_point(
     cfg: &MachineConfig,
     workload: String,
@@ -600,6 +684,47 @@ mod tests {
             let via_stream = evaluate_filtered(&cfg, &stream, &tm, &am);
             assert_eq!(via_arena, via_stream, "{}", cfg.label());
         }
+    }
+
+    #[test]
+    fn family_evaluation_is_bit_identical_to_filtered_evaluation() {
+        let (tm, am) = models();
+        let budget = SimBudget { instructions: 20_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let stream = capture_miss_stream(4 * 1024, 16, &arena, budget, usize::MAX).unwrap();
+        for policy in [L2Policy::Conventional, L2Policy::Exclusive] {
+            for ways in [1, 4] {
+                // Duplicate sizes and mixed off-chip latencies exercise
+                // the in-family deduplication.
+                let cfgs: Vec<MachineConfig> = [(8, 50.0), (32, 50.0), (8, 200.0), (64, 50.0)]
+                    .map(|(l2_kb, ns)| MachineConfig::two_level(4, l2_kb, ways, policy, ns))
+                    .to_vec();
+                let family = evaluate_family(&cfgs, &stream, &tm, &am);
+                for (cfg, got) in cfgs.iter().zip(&family) {
+                    let want = evaluate_filtered(cfg, &stream, &tm, &am);
+                    assert_eq!(*got, want, "{policy:?} ways={ways} {}", cfg.label());
+                }
+            }
+        }
+        // A single-level family shares the L1-only statistics.
+        let singles = [MachineConfig::single_level(4, 50.0), MachineConfig::single_level(4, 200.0)];
+        let family = evaluate_family(&singles, &stream, &tm, &am);
+        for (cfg, got) in singles.iter().zip(&family) {
+            assert_eq!(*got, evaluate_filtered(cfg, &stream, &tm, &am), "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one L2 policy")]
+    fn family_rejects_mixed_policies() {
+        let budget = SimBudget { instructions: 2_000, warmup_instructions: 500 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let stream = capture_miss_stream(1024, 16, &arena, budget, usize::MAX).unwrap();
+        let cfgs = [
+            MachineConfig::two_level(1, 8, 4, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(1, 8, 4, L2Policy::Exclusive, 50.0),
+        ];
+        let _ = simulate_family(&cfgs, &stream);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! stream once into a shared [`TraceArena`] and fan the configurations
 //! out over a thread pool, each worker replaying the packed buffer
 //! through the devirtualized fast path
-//! ([`evaluate_arena`](crate::experiment::evaluate_arena)).
+//! ([`evaluate_arena`]).
 //!
 //! Both decompositions produce bit-identical [`DesignPoint`]s: the arena
 //! holds exactly the stream the seeded generator would produce, and the
@@ -22,9 +22,9 @@
 use crate::configspace::unique_configs;
 use crate::experiment::{
     capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
-    evaluate_filtered, DesignPoint, SimBudget,
+    evaluate_family, evaluate_filtered, DesignPoint, SimBudget,
 };
-use crate::machine::MachineConfig;
+use crate::machine::{L2Policy, MachineConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tlc_area::AreaModel;
 use tlc_timing::TimingModel;
@@ -94,11 +94,11 @@ pub fn default_threads() -> usize {
 
 /// As [`sweep`], with an explicit thread count (tests use 1 or 2).
 ///
-/// Captures the benchmark's stream once and replays it for every
-/// configuration, unless the capture would exceed [`ARENA_BYTES_LIMIT`]
-/// (or there is only one configuration, where a capture cannot pay for
-/// itself) — then it streams instead. Either way the results are
-/// identical.
+/// Captures the benchmark's stream once and hands it to the
+/// family-batched engine ([`sweep_family_arena_threads`]), unless the
+/// capture would exceed [`ARENA_BYTES_LIMIT`] (or there is only one
+/// configuration, where a capture cannot pay for itself) — then it
+/// streams instead. Either way the results are identical.
 ///
 /// # Panics
 ///
@@ -116,7 +116,7 @@ pub fn sweep_threads(
         return sweep_streaming_threads(configs, benchmark, budget, timing, area, threads);
     }
     let arena = capture_benchmark(benchmark, budget);
-    sweep_filtered_arena_threads(configs, &arena, budget, timing, area, threads)
+    sweep_family_arena_threads(configs, &arena, budget, timing, area, threads)
 }
 
 /// Evaluates every configuration against an already-captured arena, in
@@ -186,6 +186,115 @@ pub fn sweep_filtered_arena_threads(
         Some(stream) => evaluate_filtered(&configs[i], stream, timing, area),
         None => evaluate_arena(&configs[i], arena, budget, timing, area),
     })
+}
+
+/// One parallel work unit of the family sweep: a family chunk replaying
+/// one captured stream for several configurations at once, or a single
+/// configuration falling back to arena replay.
+enum FamilyUnit<'a> {
+    Family { stream: &'a tlc_cache::MissStream, members: Vec<usize> },
+    Arena { idx: usize },
+}
+
+/// The family-batched sweep: configurations are grouped by L1 front-end
+/// ([`l1_groups`]) and captured exactly as in
+/// [`sweep_filtered_arena_threads`]; each captured group is then
+/// partitioned into *families* sharing one L2 policy and associativity
+/// (in the paper's spaces, a family is "one L1, every L2 capacity"), and
+/// each family replays its group's events **once** for all of its
+/// members ([`evaluate_family`]). Bit-identical to
+/// [`sweep_filtered_arena_threads`]; the event decode — which the
+/// filtered path repeats for every configuration — is paid once per
+/// family.
+///
+/// Parallelism runs across (group × family) units; when one family holds
+/// more than its fair share of the space, it is chunked so a dominant
+/// group cannot serialise a multi-threaded sweep (a single-threaded
+/// sweep keeps every family whole for maximal sharing). Singleton L1
+/// groups and byte-limited captures fall back exactly as in the filtered
+/// sweep. Results are returned in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_family_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    assert!(threads > 0, "need at least one worker thread");
+    let groups = l1_groups(configs);
+    // Phase A: one L1 capture per group that will amortise it.
+    let streams = run_indexed(groups.len(), threads, |g| {
+        let (key, idxs) = &groups[g];
+        if idxs.len() < 2 {
+            return None;
+        }
+        capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT)
+    });
+    // Partition each captured group into families, preserving
+    // first-appearance order within the group.
+    let mut units: Vec<FamilyUnit> = Vec::new();
+    let mut family_members = 0usize;
+    for (g, (_, idxs)) in groups.iter().enumerate() {
+        match streams[g].as_ref() {
+            Some(stream) => {
+                type FamilyKey = Option<(L2Policy, u32)>;
+                let mut fams: Vec<(FamilyKey, Vec<usize>)> = Vec::new();
+                for &i in idxs {
+                    let key = configs[i].l2.map(|s| (s.policy, s.ways));
+                    match fams.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, v)) => v.push(i),
+                        None => fams.push((key, vec![i])),
+                    }
+                }
+                for (_, members) in fams {
+                    family_members += members.len();
+                    units.push(FamilyUnit::Family { stream, members });
+                }
+            }
+            None => units.extend(idxs.iter().map(|&i| FamilyUnit::Arena { idx: i })),
+        }
+    }
+    // Chunk oversized families so one dominant group cannot serialise a
+    // multi-threaded sweep; the batching win degrades gracefully (each
+    // chunk still shares one decode among its members).
+    if threads > 1 && family_members > 0 {
+        let cap = family_members.div_ceil(threads).max(2);
+        let mut chunked = Vec::with_capacity(units.len());
+        for unit in units {
+            match unit {
+                FamilyUnit::Family { stream, members } if members.len() > cap => {
+                    for chunk in members.chunks(cap) {
+                        chunked.push(FamilyUnit::Family { stream, members: chunk.to_vec() });
+                    }
+                }
+                other => chunked.push(other),
+            }
+        }
+        units = chunked;
+    }
+    // Phase B: fan the units out; each returns (input index, point) pairs.
+    let evaluated = run_indexed(units.len(), threads, |u| match &units[u] {
+        FamilyUnit::Family { stream, members } => {
+            let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+            let points = evaluate_family(&cfgs, stream, timing, area);
+            members.iter().copied().zip(points).collect::<Vec<_>>()
+        }
+        FamilyUnit::Arena { idx } => {
+            vec![(*idx, evaluate_arena(&configs[*idx], arena, budget, timing, area))]
+        }
+    });
+    let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    for batch in evaluated {
+        for (i, p) in batch {
+            slots[i] = Some(p);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect()
 }
 
 /// The regenerate-per-configuration sweep: each evaluation rebuilds the
@@ -441,6 +550,46 @@ mod tests {
                 sweep_filtered_arena_threads(&configs, &arena, budget, &tm, &am, threads);
             assert_eq!(plain, filtered, "filtered sweep diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn family_sweep_matches_filtered_sweep() {
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        // Mixed space: singles, conventional, exclusive, and a second
+        // associativity — several families per L1 group.
+        let mut opts = SpaceOptions::baseline();
+        let mut configs = single_level_configs(&opts)[..3].to_vec();
+        configs.extend_from_slice(&two_level_configs(&opts)[..6]);
+        opts.l2_policy = crate::machine::L2Policy::Exclusive;
+        configs.extend_from_slice(&two_level_configs(&opts)[..6]);
+        opts.l2_ways = 1;
+        configs.extend_from_slice(&two_level_configs(&opts)[..4]);
+        let budget = SimBudget { instructions: 15_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let filtered = sweep_filtered_arena_threads(&configs, &arena, budget, &tm, &am, 2);
+        for threads in [1, 3] {
+            let family = sweep_family_arena_threads(&configs, &arena, budget, &tm, &am, threads);
+            assert_eq!(filtered, family, "family sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn family_sweep_chunks_dominant_groups() {
+        // One L1 group holding the entire two-level space: with many
+        // threads the family must be chunked, and chunking must not
+        // change a single statistic.
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let opts = SpaceOptions::baseline();
+        let configs: Vec<MachineConfig> =
+            two_level_configs(&opts).into_iter().filter(|c| c.l1_size_bytes == 1024).collect();
+        assert!(configs.len() >= 8, "1KB L1 pairs with every L2 size");
+        let budget = SimBudget { instructions: 10_000, warmup_instructions: 2_000 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let serial = sweep_family_arena_threads(&configs, &arena, budget, &tm, &am, 1);
+        let chunked = sweep_family_arena_threads(&configs, &arena, budget, &tm, &am, 4);
+        assert_eq!(serial, chunked);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 use proptest::prelude::*;
 use tlc_area::AreaModel;
 use tlc_cache::filter::MissStream;
+use tlc_cache::filter_family::replay_conventional_family;
 use tlc_cache::{Associativity, CacheConfig, L1FrontEnd, MemorySystem, ReplacementKind};
 use tlc_core::experiment::{
     capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
-    evaluate_filtered, SimBudget,
+    evaluate_family, evaluate_filtered, SimBudget,
 };
 use tlc_core::runner::{sweep_arena_threads, sweep_filtered_arena_threads};
 use tlc_core::{L2Policy, MachineConfig};
@@ -130,6 +131,52 @@ fn filtered_equivalence() {
                     benchmark.name(),
                     cfg.label()
                 );
+            }
+        }
+    }
+}
+
+/// Family-batched equivalence: for every benchmark, evaluating a whole
+/// L2-size family in one pass over the miss stream must reproduce the
+/// per-config filtered engine's `DesignPoint`s — stats and `tpi_ns` —
+/// bit for bit, for single-level, conventional (set-associative and
+/// direct-mapped fast path) and exclusive families alike.
+#[test]
+fn family_equivalence() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    for benchmark in SpecBenchmark::ALL {
+        let arena = capture_benchmark(benchmark, BUDGET);
+        for l1_kb in [2u64, 4] {
+            let stream = capture_miss_stream(l1_kb * 1024, 16, &arena, BUDGET, usize::MAX)
+                .expect("unbounded capture succeeds");
+            let mut families: Vec<Vec<MachineConfig>> =
+                vec![vec![MachineConfig::single_level(l1_kb, 50.0); 3]];
+            for (ways, policy) in [
+                (4, L2Policy::Conventional),
+                (1, L2Policy::Conventional),
+                (4, L2Policy::Exclusive),
+                (1, L2Policy::Exclusive),
+            ] {
+                families.push(
+                    [8u64, 64, 16]
+                        .iter()
+                        .map(|&l2_kb| MachineConfig::two_level(l1_kb, l2_kb, ways, policy, 50.0))
+                        .collect(),
+                );
+            }
+            for family in &families {
+                let batched = evaluate_family(family, &stream, &tm, &am);
+                for (cfg, got) in family.iter().zip(&batched) {
+                    let want = evaluate_filtered(cfg, &stream, &tm, &am);
+                    assert_eq!(
+                        &want,
+                        got,
+                        "{} on {}: family-batched engine diverged from filtered",
+                        benchmark.name(),
+                        cfg.label()
+                    );
+                }
             }
         }
     }
@@ -273,6 +320,37 @@ proptest! {
         prop_assert_eq!(&got, &naive.events, "event streams diverged");
         prop_assert_eq!(stream.warmup_events(), naive.warmup_events);
         prop_assert_eq!(stream.l1_size_bytes(), l1_bytes);
+    }
+
+    /// The direct-mapped fast path answers a nested family of L2 sizes
+    /// from one "smallest hitting size" threshold per event, which is
+    /// sound because demand-filled DM contents are inclusive across
+    /// nested power-of-two sizes — so L2 misses must be monotone
+    /// non-increasing in L2 size on any trace.
+    #[test]
+    fn dm_family_misses_are_monotone_in_l2_size(
+        refs in ref_stream(96, 300),
+        warm_frac in 0usize..4,
+    ) {
+        let warm = refs.len() * warm_frac / 4;
+        let stream = capture_via_front_end(&refs, 128, warm);
+        let sizes = [256u64, 512, 1024, 2048];
+        let cfgs: Vec<CacheConfig> = sizes
+            .iter()
+            .map(|&s| {
+                CacheConfig::new(s, 16, Associativity::Direct, ReplacementKind::PseudoRandom)
+                    .expect("valid DM L2")
+            })
+            .collect();
+        let stats = replay_conventional_family(&cfgs, &stream);
+        for (small, large) in stats.iter().zip(&stats[1..]) {
+            prop_assert!(
+                large.l2_misses <= small.l2_misses,
+                "doubling a DM L2 raised misses: {} -> {}",
+                small.l2_misses,
+                large.l2_misses
+            );
+        }
     }
 }
 
