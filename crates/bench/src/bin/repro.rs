@@ -16,11 +16,12 @@ use tlc_core::experiment::{capture_benchmark, SimBudget};
 use tlc_core::report::points_csv;
 use tlc_core::runner::sweep_arena_threads;
 use tlc_core::L2Policy;
+use tlc_obs::manifest::{build_span_tree, span_line, RunManifest, RunMeta};
 use tlc_trace::spec::SpecBenchmark;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--instr N] [--warmup N] [--list] <exhibit ids | all>\n\
+        "usage: repro [--quick] [--instr N] [--warmup N] [--metrics out.json] [--list] <exhibit ids | all>\n\
        \u{20}      repro [--quick|--instr N] csv <output-dir>\n\
        \u{20}      repro [--quick|--instr N] bench-sweep <output.json>\n\
          exhibits: {}\n\
@@ -69,6 +70,15 @@ fn dump_csv(dir: &std::path::Path, harness: &Harness) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Prints a span-tree node and its children to stderr in the shared
+/// `span_line` format (the same one `tlc sweep --metrics` renders).
+fn print_span(node: &tlc_obs::manifest::SpanNode, depth: usize) {
+    eprintln!("{}", span_line(node, depth));
+    for child in &node.children {
+        print_span(child, depth + 1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -78,6 +88,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -86,6 +97,9 @@ fn main() {
             }
             "bench-sweep" => {
                 bench_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics" => {
+                metrics_path = Some(it.next().unwrap_or_else(|| usage()));
             }
             "--quick" => budget = SimBudget::quick(),
             "--instr" => {
@@ -139,18 +153,61 @@ fn main() {
         harness.budget.warmup_instructions,
         harness.threads
     );
+    tlc_obs::reset();
+    let wall = std::time::Instant::now();
+    let mut all_spans = Vec::new();
+    let exhibit_ids = ids.clone();
     for id in ids {
         let start = std::time::Instant::now();
-        match run(&id, &harness) {
+        let report = {
+            let _span = tlc_obs::PhaseSpan::enter_with("exhibit", || id.clone());
+            run(&id, &harness)
+        };
+        match report {
             Some(report) => {
                 println!("==================== {id} ====================");
                 println!("{report}");
-                eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+                // Per-exhibit timing comes from the same span tree the
+                // sweep manifest renders, in the same format. Drained
+                // incrementally so each exhibit's spans print as it
+                // finishes; the records feed the manifest at the end.
+                let spans = tlc_obs::take_spans();
+                if spans.is_empty() {
+                    // Uninstrumented build: fall back to wall-clock only.
+                    eprintln!("# {id} done in {:.1}s", start.elapsed().as_secs_f64());
+                } else {
+                    for node in build_span_tree(spans.clone()) {
+                        print_span(&node, 0);
+                    }
+                    all_spans.extend(spans);
+                }
             }
             None => {
                 eprintln!("unknown exhibit id: {id}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = metrics_path {
+        let meta = RunMeta {
+            command: "repro".to_string(),
+            benchmark: exhibit_ids.join(","),
+            engine: "mixed".to_string(),
+            threads: harness.threads as u64,
+            configs: tlc_obs::counters().get(tlc_obs::Counter::RunnerConfigsCompleted),
+            config_space_hash: "n/a".to_string(),
+            wall_s: wall.elapsed().as_secs_f64(),
+        };
+        let manifest = RunManifest::from_parts(
+            meta,
+            all_spans,
+            tlc_obs::take_events(),
+            tlc_obs::counters().snapshot(),
+        );
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("metrics export failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {path}");
     }
 }

@@ -37,6 +37,7 @@ use tlc_core::runner::{
     sweep_filtered_arena_threads, sweep_streaming_threads,
 };
 use tlc_core::{L2Policy, MachineConfig};
+use tlc_obs::manifest::{build_span_tree, SpanNode};
 use tlc_trace::spec::SpecBenchmark;
 
 /// What to measure: the configuration space, budget, and thread count.
@@ -85,6 +86,16 @@ pub struct SweepBenchRow {
     /// plus one event pass per (L1, policy, ways) family; arena capture
     /// not included, as for `replay_s`).
     pub family_s: f64,
+    /// Of `family_s`, the wall seconds spent in the per-L1-group capture
+    /// phase (the `l1_capture` span). Zero when the build carries no
+    /// instrumentation (`obs_enabled` false in the report header).
+    pub family_l1_capture_s: f64,
+    /// Of `family_s`, the wall seconds spent fanning families over their
+    /// miss streams (the `fan_out` span). Zero when uninstrumented.
+    pub family_fanout_s: f64,
+    /// Miss-stream events replayed by the family sweep (the
+    /// `l2.events_replayed` counter delta). Zero when uninstrumented.
+    pub family_events_replayed: u64,
     /// Arena resident size in bytes.
     pub arena_bytes: u64,
     /// `legacy_s / (capture_s + replay_s)` — the arena engine's speedup.
@@ -167,6 +178,25 @@ pub struct SweepBenchReport {
     pub total_twolevel_family_speedup: f64,
     /// Whether every benchmark's engines agreed bit-for-bit.
     pub all_identical: bool,
+    /// Whether the producing build carried live instrumentation (the
+    /// per-phase `family_*` columns are all zero when this is false).
+    pub obs_enabled: bool,
+}
+
+/// Total wall seconds attributed to spans named `name` anywhere in the
+/// tree (phase names are unique per engine run, so this is the phase's
+/// wall time).
+fn span_wall_s(nodes: &[SpanNode], name: &str) -> f64 {
+    fn walk(nodes: &[SpanNode], name: &str) -> u64 {
+        nodes
+            .iter()
+            .map(|n| {
+                let own = if n.name == name { n.wall_ns } else { 0 };
+                own + walk(&n.children, name)
+            })
+            .sum()
+    }
+    walk(nodes, name) as f64 / 1e9
 }
 
 /// Runs the comparison over all seven benchmarks.
@@ -207,6 +237,10 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         );
         let filtered_s = t4.elapsed().as_secs_f64();
 
+        // Per-phase attribution for the family engine: discard spans the
+        // earlier engines accumulated, then drain exactly this run's.
+        let _ = tlc_obs::take_spans();
+        let events_before = tlc_obs::counters().get(tlc_obs::Counter::L2EventsReplayed);
         let t4b = Instant::now();
         let family = sweep_family_arena_threads(
             &cfg.configs,
@@ -217,6 +251,9 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             cfg.threads,
         );
         let family_s = t4b.elapsed().as_secs_f64();
+        let family_spans = build_span_tree(tlc_obs::take_spans());
+        let family_events_replayed =
+            tlc_obs::counters().get(tlc_obs::Counter::L2EventsReplayed) - events_before;
 
         // The two-level subset in isolation: the filtered and family
         // engines' win with the unshared single-level legs excluded.
@@ -249,6 +286,9 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             replay_s,
             filtered_s,
             family_s,
+            family_l1_capture_s: span_wall_s(&family_spans, "l1_capture"),
+            family_fanout_s: span_wall_s(&family_spans, "fan_out"),
+            family_events_replayed,
             arena_bytes: arena.bytes() as u64,
             speedup: legacy_s / (capture_s + replay_s),
             speedup_vs_streaming: streaming_s / (capture_s + replay_s),
@@ -276,7 +316,7 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
     let total_twolevel_filtered_s: f64 = rows.iter().map(|r| r.twolevel_filtered_s).sum();
     let total_twolevel_family_s: f64 = rows.iter().map(|r| r.twolevel_family_s).sum();
     SweepBenchReport {
-        schema: "tlc-sweep-bench/3".to_string(),
+        schema: "tlc-sweep-bench/4".to_string(),
         configs: cfg.configs.len() as u64,
         measured_instructions: cfg.budget.instructions,
         warmup_instructions: cfg.budget.warmup_instructions,
@@ -287,6 +327,7 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         total_twolevel_speedup: total_twolevel_arena_s / total_twolevel_filtered_s,
         total_twolevel_family_speedup: total_twolevel_filtered_s / total_twolevel_family_s,
         all_identical: rows.iter().all(|r| r.identical),
+        obs_enabled: tlc_obs::ENABLED,
         benchmarks: rows,
         total_legacy_s,
         total_streaming_s,
@@ -313,9 +354,28 @@ mod tests {
 
     #[test]
     fn comparison_runs_and_engines_agree() {
-        // A deliberately tiny instance: 3 configs, short budget.
+        // A deliberately tiny instance: 3 configs, short budget. Two of
+        // them must share an L1 (same size, differing L2) so the family
+        // path — and its event attribution — actually engages rather
+        // than every group falling back as a singleton.
         let mut cfg = SweepBenchConfig::from_harness(&Harness::quick());
-        cfg.configs.truncate(3);
+        let shared_l1: Vec<MachineConfig> = {
+            let first = cfg
+                .configs
+                .iter()
+                .find(|c| c.l2.is_some())
+                .copied()
+                .expect("space has two-level configs");
+            cfg.configs
+                .iter()
+                .filter(|c| c.l2.is_some() && c.l1_size_bytes == first.l1_size_bytes)
+                .take(2)
+                .copied()
+                .collect()
+        };
+        assert_eq!(shared_l1.len(), 2, "need two configs sharing an L1");
+        cfg.configs.truncate(1);
+        cfg.configs.extend(shared_l1);
         cfg.budget = SimBudget { instructions: 4_000, warmup_instructions: 1_000 };
         cfg.threads = 2;
         let report = run_sweep_benchmark(&cfg);
@@ -324,10 +384,20 @@ mod tests {
         assert!(report.total_streaming_s > 0.0 && report.total_arena_s > 0.0);
         assert!(report.total_filtered_s > 0.0 && report.total_twolevel_filtered_s > 0.0);
         assert!(report.total_family_s > 0.0 && report.total_twolevel_family_s > 0.0);
+        if tlc_obs::ENABLED {
+            assert!(
+                report.benchmarks.iter().all(|r| r.family_events_replayed > 0),
+                "instrumented builds must attribute family events"
+            );
+        }
         let json = serde_json::to_string_pretty(&report).expect("serialises");
-        assert!(json.contains("\"schema\": \"tlc-sweep-bench/3\""));
+        assert!(json.contains("\"schema\": \"tlc-sweep-bench/4\""));
         assert!(json.contains("\"filtered_s\""));
         assert!(json.contains("\"family_s\""));
+        assert!(json.contains("\"family_l1_capture_s\""));
+        assert!(json.contains("\"family_fanout_s\""));
+        assert!(json.contains("\"family_events_replayed\""));
+        assert!(json.contains("\"obs_enabled\""));
         assert!(json.contains("\"twolevel_speedup\""));
         assert!(json.contains("\"twolevel_family_speedup\""));
         assert!(json.contains("\"all_identical\": true"));

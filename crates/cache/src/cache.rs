@@ -191,6 +191,10 @@ pub struct Cache {
     set_shift: u32,
     lfsr: Lfsr16,
     stats: CacheStats,
+    /// Lifetime pseudo-random victim draws (instrumented builds only;
+    /// stays 0 otherwise). Never reset — the LFSR itself never is, so
+    /// warm-up draws are part of the count.
+    lfsr_draws: u64,
 }
 
 impl Cache {
@@ -207,6 +211,7 @@ impl Cache {
             set_shift: num_sets.trailing_zeros(),
             lfsr: Lfsr16::default(),
             stats: CacheStats::default(),
+            lfsr_draws: 0,
         }
     }
 
@@ -218,6 +223,12 @@ impl Cache {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Lifetime pseudo-random victim draws (always 0 in uninstrumented
+    /// builds, and for non-random replacement).
+    pub fn lfsr_draws(&self) -> u64 {
+        self.lfsr_draws
     }
 
     /// Clears the statistics (contents are preserved — used to discard
@@ -361,6 +372,9 @@ impl Cache {
             self.ways[base + i] = Way { tag, valid: true, dirty };
             self.repl.filled(set as usize, self.stride, i as u32, ways);
             return None;
+        }
+        if tlc_obs::ENABLED && matches!(self.repl, ReplBank::Random) {
+            self.lfsr_draws += 1;
         }
         let victim_way = self.repl.victim(set as usize, self.stride, ways, &mut self.lfsr);
         let v = self.ways[base + victim_way as usize];

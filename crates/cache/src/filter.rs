@@ -69,6 +69,10 @@ pub struct L1FrontEnd {
     last_fetch: u64,
     events: EventArena,
     warmup_events: u64,
+    /// Lifetime reference count (instrumented builds only; stays 0 and
+    /// costs nothing otherwise). Flushed to `filter.*` counters by
+    /// [`L1FrontEnd::finish`].
+    total_refs: u64,
 }
 
 impl L1FrontEnd {
@@ -91,6 +95,7 @@ impl L1FrontEnd {
             last_fetch: u64::MAX,
             events: EventArena::new(),
             warmup_events: 0,
+            total_refs: 0,
         }
     }
 
@@ -110,6 +115,11 @@ impl L1FrontEnd {
     /// boundary, and the measured-window L1-side statistics into a
     /// shareable [`MissStream`] named after the captured workload.
     pub fn finish(self, name: &str) -> MissStream {
+        // Every miss (and only a miss) pushed one event, so the
+        // hits/misses/decoded invariant holds by construction.
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterEventsDecoded, self.total_refs);
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Misses, self.events.len());
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Hits, self.total_refs - self.events.len());
         MissStream {
             name: name.to_string(),
             events: self.events,
@@ -124,6 +134,9 @@ impl L1FrontEnd {
 impl MemorySystem for L1FrontEnd {
     #[inline]
     fn access(&mut self, r: MemRef) -> ServiceLevel {
+        if tlc_obs::ENABLED {
+            self.total_refs += 1;
+        }
         let line = r.addr.line(self.line_bytes);
         let is_write = r.kind == AccessKind::Store;
         let is_fetch = r.kind == AccessKind::InstrFetch;
@@ -307,6 +320,21 @@ fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
     HierarchyStats { l2_hits, l2_misses, offchip_writebacks, ..*stream.l1_stats() }
 }
 
+/// Flushes one replay pass's L2-side totals to the global counters.
+/// `stats` carries the measured-window hit/miss/writeback counts;
+/// `draws`/`swaps` are lifetime totals (warm-up included — the LFSR
+/// and the swap path are never reset), matching the family engines so
+/// the two report identical sums on identical configs.
+pub(crate) fn flush_l2_counters(events: u64, stats: &HierarchyStats, draws: u64, swaps: u64) {
+    tlc_obs::obs_count!(tlc_obs::Counter::L2EventsReplayed, events);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Hits, stats.l2_hits);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Misses, stats.l2_misses);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Probes, stats.l2_hits + stats.l2_misses);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Writebacks, stats.offchip_writebacks);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2LfsrDraws, draws);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2ExclusiveSwaps, swaps);
+}
+
 /// The replay inner loop: slice iteration over one chunk's packed
 /// columns, statically dispatched per concrete back-end.
 #[inline]
@@ -425,6 +453,8 @@ struct ExclusiveBack {
     l2_hits: u64,
     l2_misses: u64,
     offchip_writebacks: u64,
+    /// Lifetime fig-21a swap count (instrumented builds only).
+    swaps: u64,
 }
 
 impl ExclusiveBack {
@@ -464,6 +494,9 @@ impl EventSink for ExclusiveBack {
                         // Figure 21-a swap: the victim takes the requested
                         // line's way; the displaced line is the requested
                         // line itself, already in L1.
+                        if tlc_obs::ENABLED {
+                            self.swaps += 1;
+                        }
                         self.l2.fill_at(vline, vdirty, slot);
                     } else {
                         self.l2.fill_at(line, dirty, slot);
@@ -502,7 +535,13 @@ impl BackEnd for ExclusiveBack {
 /// would experience it. Bit-identical to simulating the monolithic
 /// system on the original reference stream.
 pub fn replay_single(stream: &MissStream) -> HierarchyStats {
-    replay_on(&mut SingleBack::default(), stream)
+    let stats = replay_on(&mut SingleBack::default(), stream);
+    // No L2 exists here: the pass contributes replayed events and
+    // off-chip writebacks, but no probes (`l2.probes` counts real L2
+    // lookups only, keeping the hits+misses invariant meaningful).
+    tlc_obs::obs_count!(tlc_obs::Counter::L2EventsReplayed, stream.len());
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Writebacks, stats.offchip_writebacks);
+    stats
 }
 
 /// Replays `stream` through a conventional L2, producing the exact
@@ -520,7 +559,9 @@ pub fn replay_conventional(l2_cfg: CacheConfig, stream: &MissStream) -> Hierarch
         l2_misses: 0,
         offchip_writebacks: 0,
     };
-    replay_on(&mut back, stream)
+    let stats = replay_on(&mut back, stream);
+    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), 0);
+    stats
 }
 
 /// Replays `stream` through an exclusive (victim-swap) L2, producing the
@@ -541,8 +582,11 @@ pub fn replay_exclusive(l2_cfg: CacheConfig, stream: &MissStream) -> HierarchySt
         l2_hits: 0,
         l2_misses: 0,
         offchip_writebacks: 0,
+        swaps: 0,
     };
-    replay_on(&mut back, stream)
+    let stats = replay_on(&mut back, stream);
+    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), back.swaps);
+    stats
 }
 
 #[cfg(test)]

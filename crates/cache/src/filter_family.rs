@@ -63,6 +63,13 @@ struct L2State {
     hits: u64,
     misses: u64,
     writebacks: u64,
+    /// Lifetime LFSR victim draws (instrumented builds only). Not
+    /// touched by [`L2State::reset_counters`] — the LFSR itself is
+    /// never reset, matching the scalar [`Cache`](crate::Cache) count.
+    lfsr_draws: u64,
+    /// Lifetime fig-21a swaps (instrumented exclusive families only;
+    /// lifetime for the same reason as `lfsr_draws`).
+    swaps: u64,
 }
 
 impl L2State {
@@ -74,6 +81,8 @@ impl L2State {
             hits: 0,
             misses: 0,
             writebacks: 0,
+            lfsr_draws: 0,
+            swaps: 0,
         }
     }
 
@@ -95,6 +104,9 @@ impl L2State {
         } else if let Some(i) = (0..ways).find(|&i| self.slots[base + i] == INVALID) {
             i
         } else {
+            if tlc_obs::ENABLED {
+                self.lfsr_draws += 1;
+            }
             let r = self.lfsr.next() as u32;
             (if ways_pow2 { r & (ways as u32 - 1) } else { r % ways as u32 }) as usize
         };
@@ -241,6 +253,9 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
                         {
                             // Figure 21-a swap: the victim takes the
                             // requested line's way.
+                            if tlc_obs::ENABLED {
+                                st.swaps += 1;
+                            }
                             st.slots[base + hw] = (vl << 1) | vdirty as u64;
                         } else {
                             st.slots[base + hw] = (l << 1) | dirty;
@@ -384,6 +399,24 @@ fn assemble(
     HierarchyStats { l2_hits, l2_misses, offchip_writebacks, ..*stream.l1_stats() }
 }
 
+/// Flushes one family pass's totals: the stream was decoded once
+/// (`l2.events_replayed` counts passes × events, exposing the family
+/// engine's fan-in), while probes/hits/misses/writebacks sum over the
+/// members — matching the scalar filtered engine's totals on the same
+/// configurations, since the per-member statistics are bit-identical.
+fn flush_family(stream: &MissStream, out: &[HierarchyStats], draws: u64, swaps: u64) {
+    if !tlc_obs::ENABLED {
+        return;
+    }
+    let totals = HierarchyStats {
+        l2_hits: out.iter().map(|s| s.l2_hits).sum(),
+        l2_misses: out.iter().map(|s| s.l2_misses).sum(),
+        offchip_writebacks: out.iter().map(|s| s.offchip_writebacks).sum(),
+        ..HierarchyStats::default()
+    };
+    crate::filter::flush_l2_counters(stream.len(), &totals, draws, swaps);
+}
+
 /// Replays `stream` once through a whole family of conventional L2s,
 /// returning one [`HierarchyStats`] per member of `l2_cfgs`, in input
 /// order — each bit-identical to
@@ -420,6 +453,8 @@ pub fn replay_conventional_family(
         for (k, &i) in order.iter().enumerate() {
             out[i] = assemble(stream, counters[k]);
         }
+        // Direct-mapped members have no replacement choice: no draws.
+        flush_family(stream, &out, 0, 0);
         return out;
     }
     fn run<const W: usize>(
@@ -430,7 +465,13 @@ pub fn replay_conventional_family(
         let mut fam =
             ConventionalFamily::<W> { states: l2_cfgs.iter().map(L2State::new).collect(), fw };
         walk_events(&mut fam, stream);
-        fam.states.iter().map(|st| assemble(stream, (st.hits, st.misses, st.writebacks))).collect()
+        let out: Vec<HierarchyStats> = fam
+            .states
+            .iter()
+            .map(|st| assemble(stream, (st.hits, st.misses, st.writebacks)))
+            .collect();
+        flush_family(stream, &out, fam.states.iter().map(|st| st.lfsr_draws).sum(), 0);
+        out
     }
     // Monomorphise the common associativities so the set scans unroll.
     match fw.ways {
@@ -477,10 +518,18 @@ pub fn replay_exclusive_family(
             l1_set_mask: sets as u64 - 1,
         };
         walk_events(&mut fam, stream);
-        fam.members
+        let out: Vec<HierarchyStats> = fam
+            .members
             .iter()
             .map(|m| assemble(stream, (m.l2.hits, m.l2.misses, m.l2.writebacks)))
-            .collect()
+            .collect();
+        flush_family(
+            stream,
+            &out,
+            fam.members.iter().map(|m| m.l2.lfsr_draws).sum(),
+            fam.members.iter().map(|m| m.l2.swaps).sum(),
+        );
+        out
     }
     // Monomorphise the common associativities so the set scans unroll.
     match fw.ways {

@@ -10,11 +10,13 @@ use tlc_core::experiment::capture_benchmark;
 use tlc_core::experiment::{simulate_source, SimBudget};
 use tlc_core::report::{envelope_table, points_csv, points_table};
 use tlc_core::runner::{
-    default_threads, sweep_arena_threads, sweep_family_arena_threads, sweep_filtered_arena_threads,
-    sweep_streaming_threads, sweep_threads,
+    default_threads, try_sweep_arena_threads, try_sweep_family_arena_threads,
+    try_sweep_filtered_arena_threads, try_sweep_streaming_threads, try_sweep_threads,
 };
 use tlc_core::tpi::tpi_ns;
 use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
+use tlc_obs::manifest::{fnv1a64, RunManifest, RunMeta};
+use tlc_obs::Counter;
 use tlc_timing::{DetailedTimingModel, EnergyModel, TimingModel};
 use tlc_trace::spec::SpecBenchmark;
 use tlc_trace::specfile::WorkloadSpec;
@@ -32,6 +34,8 @@ pub fn usage() -> String {
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
      \u{20}            [--engine auto|streaming|arena|filtered|family] [--threads N]\n\
+     \u{20}            [--metrics out.json]  write a tlc-run-manifest/1 document\n\
+     \u{20}            [--progress]          live configs-done/ETA/events-per-second ticker on stderr\n\
      \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
      \u{20}            --workload li [--instr N]\n\
      \u{20} timing     access/cycle time, area, and energy of one cache\n\
@@ -121,32 +125,72 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
     if threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()));
     }
+    let engine = args.get("engine").unwrap_or("auto").to_string();
+    if !["auto", "streaming", "arena", "filtered", "family"].contains(&engine.as_str()) {
+        return Err(ArgError(format!(
+            "unknown engine {engine:?}; choose auto, streaming, arena, filtered or family"
+        )));
+    }
+    let metrics_path = args.get("metrics").map(str::to_string);
     let configs = full_space(&opts);
-    let points = match args.get("engine").unwrap_or("auto") {
-        // The default heuristic: family-batched miss-stream filtering over
-        // a captured arena, streaming when the capture would be enormous.
-        "auto" => sweep_threads(&configs, benchmark, budget, &timing, &area, threads),
-        "streaming" => {
-            sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, threads)
-        }
-        "arena" => {
-            let arena = capture_benchmark(benchmark, budget);
-            sweep_arena_threads(&configs, &arena, budget, &timing, &area, threads)
-        }
-        "filtered" => {
-            let arena = capture_benchmark(benchmark, budget);
-            sweep_filtered_arena_threads(&configs, &arena, budget, &timing, &area, threads)
-        }
-        "family" => {
-            let arena = capture_benchmark(benchmark, budget);
-            sweep_family_arena_threads(&configs, &arena, budget, &timing, &area, threads)
-        }
-        other => {
-            return Err(ArgError(format!(
-                "unknown engine {other:?}; choose auto, streaming, arena, filtered or family"
-            )))
+
+    // One observability epoch per sweep: counters and spans drained by
+    // this run's manifest must not include a previous run's.
+    tlc_obs::reset();
+    let ticker = args.flag("progress").then(|| ProgressTicker::start(configs.len()));
+    let start = std::time::Instant::now();
+    let result = {
+        let _span = tlc_obs::obs_span!("sweep");
+        let capture = |name: &'static str| {
+            let _span = tlc_obs::PhaseSpan::enter(name);
+            capture_benchmark(benchmark, budget)
+        };
+        match engine.as_str() {
+            // The default heuristic: family-batched miss-stream filtering
+            // over a captured arena, streaming when the capture would be
+            // enormous.
+            "auto" => try_sweep_threads(&configs, benchmark, budget, &timing, &area, threads),
+            "streaming" => {
+                try_sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, threads)
+            }
+            "arena" => {
+                let arena = capture("arena_capture");
+                try_sweep_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            }
+            "filtered" => {
+                let arena = capture("arena_capture");
+                try_sweep_filtered_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            }
+            "family" => {
+                let arena = capture("arena_capture");
+                try_sweep_family_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            }
+            _ => unreachable!("engine validated above"),
         }
     };
+    if let Some(t) = ticker {
+        t.stop();
+    }
+    if let Err(e) = &result {
+        tlc_obs::record_event("worker.panic", e.to_string());
+    }
+    let manifest = RunManifest::collect(RunMeta {
+        command: "sweep".to_string(),
+        benchmark: benchmark.name().to_string(),
+        engine,
+        threads: threads as u64,
+        configs: configs.len() as u64,
+        config_space_hash: config_space_hash(&configs),
+        wall_s: start.elapsed().as_secs_f64(),
+    });
+    // The manifest is written even when the sweep failed — the recorded
+    // fallbacks and the worker.panic event are exactly what a post-mortem
+    // needs.
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, manifest.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    let points = result.map_err(|e| ArgError(format!("sweep worker thread panicked at {e}")))?;
     if args.flag("csv") {
         return Ok(points_csv(&points));
     }
@@ -159,6 +203,74 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
     out.push('\n');
     out.push_str(&envelope_table("best performance envelope:", &points));
     Ok(out)
+}
+
+/// Deterministic identity of a swept configuration space: FNV-1a 64
+/// over its JSON serialization, hex-encoded. Ties a manifest to the
+/// exact design points it measured (the std hasher is randomly seeded
+/// per process, so it cannot serve here).
+fn config_space_hash(configs: &[MachineConfig]) -> String {
+    let json = serde_json::to_string(&configs.to_vec()).expect("configs serialize");
+    format!("{:016x}", fnv1a64(json.as_bytes()))
+}
+
+/// The `--progress` stderr ticker: a sampling thread reading the global
+/// counters every 200 ms, reporting configs done, elapsed/ETA, and
+/// event throughput. In uninstrumented builds the counters never move,
+/// so it prints one notice and exits instead of ticking zeros.
+struct ProgressTicker {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressTicker {
+    fn start(total: usize) -> ProgressTicker {
+        use std::sync::atomic::Ordering;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let seen = stop.clone();
+        let handle = std::thread::spawn(move || {
+            if !tlc_obs::ENABLED {
+                eprintln!("# progress: this build has instrumentation disabled; no live counters");
+                return;
+            }
+            let start = std::time::Instant::now();
+            while !seen.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if seen.load(Ordering::Relaxed) {
+                    break;
+                }
+                let done = tlc_obs::counters().get(Counter::RunnerConfigsCompleted);
+                let events = tlc_obs::counters().get(Counter::FilterEventsDecoded)
+                    + tlc_obs::counters().get(Counter::L2EventsReplayed);
+                let elapsed = start.elapsed().as_secs_f64();
+                let eta = if done > 0 {
+                    format!(
+                        "{:.1}s",
+                        elapsed * (total.saturating_sub(done as usize)) as f64 / done as f64
+                    )
+                } else {
+                    "?".to_string()
+                };
+                // The arena/streaming engines feed neither filter nor
+                // replay counters; leave throughput off rather than
+                // reporting a misleading zero.
+                let rate = if events > 0 {
+                    format!(", {:.1} M events/s", events as f64 / elapsed / 1e6)
+                } else {
+                    String::new()
+                };
+                eprintln!(
+                    "# sweep progress: {done}/{total} configs, {elapsed:.1}s elapsed, eta {eta}{rate}"
+                );
+            }
+        });
+        ProgressTicker { stop, handle }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
 }
 
 /// `tlc profile`.
@@ -328,7 +440,7 @@ pub fn cmd_list() -> String {
 
 /// Dispatches a full command line (without argv\[0\]).
 pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
-    let flags = ["csv", "dual", "detailed", "quick"];
+    let flags = ["csv", "dual", "detailed", "quick", "progress"];
     let args = ArgMap::parse(raw, &flags)?;
     let cmd = args.positional(0).unwrap_or("help");
     match cmd {
@@ -349,6 +461,10 @@ mod tests {
     use super::*;
 
     fn run(args: &[&str]) -> Result<String, ArgError> {
+        // cmd_sweep resets the process-global obs counters, so commands
+        // must not run concurrently inside this test binary.
+        static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         dispatch(args.iter().map(|s| s.to_string()).collect())
     }
 
@@ -501,6 +617,47 @@ mod tests {
         argv.push("warp");
         let err = run(&argv).expect_err("unknown engine must be rejected");
         assert!(format!("{err:?}").contains("unknown engine"));
+    }
+
+    #[test]
+    fn sweep_metrics_writes_valid_manifest() {
+        let path = std::env::temp_dir().join("tlc_cli_test_manifest.json");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "sweep",
+            "--workload",
+            "li",
+            "--instr",
+            "4000",
+            "--warmup",
+            "1000",
+            "--csv",
+            "--engine",
+            "family",
+            "--threads",
+            "2",
+            "--metrics",
+            path.to_str().expect("utf8 path"),
+        ])
+        .expect("sweep with --metrics");
+        let json = std::fs::read_to_string(&path).expect("manifest written");
+        let manifest = RunManifest::from_json(&json).expect("manifest parses");
+        manifest.validate().expect("manifest invariants hold");
+        assert_eq!(manifest.schema, tlc_obs::manifest::SCHEMA);
+        assert_eq!(manifest.command, "sweep");
+        assert_eq!(manifest.engine, "family");
+        assert_eq!(manifest.threads, 2);
+        assert_eq!(manifest.config_space_hash.len(), 16);
+        if tlc_obs::ENABLED {
+            assert_eq!(
+                manifest.counter("runner.configs_completed"),
+                Some(manifest.configs),
+                "every design point must be counted"
+            );
+            assert!(!manifest.spans.is_empty(), "span tree must be captured");
+            assert!(manifest.spans.iter().any(|s| s.name == "sweep"), "root sweep span missing");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -491,6 +491,10 @@ fn design_point(
 ) -> DesignPoint {
     let t = MachineTiming::derive(cfg, timing, area);
     let tpi = tpi::tpi_ns(&stats, &t);
+    // Every engine funnels finished evaluations through here, so this
+    // is the one completion tick the progress ticker and the manifest's
+    // `runner.configs_completed` invariant rely on.
+    tlc_obs::obs_count!(tlc_obs::Counter::RunnerConfigsCompleted, 1);
     DesignPoint {
         machine: *cfg,
         label: cfg.label(),

@@ -25,11 +25,76 @@ use crate::experiment::{
     evaluate_family, evaluate_filtered, DesignPoint, SimBudget,
 };
 use crate::machine::{L2Policy, MachineConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tlc_area::AreaModel;
+use tlc_obs::{obs_count, obs_event, obs_span, Counter, PhaseSpan};
 use tlc_timing::TimingModel;
 use tlc_trace::spec::SpecBenchmark;
 use tlc_trace::TraceArena;
+
+/// The work unit a sweep worker was executing when it panicked;
+/// identifies where in the pipeline the failure sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepUnit {
+    /// Evaluation of one configuration.
+    Config {
+        /// Index into the sweep's input `configs`.
+        index: usize,
+        /// The configuration's display label.
+        label: String,
+    },
+    /// Miss-stream capture for one L1 front-end group.
+    L1Group {
+        /// The group's L1 capacity in bytes.
+        l1_size_bytes: u64,
+        /// The group's line size in bytes.
+        line_bytes: u64,
+    },
+    /// Family-batched replay of several configurations at once.
+    FamilyChunk {
+        /// The family's L1 capacity in bytes.
+        l1_size_bytes: u64,
+        /// The family's line size in bytes.
+        line_bytes: u64,
+        /// Indices into the sweep's input `configs`.
+        members: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SweepUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepUnit::Config { index, label } => write!(f, "config #{index} ({label})"),
+            SweepUnit::L1Group { l1_size_bytes, line_bytes } => {
+                write!(f, "L1 group {l1_size_bytes}B/{line_bytes}B capture")
+            }
+            SweepUnit::FamilyChunk { l1_size_bytes, line_bytes, members } => {
+                write!(f, "family chunk {l1_size_bytes}B/{line_bytes}B (configs {members:?})")
+            }
+        }
+    }
+}
+
+/// A worker panic propagated as a value instead of aborting the sweep's
+/// caller with a bare `expect`. Returned by the `try_sweep_*` variants;
+/// the panicking wrappers re-raise it with this context in the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// The unit being executed when the panic fired.
+    pub unit: SweepUnit,
+    /// The panic payload, stringified.
+    pub payload: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.unit, self.payload)
+    }
+}
+
+impl std::error::Error for SweepError {}
 
 /// Upper bound on the arena capture size before [`sweep`] falls back to
 /// the streaming path: 1 GiB ≈ 63 M instructions at 17 bytes per packed
@@ -111,12 +176,50 @@ pub fn sweep_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
+    expect_sweep(try_sweep_threads(configs, benchmark, budget, timing, area, threads))
+}
+
+/// As [`sweep_threads`], reporting a worker panic as a structured
+/// [`SweepError`] (naming the L1 group or configuration that failed)
+/// instead of aborting the caller.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_threads(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
     assert!(threads > 0, "need at least one worker thread");
     if configs.len() <= 1 || arena_bytes_for(budget) > ARENA_BYTES_LIMIT {
-        return sweep_streaming_threads(configs, benchmark, budget, timing, area, threads);
+        obs_count!(Counter::RunnerFallbackStreaming, 1);
+        obs_event!(
+            "engine.fallback_streaming",
+            "{} configs, predicted arena {} B: streaming replay",
+            configs.len(),
+            arena_bytes_for(budget)
+        );
+        return try_sweep_streaming_threads(configs, benchmark, budget, timing, area, threads);
     }
-    let arena = capture_benchmark(benchmark, budget);
-    sweep_family_arena_threads(configs, &arena, budget, timing, area, threads)
+    obs_event!("engine.selected", "family-batched arena engine, {} configs", configs.len());
+    let arena = {
+        let _span = obs_span!("arena_capture");
+        capture_benchmark(benchmark, budget)
+    };
+    try_sweep_family_arena_threads(configs, &arena, budget, timing, area, threads)
+}
+
+/// Unwraps a `try_sweep_*` result for the infallible entry points,
+/// re-raising the worker panic with its unit context.
+fn expect_sweep(r: Result<Vec<DesignPoint>, SweepError>) -> Vec<DesignPoint> {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("sweep worker thread panicked at {e}"),
+    }
 }
 
 /// Evaluates every configuration against an already-captured arena, in
@@ -135,9 +238,30 @@ pub fn sweep_arena_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs.len(), threads, |i| {
-        evaluate_arena(&configs[i], arena, budget, timing, area)
-    })
+    expect_sweep(try_sweep_arena_threads(configs, arena, budget, timing, area, threads))
+}
+
+/// As [`sweep_arena_threads`], reporting a worker panic as a
+/// structured [`SweepError`].
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
+    let _span = obs_span!("fan_out");
+    try_run_indexed(
+        configs.len(),
+        threads,
+        |i| evaluate_arena(&configs[i], arena, budget, timing, area),
+        |i| SweepUnit::Config { index: i, label: configs[i].label() },
+    )
 }
 
 /// The miss-stream filtering sweep: configurations are grouped by L1
@@ -165,16 +289,72 @@ pub fn sweep_filtered_arena_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
+    expect_sweep(try_sweep_filtered_arena_threads(configs, arena, budget, timing, area, threads))
+}
+
+/// Phase A of the filtered and family sweeps: one miss-stream capture
+/// per L1 group that will amortise it, with a `group[...]` phase span
+/// per capture and fallback events for the groups that opt out
+/// (singletons, byte-limited streams).
+fn try_capture_group_streams(
+    groups: &[(L1Key, Vec<usize>)],
+    arena: &TraceArena,
+    budget: SimBudget,
+    threads: usize,
+) -> Result<Vec<Option<tlc_cache::MissStream>>, SweepError> {
+    let _span = obs_span!("l1_capture");
+    try_run_indexed(
+        groups.len(),
+        threads,
+        |g| {
+            let (key, idxs) = &groups[g];
+            if idxs.len() < 2 {
+                obs_count!(Counter::RunnerFallbackSingleton, 1);
+                obs_event!(
+                    "fallback.singleton",
+                    "L1 group {}B/{}B has a single config; plain arena replay",
+                    key.0,
+                    key.1
+                );
+                return None;
+            }
+            let span = PhaseSpan::enter_with("group", || format!("{}B/{}B", key.0, key.1));
+            span.add_items(idxs.len() as u64);
+            let stream = capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT);
+            if stream.is_none() {
+                obs_count!(Counter::RunnerFallbackByteLimit, 1);
+                obs_event!(
+                    "fallback.byte_limit",
+                    "L1 group {}B/{}B miss stream exceeded {} B; plain arena replay",
+                    key.0,
+                    key.1,
+                    MISS_STREAM_BYTES_LIMIT
+                );
+            }
+            stream
+        },
+        |g| SweepUnit::L1Group { l1_size_bytes: groups[g].0 .0, line_bytes: groups[g].0 .1 },
+    )
+}
+
+/// As [`sweep_filtered_arena_threads`], reporting a worker panic as a
+/// structured [`SweepError`] naming the L1 group or configuration.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_filtered_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
     assert!(threads > 0, "need at least one worker thread");
     let groups = l1_groups(configs);
     // Phase A: one L1 capture per group that will amortise it.
-    let streams = run_indexed(groups.len(), threads, |g| {
-        let (key, idxs) = &groups[g];
-        if idxs.len() < 2 {
-            return None;
-        }
-        capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT)
-    });
+    let streams = try_capture_group_streams(&groups, arena, budget, threads)?;
     let mut stream_of = vec![None; configs.len()];
     for (g, (_, idxs)) in groups.iter().enumerate() {
         for &i in idxs {
@@ -182,10 +362,16 @@ pub fn sweep_filtered_arena_threads(
         }
     }
     // Phase B: fan the configurations over the captured streams.
-    run_indexed(configs.len(), threads, |i| match stream_of[i] {
-        Some(stream) => evaluate_filtered(&configs[i], stream, timing, area),
-        None => evaluate_arena(&configs[i], arena, budget, timing, area),
-    })
+    let _span = obs_span!("fan_out");
+    try_run_indexed(
+        configs.len(),
+        threads,
+        |i| match stream_of[i] {
+            Some(stream) => evaluate_filtered(&configs[i], stream, timing, area),
+            None => evaluate_arena(&configs[i], arena, budget, timing, area),
+        },
+        |i| SweepUnit::Config { index: i, label: configs[i].label() },
+    )
 }
 
 /// One parallel work unit of the family sweep: a family chunk replaying
@@ -225,16 +411,28 @@ pub fn sweep_family_arena_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
+    expect_sweep(try_sweep_family_arena_threads(configs, arena, budget, timing, area, threads))
+}
+
+/// As [`sweep_family_arena_threads`], reporting a worker panic as a
+/// structured [`SweepError`] naming the L1 group, family chunk, or
+/// configuration that failed.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_family_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
     assert!(threads > 0, "need at least one worker thread");
     let groups = l1_groups(configs);
     // Phase A: one L1 capture per group that will amortise it.
-    let streams = run_indexed(groups.len(), threads, |g| {
-        let (key, idxs) = &groups[g];
-        if idxs.len() < 2 {
-            return None;
-        }
-        capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT)
-    });
+    let streams = try_capture_group_streams(&groups, arena, budget, threads)?;
     // Partition each captured group into families, preserving
     // first-appearance order within the group.
     let mut units: Vec<FamilyUnit> = Vec::new();
@@ -278,23 +476,43 @@ pub fn sweep_family_arena_threads(
         units = chunked;
     }
     // Phase B: fan the units out; each returns (input index, point) pairs.
-    let evaluated = run_indexed(units.len(), threads, |u| match &units[u] {
-        FamilyUnit::Family { stream, members } => {
-            let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
-            let points = evaluate_family(&cfgs, stream, timing, area);
-            members.iter().copied().zip(points).collect::<Vec<_>>()
-        }
-        FamilyUnit::Arena { idx } => {
-            vec![(*idx, evaluate_arena(&configs[*idx], arena, budget, timing, area))]
-        }
-    });
+    let evaluated = {
+        let _span = obs_span!("fan_out");
+        try_run_indexed(
+            units.len(),
+            threads,
+            |u| match &units[u] {
+                FamilyUnit::Family { stream, members } => {
+                    let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let points = evaluate_family(&cfgs, stream, timing, area);
+                    members.iter().copied().zip(points).collect::<Vec<_>>()
+                }
+                FamilyUnit::Arena { idx } => {
+                    vec![(*idx, evaluate_arena(&configs[*idx], arena, budget, timing, area))]
+                }
+            },
+            |u| match &units[u] {
+                FamilyUnit::Family { members, .. } => {
+                    let first = &configs[members[0]];
+                    SweepUnit::FamilyChunk {
+                        l1_size_bytes: first.l1_size_bytes,
+                        line_bytes: first.line_bytes,
+                        members: members.clone(),
+                    }
+                }
+                FamilyUnit::Arena { idx } => {
+                    SweepUnit::Config { index: *idx, label: configs[*idx].label() }
+                }
+            },
+        )?
+    };
     let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
     for batch in evaluated {
         for (i, p) in batch {
             slots[i] = Some(p);
         }
     }
-    slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect()
+    Ok(slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect())
 }
 
 /// The regenerate-per-configuration sweep: each evaluation rebuilds the
@@ -313,7 +531,30 @@ pub fn sweep_streaming_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs.len(), threads, |i| evaluate(&configs[i], benchmark, budget, timing, area))
+    expect_sweep(try_sweep_streaming_threads(configs, benchmark, budget, timing, area, threads))
+}
+
+/// As [`sweep_streaming_threads`], reporting a worker panic as a
+/// structured [`SweepError`].
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_streaming_threads(
+    configs: &[MachineConfig],
+    benchmark: SpecBenchmark,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
+    let _span = obs_span!("fan_out");
+    try_run_indexed(
+        configs.len(),
+        threads,
+        |i| evaluate(&configs[i], benchmark, budget, timing, area),
+        |i| SweepUnit::Config { index: i, label: configs[i].label() },
+    )
 }
 
 /// The pre-arena baseline sweep: regenerates the stream per
@@ -333,9 +574,12 @@ pub fn sweep_dyn_threads(
     area: &AreaModel,
     threads: usize,
 ) -> Vec<DesignPoint> {
-    run_indexed(configs.len(), threads, |i| {
-        evaluate_dyn(&configs[i], benchmark, budget, timing, area)
-    })
+    run_indexed(
+        configs.len(),
+        threads,
+        |i| evaluate_dyn(&configs[i], benchmark, budget, timing, area),
+        |i| SweepUnit::Config { index: i, label: configs[i].label() },
+    )
 }
 
 /// Sweeps `configs` across several benchmarks, capturing each
@@ -369,54 +613,119 @@ pub fn sweep_matrix(
         .collect()
 }
 
+/// Stringifies a panic payload (the common `&str`/`String` cases).
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Work-stealing fan-out: workers atomically claim indices `0..n`,
-/// results land back in index order.
-fn run_indexed<T, F>(n: usize, threads: usize, eval: F) -> Vec<T>
+/// results land back in index order. A panicking evaluation stops the
+/// sweep (workers drain, no new claims) and is reported as a
+/// [`SweepError`] naming the unit `unit_of(i)` describes; with several
+/// concurrent panics the first to be observed wins. Each worker gets a
+/// `worker[w]` phase span (under the caller's current span) carrying
+/// its claimed-unit count, so queue imbalance shows in the manifest.
+fn try_run_indexed<T, F, U>(
+    n: usize,
+    threads: usize,
+    eval: F,
+    unit_of: U,
+) -> Result<Vec<T>, SweepError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+    U: Fn(usize) -> SweepUnit + Sync,
 {
     assert!(threads > 0, "need at least one worker thread");
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let threads = threads.min(n);
+    let caught = |i: usize| {
+        catch_unwind(AssertUnwindSafe(|| eval(i)))
+            .map_err(|p| SweepError { unit: unit_of(i), payload: payload_string(p) })
+    };
     if threads == 1 {
         // Run on the calling thread: spawning a worker is not only
         // pointless serialisation, it is measurably slow — a fresh
         // thread starts with a cold allocator heap, so every
         // configuration's cache arrays page-fault from scratch.
-        return (0..n).map(eval).collect();
+        let span = PhaseSpan::enter_with("worker", || "0".to_string());
+        span.add_items(n as u64);
+        return (0..n).map(caught).collect();
     }
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let parent = tlc_obs::current_path();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for w in 0..threads {
             let next = &next;
-            let eval = &eval;
+            let stop = &stop;
+            let first_error = &first_error;
+            let caught = &caught;
+            let parent = &parent;
             handles.push(scope.spawn(move || {
+                let span = PhaseSpan::enter_under(parent, "worker", &w.to_string());
                 let mut mine = Vec::new();
                 loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    mine.push((i, eval(i)));
+                    span.add_items(1);
+                    match caught(i) {
+                        Ok(p) => mine.push((i, p)),
+                        Err(e) => {
+                            stop.store(true, Ordering::Relaxed);
+                            first_error.lock().unwrap().get_or_insert(e);
+                            break;
+                        }
+                    }
                 }
                 mine
             }));
         }
         for h in handles {
+            // Workers catch evaluation panics themselves, so a join
+            // failure here is unreachable short of a bug in this loop.
             for (i, p) in h.join().expect("worker thread panicked") {
                 slots[i] = Some(p);
             }
         }
     });
 
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    if let Some(e) = first_error.lock().unwrap().take() {
+        return Err(e);
+    }
+    Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+}
+
+/// As [`try_run_indexed`], re-raising a worker panic with its unit
+/// context for the infallible sweep entry points.
+fn run_indexed<T, F, U>(n: usize, threads: usize, eval: F, unit_of: U) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    U: Fn(usize) -> SweepUnit + Sync,
+{
+    match try_run_indexed(n, threads, eval, unit_of) {
+        Ok(v) => v,
+        Err(e) => panic!("sweep worker thread panicked at {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,627 @@
+//! Instrumentation substrate for the sweep pipeline.
+//!
+//! The simulator's hot loops (trace capture, L1 filtering, family L2
+//! fan-out) run hundreds of millions of iterations per sweep, so the
+//! usual logging approaches are off the table: even a branch on a
+//! runtime flag per event is measurable. This crate therefore follows
+//! the kernel-tracepoint model instead:
+//!
+//! * With the `enabled` feature **off** (the default), every probe
+//!   compiles away. [`ENABLED`] is `const false`, the [`obs_count!`]
+//!   and [`obs_event!`] macros expand to `if false { .. }` blocks the
+//!   optimizer deletes (arguments are never evaluated), and
+//!   [`PhaseSpan`] is a zero-sized type with no `Drop` impl.
+//! * With `enabled` **on**, counters are relaxed atomics in one global
+//!   [`CounterSet`], and [`PhaseSpan`] records wall/CPU time into a
+//!   process-global span list, maintaining a thread-local path stack so
+//!   spans nest correctly even across scoped worker threads.
+//!
+//! Hot-path discipline: probes in per-event code must be *flushed
+//! totals* (one `obs_count!` per chunk/replay pass, accumulated in a
+//! plain local first), never per-event atomic increments.
+//!
+//! The [`manifest`] module (always compiled, so `--metrics` keeps
+//! working in uninstrumented builds — it just reports
+//! `"instrumentation": false`) assembles counters + spans + events into
+//! a versioned `tlc-run-manifest/1` JSON document.
+#![warn(missing_docs)]
+
+pub mod manifest;
+
+/// `true` iff this build carries live instrumentation (`enabled`
+/// feature). A `const` so `if ENABLED { .. }` folds away entirely.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Every counter the pipeline can bump. Discriminants index the
+/// [`CounterSet`] array; [`Counter::name`] gives the dotted name used
+/// in manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Instructions synthesised into a trace arena.
+    TraceInstructions,
+    /// Bytes of packed SoA storage allocated by arena capture.
+    TraceBytesPacked,
+    /// Chunks the arena was split into.
+    TraceChunks,
+    /// References decoded by L1 front-ends (instruction fetches that
+    /// survived the same-line filter, plus data references).
+    FilterEventsDecoded,
+    /// References that hit in an L1 during filtering.
+    FilterL1Hits,
+    /// References that missed in an L1 (i.e. miss events emitted).
+    FilterL1Misses,
+    /// Miss events replayed against L2 back-ends (one per stream event
+    /// per replay pass, regardless of family width).
+    L2EventsReplayed,
+    /// L2 lookups in the measured window (hits + misses), summed over
+    /// family members.
+    L2Probes,
+    /// Measured-window L2 hits, summed over family members.
+    L2Hits,
+    /// Measured-window L2 misses, summed over family members.
+    L2Misses,
+    /// LFSR victim draws by pseudo-random L2 replacement (lifetime:
+    /// warm-up included, since the LFSR is never reset).
+    L2LfsrDraws,
+    /// Exclusive-hierarchy L1→L2 victim swaps (fig. 21a path;
+    /// lifetime, like [`Counter::L2LfsrDraws`]).
+    L2ExclusiveSwaps,
+    /// Dirty lines written back out of the L2 in the measured window.
+    L2Writebacks,
+    /// Design points fully evaluated (TPI + area computed).
+    RunnerConfigsCompleted,
+    /// L1 groups too small to amortise miss-stream capture, demoted to
+    /// plain arena replay.
+    RunnerFallbackSingleton,
+    /// Miss streams abandoned because they outgrew the byte limit.
+    RunnerFallbackByteLimit,
+    /// Whole sweeps demoted from arena capture to streaming replay.
+    RunnerFallbackStreaming,
+}
+
+impl Counter {
+    /// Number of counters (size of the [`CounterSet`] array).
+    pub const COUNT: usize = 17;
+
+    /// All counters, in discriminant order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::TraceInstructions,
+        Counter::TraceBytesPacked,
+        Counter::TraceChunks,
+        Counter::FilterEventsDecoded,
+        Counter::FilterL1Hits,
+        Counter::FilterL1Misses,
+        Counter::L2EventsReplayed,
+        Counter::L2Probes,
+        Counter::L2Hits,
+        Counter::L2Misses,
+        Counter::L2LfsrDraws,
+        Counter::L2ExclusiveSwaps,
+        Counter::L2Writebacks,
+        Counter::RunnerConfigsCompleted,
+        Counter::RunnerFallbackSingleton,
+        Counter::RunnerFallbackByteLimit,
+        Counter::RunnerFallbackStreaming,
+    ];
+
+    /// Dotted manifest name, e.g. `"filter.events_decoded"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::TraceInstructions => "trace.instructions",
+            Counter::TraceBytesPacked => "trace.bytes_packed",
+            Counter::TraceChunks => "trace.chunks",
+            Counter::FilterEventsDecoded => "filter.events_decoded",
+            Counter::FilterL1Hits => "filter.l1_hits",
+            Counter::FilterL1Misses => "filter.l1_misses",
+            Counter::L2EventsReplayed => "l2.events_replayed",
+            Counter::L2Probes => "l2.probes",
+            Counter::L2Hits => "l2.hits",
+            Counter::L2Misses => "l2.misses",
+            Counter::L2LfsrDraws => "l2.lfsr_draws",
+            Counter::L2ExclusiveSwaps => "l2.exclusive_swaps",
+            Counter::L2Writebacks => "l2.writebacks",
+            Counter::RunnerConfigsCompleted => "runner.configs_completed",
+            Counter::RunnerFallbackSingleton => "runner.fallback_singleton",
+            Counter::RunnerFallbackByteLimit => "runner.fallback_byte_limit",
+            Counter::RunnerFallbackStreaming => "runner.fallback_streaming",
+        }
+    }
+}
+
+/// One finished phase span, as drained by [`take_spans`]. `path` is the
+/// full nesting path (`["sweep", "fan_out", "worker[0]"]`); `thread` is
+/// a small process-unique id assigned on first span per thread.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Nesting path; last segment is this span's own name.
+    pub path: Vec<String>,
+    /// Process-unique thread id (1-based, assignment order).
+    pub thread: u64,
+    /// Start offset in ns from the process obs epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in ns.
+    pub wall_ns: u64,
+    /// Thread CPU time consumed, if the platform exposes it.
+    pub cpu_ns: Option<u64>,
+    /// Work items attributed via [`PhaseSpan::add_items`].
+    pub items: u64,
+}
+
+/// A recorded point event (fallbacks, engine selections, worker
+/// errors); `kind` is a stable identifier, `detail` free text.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, PartialEq, Eq)]
+pub struct ObsEventRecord {
+    /// Stable event kind, e.g. `"fallback.byte_limit"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+#[cfg(feature = "enabled")]
+mod live {
+    use super::{Counter, ObsEventRecord, SpanRecord};
+    use std::cell::{Cell, RefCell};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Process-global array of relaxed atomic counters.
+    pub struct CounterSet {
+        vals: [AtomicU64; Counter::COUNT],
+    }
+
+    impl CounterSet {
+        #[allow(clippy::declare_interior_mutable_const)] // repeat-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+
+        /// Empty set, usable in statics.
+        pub const fn new() -> Self {
+            CounterSet { vals: [Self::ZERO; Counter::COUNT] }
+        }
+
+        /// Adds `n` to `c` (relaxed; totals only, no ordering implied).
+        #[inline]
+        pub fn add(&self, c: Counter, n: u64) {
+            self.vals[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Current value of `c`.
+        pub fn get(&self, c: Counter) -> u64 {
+            self.vals[c as usize].load(Ordering::Relaxed)
+        }
+
+        /// Snapshot of all counters, in [`Counter::ALL`] order.
+        pub fn snapshot(&self) -> [u64; Counter::COUNT] {
+            let mut out = [0u64; Counter::COUNT];
+            for (slot, c) in out.iter_mut().zip(Counter::ALL) {
+                *slot = self.get(c);
+            }
+            out
+        }
+
+        /// Zeroes every counter.
+        pub fn reset(&self) {
+            for v in &self.vals {
+                v.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    impl Default for CounterSet {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    static COUNTERS: CounterSet = CounterSet::new();
+    static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+    static EVENTS: Mutex<Vec<ObsEventRecord>> = Mutex::new(Vec::new());
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// The global counter set.
+    pub fn counters() -> &'static CounterSet {
+        &COUNTERS
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn thread_id() -> u64 {
+        TID.with(|t| {
+            if t.get() == 0 {
+                t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+            }
+            t.get()
+        })
+    }
+
+    /// Thread CPU time in ns from `/proc/thread-self/schedstat`
+    /// (first field). `None` where procfs is unavailable.
+    fn thread_cpu_ns() -> Option<u64> {
+        let s = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+        s.split_whitespace().next()?.parse().ok()
+    }
+
+    /// RAII phase span: times the region between construction and drop
+    /// and records it under the thread's current span path.
+    pub struct PhaseSpan {
+        path: Vec<String>,
+        saved: Vec<String>,
+        start: Instant,
+        start_ns: u64,
+        cpu0: Option<u64>,
+        items: Cell<u64>,
+    }
+
+    impl PhaseSpan {
+        fn enter_path(path: Vec<String>, saved: Vec<String>) -> PhaseSpan {
+            let start = Instant::now();
+            PhaseSpan {
+                path,
+                saved,
+                start,
+                start_ns: start.duration_since(epoch()).as_nanos() as u64,
+                cpu0: thread_cpu_ns(),
+                items: Cell::new(0),
+            }
+        }
+
+        /// Opens a span named `name` nested under the thread's current
+        /// span (if any).
+        pub fn enter(name: &str) -> PhaseSpan {
+            Self::enter_with(name, String::new)
+        }
+
+        /// Like [`PhaseSpan::enter`], with a lazily-built label: the
+        /// path segment becomes `name[label]`. The closure only runs in
+        /// instrumented builds.
+        pub fn enter_with(name: &str, label: impl FnOnce() -> String) -> PhaseSpan {
+            PATH.with(|p| {
+                let saved = p.borrow().clone();
+                let mut path = saved.clone();
+                path.push(segment(name, &label()));
+                *p.borrow_mut() = path.clone();
+                Self::enter_path(path, saved)
+            })
+        }
+
+        /// Opens a span on *this* thread nested under an explicit
+        /// parent path (for worker threads, whose thread-local stack
+        /// starts empty). `parent` usually comes from
+        /// [`current_path`] captured on the spawning thread.
+        pub fn enter_under(parent: &[String], name: &str, label: &str) -> PhaseSpan {
+            PATH.with(|p| {
+                let saved = p.borrow().clone();
+                let mut path = parent.to_vec();
+                path.push(segment(name, label));
+                *p.borrow_mut() = path.clone();
+                Self::enter_path(path, saved)
+            })
+        }
+
+        /// Attributes `n` work items to this span (e.g. configs
+        /// evaluated by a worker) — the manifest surfaces per-span
+        /// item counts so queue imbalance is visible.
+        pub fn add_items(&self, n: u64) {
+            self.items.set(self.items.get() + n);
+        }
+    }
+
+    fn segment(name: &str, label: &str) -> String {
+        if label.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}[{label}]")
+        }
+    }
+
+    impl Drop for PhaseSpan {
+        fn drop(&mut self) {
+            let wall_ns = self.start.elapsed().as_nanos() as u64;
+            let cpu_ns = match (self.cpu0, thread_cpu_ns()) {
+                (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+                _ => None,
+            };
+            let rec = SpanRecord {
+                path: std::mem::take(&mut self.path),
+                thread: thread_id(),
+                start_ns: self.start_ns,
+                wall_ns,
+                cpu_ns,
+                items: self.items.get(),
+            };
+            PATH.with(|p| *p.borrow_mut() = std::mem::take(&mut self.saved));
+            SPANS.lock().unwrap().push(rec);
+        }
+    }
+
+    /// The current thread's open span path (for handing to
+    /// [`PhaseSpan::enter_under`] on spawned workers).
+    pub fn current_path() -> Vec<String> {
+        PATH.with(|p| p.borrow().clone())
+    }
+
+    /// Drains and returns all finished spans recorded so far.
+    pub fn take_spans() -> Vec<SpanRecord> {
+        std::mem::take(&mut SPANS.lock().unwrap())
+    }
+
+    /// Records a point event.
+    pub fn record_event(kind: &str, detail: String) {
+        EVENTS.lock().unwrap().push(ObsEventRecord { kind: kind.to_string(), detail });
+    }
+
+    /// Drains and returns all recorded point events.
+    pub fn take_events() -> Vec<ObsEventRecord> {
+        std::mem::take(&mut EVENTS.lock().unwrap())
+    }
+
+    /// Clears counters, spans, and events (test isolation and
+    /// run-to-run separation in long-lived processes).
+    pub fn reset() {
+        COUNTERS.reset();
+        SPANS.lock().unwrap().clear();
+        EVENTS.lock().unwrap().clear();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod live {
+    use super::{Counter, ObsEventRecord, SpanRecord};
+
+    /// No-op stand-in: a zero-sized type whose methods vanish.
+    pub struct CounterSet;
+
+    impl CounterSet {
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _c: Counter, _n: u64) {}
+
+        /// Always zero.
+        #[inline(always)]
+        pub fn get(&self, _c: Counter) -> u64 {
+            0
+        }
+
+        /// All zeroes.
+        #[inline(always)]
+        pub fn snapshot(&self) -> [u64; Counter::COUNT] {
+            [0; Counter::COUNT]
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+
+    static COUNTERS: CounterSet = CounterSet;
+
+    /// The (inert) global counter set.
+    #[inline(always)]
+    pub fn counters() -> &'static CounterSet {
+        &COUNTERS
+    }
+
+    /// Zero-sized no-op span: no fields, no `Drop`, so constructing
+    /// and dropping one compiles to nothing.
+    #[must_use = "a span times the region it is alive for"]
+    pub struct PhaseSpan;
+
+    impl PhaseSpan {
+        /// No-op.
+        #[inline(always)]
+        pub fn enter(_name: &str) -> PhaseSpan {
+            PhaseSpan
+        }
+
+        /// No-op; the label closure is never called.
+        #[inline(always)]
+        pub fn enter_with(_name: &str, _label: impl FnOnce() -> String) -> PhaseSpan {
+            PhaseSpan
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn enter_under(_parent: &[String], _name: &str, _label: &str) -> PhaseSpan {
+            PhaseSpan
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add_items(&self, _n: u64) {}
+    }
+
+    /// Always empty in uninstrumented builds.
+    #[inline(always)]
+    pub fn current_path() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Always empty in uninstrumented builds.
+    #[inline(always)]
+    pub fn take_spans() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_event(_kind: &str, _detail: String) {}
+
+    /// Always empty in uninstrumented builds.
+    #[inline(always)]
+    pub fn take_events() -> Vec<ObsEventRecord> {
+        Vec::new()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use live::{
+    counters, current_path, record_event, reset, take_events, take_spans, CounterSet, PhaseSpan,
+};
+
+/// Bumps a [`Counter`] by `n`. Compiles to nothing (arguments
+/// unevaluated) when the `enabled` feature is off.
+///
+/// ```
+/// tlc_obs::obs_count!(tlc_obs::Counter::TraceChunks, 4);
+/// ```
+#[macro_export]
+macro_rules! obs_count {
+    ($c:expr, $n:expr) => {
+        if $crate::ENABLED {
+            $crate::counters().add($c, $n);
+        }
+    };
+}
+
+/// Records a point event with a `format!`-style detail message.
+/// Compiles to nothing (no formatting) when `enabled` is off.
+///
+/// ```
+/// tlc_obs::obs_event!("fallback.byte_limit", "l1={}B", 8192);
+/// ```
+#[macro_export]
+macro_rules! obs_event {
+    ($kind:expr, $($arg:tt)*) => {
+        if $crate::ENABLED {
+            $crate::record_event($kind, format!($($arg)*));
+        }
+    };
+}
+
+/// Opens a [`PhaseSpan`] (zero-sized no-op when `enabled` is off).
+/// Bind the result — `let _span = obs_span!("fan_out");` — so it
+/// lives for the region being timed.
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr) => {
+        $crate::PhaseSpan::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_match_all_order() {
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{} out of order", c.name());
+        }
+    }
+
+    // With the crate built featureless (the default for its own test
+    // target even when the workspace enables obs elsewhere), the span
+    // must be a true ZST and all probes inert.
+    #[cfg(not(feature = "enabled"))]
+    mod disabled {
+        use super::super::*;
+
+        #[test]
+        fn span_is_zero_sized_and_inert() {
+            assert!(!ENABLED);
+            assert_eq!(std::mem::size_of::<PhaseSpan>(), 0);
+            let s = PhaseSpan::enter_with("phase", || unreachable!("label must be lazy"));
+            s.add_items(10);
+            drop(s);
+            assert!(take_spans().is_empty());
+        }
+
+        #[test]
+        fn counters_and_events_are_inert() {
+            obs_count!(Counter::TraceChunks, 7);
+            assert_eq!(counters().get(Counter::TraceChunks), 0);
+            assert_eq!(counters().snapshot(), [0; Counter::COUNT]);
+            // Argument side effects must not run when disabled.
+            fn boom() -> u64 {
+                panic!("event args must be unevaluated")
+            }
+            obs_event!("kind", "{}", boom());
+            assert!(take_events().is_empty());
+            assert!(current_path().is_empty());
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    mod enabled {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        // Counters/spans are process-global; serialize tests touching
+        // them.
+        static LOCK: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn counters_accumulate_and_reset() {
+            let _g = LOCK.lock().unwrap();
+            reset();
+            obs_count!(Counter::L2Probes, 3);
+            obs_count!(Counter::L2Probes, 4);
+            assert_eq!(counters().get(Counter::L2Probes), 7);
+            reset();
+            assert_eq!(counters().get(Counter::L2Probes), 0);
+        }
+
+        #[test]
+        fn spans_nest_on_one_thread() {
+            let _g = LOCK.lock().unwrap();
+            reset();
+            {
+                let outer = PhaseSpan::enter("outer");
+                outer.add_items(2);
+                {
+                    let _inner = PhaseSpan::enter_with("inner", || "x".to_string());
+                }
+                assert_eq!(current_path(), vec!["outer".to_string()]);
+            }
+            let mut spans = take_spans();
+            spans.sort_by_key(|s| s.path.len());
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].path, ["outer"]);
+            assert_eq!(spans[0].items, 2);
+            assert_eq!(spans[1].path, ["outer", "inner[x]"]);
+            assert!(spans[1].wall_ns <= spans[0].wall_ns);
+        }
+
+        #[test]
+        fn enter_under_nests_across_threads() {
+            let _g = LOCK.lock().unwrap();
+            reset();
+            {
+                let _root = PhaseSpan::enter("root");
+                let parent = current_path();
+                std::thread::scope(|scope| {
+                    for w in 0..2u64 {
+                        let parent = parent.clone();
+                        scope.spawn(move || {
+                            let s = PhaseSpan::enter_under(&parent, "worker", &w.to_string());
+                            s.add_items(1);
+                        });
+                    }
+                });
+            }
+            let spans = take_spans();
+            assert_eq!(spans.len(), 3);
+            let workers: Vec<_> = spans.iter().filter(|s| s.path.len() == 2).collect();
+            assert_eq!(workers.len(), 2);
+            for w in &workers {
+                assert_eq!(w.path[0], "root");
+                assert!(w.path[1].starts_with("worker["));
+            }
+            // Distinct threads got distinct ids.
+            assert_ne!(workers[0].thread, workers[1].thread);
+        }
+    }
+}

@@ -180,7 +180,11 @@ impl TraceArena {
             captured += chunk.len() as u64;
             chunks.push(chunk);
         }
-        TraceArena { name, chunks, len: captured }
+        let arena = TraceArena { name, chunks, len: captured };
+        tlc_obs::obs_count!(tlc_obs::Counter::TraceInstructions, arena.len);
+        tlc_obs::obs_count!(tlc_obs::Counter::TraceChunks, arena.chunks.len() as u64);
+        tlc_obs::obs_count!(tlc_obs::Counter::TraceBytesPacked, arena.bytes() as u64);
+        arena
     }
 
     /// The captured source's name (e.g. `"gcc1"`).

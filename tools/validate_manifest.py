@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a tlc-run-manifest/1 document.
+
+Independent (non-Rust) check used by CI after the manifest smoke run:
+verifies field presence, types, and the counter arithmetic invariants
+the instrumentation guarantees. Exits non-zero with a message on the
+first violation.
+
+Usage: validate_manifest.py <manifest.json>
+"""
+
+import json
+import sys
+
+SCHEMA = "tlc-run-manifest/1"
+
+TOP_FIELDS = {
+    "schema": str,
+    "command": str,
+    "benchmark": str,
+    "engine": str,
+    "threads": int,
+    "configs": int,
+    "config_space_hash": str,
+    "wall_s": (int, float),
+    "instrumentation": bool,
+    "counters": list,
+    "spans": list,
+    "events": list,
+}
+
+SPAN_FIELDS = {
+    "name": str,
+    "count": int,
+    "wall_ns": int,
+    "cpu_ns": int,
+    "threads": int,
+    "items": int,
+    "children": list,
+}
+
+
+def fail(msg):
+    print(f"validate_manifest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_span(node, path):
+    for field, ty in SPAN_FIELDS.items():
+        if field not in node:
+            fail(f"span {path}: missing field {field!r}")
+        if not isinstance(node[field], ty):
+            fail(f"span {path}.{field}: expected {ty}, got {type(node[field])}")
+    for child in node["children"]:
+        check_span(child, f"{path}/{child.get('name', '?')}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_manifest.py <manifest.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    for field, ty in TOP_FIELDS.items():
+        if field not in doc:
+            fail(f"missing field {field!r}")
+        if not isinstance(doc[field], ty):
+            fail(f"field {field!r}: expected {ty}, got {type(doc[field])}")
+    if doc["schema"] != SCHEMA:
+        fail(f"schema {doc['schema']!r}, expected {SCHEMA!r}")
+
+    counters = {}
+    for c in doc["counters"]:
+        if not isinstance(c.get("name"), str) or not isinstance(c.get("value"), int):
+            fail(f"malformed counter entry {c!r}")
+        if c["name"] in counters:
+            fail(f"duplicate counter {c['name']!r}")
+        counters[c["name"]] = c["value"]
+
+    for node in doc["spans"]:
+        check_span(node, node.get("name", "?"))
+
+    if not doc["instrumentation"]:
+        # A no-op build legitimately reports all zeros; structure was
+        # the only thing to check.
+        print("validate_manifest: OK (uninstrumented build, structure only)")
+        return
+
+    def counter(name):
+        if name not in counters:
+            fail(f"missing counter {name!r}")
+        return counters[name]
+
+    decoded = counter("filter.events_decoded")
+    l1_hits = counter("filter.l1_hits")
+    l1_misses = counter("filter.l1_misses")
+    if l1_hits + l1_misses != decoded:
+        fail(
+            f"filter.l1_hits ({l1_hits}) + filter.l1_misses ({l1_misses}) "
+            f"!= filter.events_decoded ({decoded})"
+        )
+
+    probes = counter("l2.probes")
+    l2_hits = counter("l2.hits")
+    l2_misses = counter("l2.misses")
+    if l2_hits + l2_misses != probes:
+        fail(f"l2.hits ({l2_hits}) + l2.misses ({l2_misses}) != l2.probes ({probes})")
+
+    if doc["command"] == "sweep":
+        done = counter("runner.configs_completed")
+        if done != doc["configs"]:
+            fail(f"runner.configs_completed ({done}) != configs ({doc['configs']})")
+        if counter("trace.instructions") == 0:
+            fail("instrumented sweep captured no trace instructions")
+
+    print(
+        f"validate_manifest: OK ({doc['command']} {doc['benchmark']}, "
+        f"engine={doc['engine']}, {doc['configs']} configs, "
+        f"{decoded} events decoded, {probes} L2 probes)"
+    )
+
+
+if __name__ == "__main__":
+    main()
