@@ -204,6 +204,40 @@ pub struct MissStream {
 }
 
 impl MissStream {
+    /// Reassembles a stream from previously captured parts — the corpus
+    /// replay path: a deserialized [`EventArena`] plus the sidecar
+    /// metadata a trace file carries. `l1_stats` may be zeroed when only
+    /// the L2-side counters matter (as in corpus divergence checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `l1_size_bytes` and `line_bytes` are powers of two
+    /// with at least one line, and `warmup_events` is within the stream.
+    pub fn from_parts(
+        name: &str,
+        events: EventArena,
+        warmup_events: u64,
+        l1_stats: HierarchyStats,
+        l1_size_bytes: u64,
+        line_bytes: u64,
+    ) -> Self {
+        assert!(
+            l1_size_bytes.is_power_of_two()
+                && line_bytes.is_power_of_two()
+                && l1_size_bytes >= line_bytes,
+            "L1 geometry must be powers of two with at least one line"
+        );
+        assert!(warmup_events <= events.len(), "warm-up boundary outside the stream");
+        MissStream {
+            name: name.to_string(),
+            events,
+            warmup_events,
+            l1_stats,
+            l1_size_bytes,
+            line_bytes,
+        }
+    }
+
     /// The captured workload's name (e.g. `"gcc1"`).
     pub fn name(&self) -> &str {
         &self.name

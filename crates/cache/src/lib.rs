@@ -53,6 +53,7 @@ pub mod filter_family;
 mod hierarchy;
 mod inclusive;
 mod mattson;
+pub mod oracle;
 mod prefetch;
 mod replacement;
 mod single;
@@ -70,7 +71,10 @@ pub use exclusive::ExclusiveTwoLevel;
 pub use filter::{L1FrontEnd, MissStream};
 pub use hierarchy::{InstructionOutcome, MemorySystem, ServiceLevel};
 pub use inclusive::InclusiveTwoLevel;
-pub use mattson::{MissRatioCurve, StackDistanceProfiler};
+pub use mattson::{MissRatioCurve, NestedDmProfiler, StackDistanceProfiler};
+pub use oracle::{
+    lru_misses, naive_replay_conventional, naive_replay_exclusive, naive_replay_single, NaiveSystem,
+};
 pub use prefetch::StreamBufferSystem;
 pub use replacement::{Lfsr16, ReplState};
 pub use single::SingleLevel;

@@ -247,6 +247,125 @@ impl MissRatioCurve {
     }
 }
 
+/// Sentinel for an empty direct-mapped slot in [`NestedDmProfiler`]. A
+/// real line address can never equal it (lines are byte addresses divided
+/// by the line size, so bit 63 is always clear in practice).
+const DM_INVALID: u64 = u64::MAX;
+
+/// Independent nested direct-mapped profiler: one plain tag array per
+/// power-of-two set count, probed individually on every access.
+///
+/// This is the audit oracle for the family engine's direct-mapped fast
+/// path (`DmConventionalFamily` in
+/// [`filter_family`](crate::filter_family)): that engine probes sizes
+/// ascending and stops at the first hit, relying on the inclusion
+/// invariant (demand-filled DM content at size `S` is a subset of content
+/// at `2S`). This profiler does **not** take that shortcut — it probes
+/// every size on every access, counts the smallest hitting size into a
+/// histogram, and *verifies* the inclusion invariant as it goes, so a
+/// violation of the trick's precondition shows up as a counted
+/// discrepancy instead of silently corrupted statistics.
+///
+/// Dirty bits and victim write-backs are out of scope (they are not
+/// inclusive across sizes); the per-access naive hierarchy oracle covers
+/// those.
+#[derive(Debug)]
+pub struct NestedDmProfiler {
+    set_masks: Vec<u64>,
+    tags: Vec<Vec<u64>>,
+    /// `hist[t]`: accesses whose smallest hitting size index is `t`
+    /// (`hist[len]` = resident nowhere).
+    hist: Vec<u64>,
+    accesses: u64,
+    inclusion_violations: u64,
+}
+
+impl NestedDmProfiler {
+    /// Creates a profiler over the given per-size set counts, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_counts` is empty, not strictly ascending, or holds
+    /// a zero or non-power-of-two entry (the nesting argument needs
+    /// prefix-bit indexing).
+    pub fn new(set_counts: &[u64]) -> Self {
+        assert!(!set_counts.is_empty(), "need at least one size");
+        for w in set_counts.windows(2) {
+            assert!(w[0] < w[1], "set counts must be strictly ascending");
+        }
+        for &s in set_counts {
+            assert!(s > 0 && s.is_power_of_two(), "set counts must be powers of two");
+        }
+        NestedDmProfiler {
+            set_masks: set_counts.iter().map(|&s| s - 1).collect(),
+            tags: set_counts.iter().map(|&s| vec![DM_INVALID; s as usize]).collect(),
+            hist: vec![0; set_counts.len() + 1],
+            accesses: 0,
+            inclusion_violations: 0,
+        }
+    }
+
+    /// Records one probe line: probes **every** size, histograms the
+    /// smallest hitting one, checks inclusion, and demand-fills the sizes
+    /// that missed.
+    pub fn record(&mut self, line: u64) {
+        self.accesses += 1;
+        let k = self.set_masks.len();
+        let mut smallest = k;
+        let mut violated = false;
+        for i in 0..k {
+            let hit = self.tags[i][(line & self.set_masks[i]) as usize] == line;
+            if hit && smallest == k {
+                smallest = i;
+            } else if !hit && smallest < k {
+                // A smaller size hit but this larger one missed:
+                // inclusion broken.
+                violated = true;
+            }
+        }
+        if violated {
+            self.inclusion_violations += 1;
+        }
+        self.hist[smallest] += 1;
+        for i in 0..smallest {
+            self.tags[i][(line & self.set_masks[i]) as usize] = line;
+        }
+    }
+
+    /// Clears the histogram at the warm-up boundary (tag arrays persist,
+    /// exactly like a back-end's counter reset).
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.hist.iter_mut().for_each(|h| *h = 0);
+    }
+
+    /// Per-size `(hits, misses)` since the last reset, ascending size
+    /// order: size `i` hits every access whose smallest hitting index is
+    /// `<= i`.
+    pub fn counters(&self) -> Vec<(u64, u64)> {
+        let mut hits = 0u64;
+        (0..self.set_masks.len())
+            .map(|i| {
+                hits += self.hist[i];
+                (hits, self.accesses - hits)
+            })
+            .collect()
+    }
+
+    /// Accesses recorded since the last reset.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses (lifetime) on which a smaller size hit while a larger one
+    /// missed. Always zero for demand-filled nested power-of-two DM
+    /// arrays — a nonzero count falsifies the family fast path's
+    /// precondition.
+    pub fn inclusion_violations(&self) -> u64 {
+        self.inclusion_violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +528,120 @@ mod tests {
     fn rejects_non_pow2_capacity() {
         let p = StackDistanceProfiler::new();
         let _ = p.misses_at_capacity(3);
+    }
+
+    #[test]
+    fn at_out_of_range_semantics_on_empty_and_single_point_curves() {
+        // Degenerate curves pin the binary-search edges: an empty curve
+        // resolves nothing; a one-point curve resolves exactly its point.
+        let empty = MissRatioCurve { points: Vec::new(), accesses: 0 };
+        assert_eq!(empty.at(0), None);
+        assert_eq!(empty.at(1), None);
+        assert_eq!(empty.at(u64::MAX), None);
+
+        let mut p = StackDistanceProfiler::new();
+        p.record(line(7));
+        let one = p.curve(1);
+        assert_eq!(one.points.len(), 1);
+        assert_eq!(one.at(1), Some(1.0), "single cold miss at the exact boundary");
+        assert_eq!(one.at(0), None, "below the smallest profiled capacity");
+        assert_eq!(one.at(2), None, "above the largest profiled capacity");
+    }
+
+    #[test]
+    fn nested_dm_profiler_counts_smallest_hitting_size() {
+        // 2-set and 8-set DM arrays over lines 0..4: the 8-set array
+        // holds all four after the cold pass, the 2-set array thrashes
+        // (0/2 conflict, 1/3 conflict).
+        let mut p = NestedDmProfiler::new(&[2, 8]);
+        for round in 0..3 {
+            for l in 0u64..4 {
+                p.record(l);
+            }
+            let _ = round;
+        }
+        assert_eq!(p.accesses(), 12);
+        assert_eq!(p.inclusion_violations(), 0);
+        let c = p.counters();
+        // Small size: 0 evicts 2 and vice versa (same for 1/3) — after
+        // the cold pass every probe still misses at 2 sets.
+        assert_eq!(c[0], (0, 12));
+        // Large size: 4 cold misses, everything else hits.
+        assert_eq!(c[1], (8, 4));
+    }
+
+    #[test]
+    fn nested_dm_profiler_reset_keeps_contents() {
+        let mut p = NestedDmProfiler::new(&[4]);
+        for l in 0u64..4 {
+            p.record(l);
+        }
+        p.reset_counters();
+        for l in 0u64..4 {
+            p.record(l);
+        }
+        assert_eq!(p.counters()[0], (4, 0), "warmed array hits everything after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn nested_dm_profiler_rejects_unsorted_sizes() {
+        let _ = NestedDmProfiler::new(&[8, 2]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// `at` resolves exactly the profiled power-of-two capacities
+            /// — nothing below, above, or between them — and the curve it
+            /// reads from is monotone non-increasing in capacity.
+            #[test]
+            fn at_resolves_profiled_points_only_and_curve_is_monotone(
+                lines in prop::collection::vec(0u64..200, 1..300),
+                max_pow in 0u32..11,
+            ) {
+                let mut p = StackDistanceProfiler::new();
+                for &l in &lines {
+                    p.record(LineAddr(l));
+                }
+                let max = 1u64 << max_pow;
+                let curve = p.curve(max);
+                let mut prev = f64::INFINITY;
+                for &(c, m) in &curve.points {
+                    prop_assert_eq!(curve.at(c), Some(m), "exact boundary lookup");
+                    prop_assert!(m <= prev + 1e-12, "miss ratio rose at {c}: {m} > {prev}");
+                    prev = m;
+                }
+                prop_assert_eq!(curve.at(0), None, "below the smallest capacity");
+                prop_assert_eq!(curve.at(max * 2), None, "above the largest capacity");
+                if max >= 4 {
+                    prop_assert_eq!(curve.at(3), None, "between profiled powers of two");
+                }
+            }
+
+            /// The nested DM profiler never observes an inclusion
+            /// violation and its per-size hit counts are monotone in size.
+            #[test]
+            fn nested_dm_inclusion_holds_and_hits_are_monotone(
+                lines in prop::collection::vec(0u64..512, 1..400),
+            ) {
+                let mut p = NestedDmProfiler::new(&[2, 8, 32, 128]);
+                for &l in &lines {
+                    p.record(l);
+                }
+                prop_assert_eq!(p.inclusion_violations(), 0);
+                let c = p.counters();
+                for w in c.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "hits shrank with size: {:?}", c);
+                }
+                for &(h, m) in &c {
+                    prop_assert_eq!(h + m, lines.len() as u64);
+                }
+            }
+        }
     }
 }

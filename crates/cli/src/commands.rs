@@ -5,6 +5,7 @@ use crate::args::{ArgError, ArgMap};
 use std::fmt::Write as _;
 use tlc_area::{AreaModel, CacheGeometry, CellKind};
 use tlc_cache::StackDistanceProfiler;
+use tlc_core::audit::{run_audit, AuditOptions};
 use tlc_core::configspace::{full_space, SpaceOptions};
 use tlc_core::experiment::capture_benchmark;
 use tlc_core::experiment::{simulate_source, SimBudget};
@@ -44,6 +45,9 @@ pub fn usage() -> String {
      \u{20}            <spec.json> [--l1 8 --l2 64 ...] [--instr N]\n\
      \u{20} compare    every organisation side by side on one workload\n\
      \u{20}            --workload gcc1 [--l1 4] [--l2 32] [--instr N]\n\
+     \u{20} audit      differential fuzz of every engine against the naive oracle\n\
+     \u{20}            [--seconds N] [--seed S] [--cases N] [--corpus DIR] [--json out.json]\n\
+     \u{20}            exits non-zero on any divergence; shrunk witnesses land in DIR\n\
      \u{20} list       list built-in workloads\n"
         .to_string()
 }
@@ -438,6 +442,71 @@ pub fn cmd_list() -> String {
     out
 }
 
+/// `tlc audit` — randomized differential audit of every replay engine
+/// against the naive per-access reference oracle.
+pub fn cmd_audit(args: &ArgMap) -> Result<String, ArgError> {
+    let defaults = AuditOptions::default();
+    // Seeds are echoed back in hex (`rerun with --seed 0x…`), so accept
+    // both decimal and 0x-prefixed hex on the way in.
+    let seed = match args.get("seed") {
+        None => defaults.seed,
+        Some(s) => {
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.map_err(|e| ArgError(format!("--seed: cannot parse {s:?}: {e}")))?
+        }
+    };
+    let opts = AuditOptions {
+        seed,
+        seconds: args.get_or("seconds", defaults.seconds)?,
+        min_cases: args.get_or("cases", defaults.min_cases)?,
+        corpus_dir: args.get("corpus").map(std::path::PathBuf::from),
+        ..defaults
+    };
+    let report = run_audit(&opts);
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "audit: seed {:#018x}, {} cases in {:.1}s across {}",
+        report.seed,
+        report.cases,
+        report.elapsed_seconds,
+        report.engines.join("/")
+    );
+    for c in &report.checks {
+        let _ =
+            writeln!(out, "  {:<32} {:>7} runs  {:>4} divergences", c.name, c.runs, c.divergences);
+    }
+    if report.is_clean() {
+        out.push_str("clean: every engine agreed with the oracle on every case.\n");
+        Ok(out)
+    } else {
+        for d in &report.divergences {
+            let _ = writeln!(
+                out,
+                "DIVERGENCE case {} [{}] {} on {}: {}{}",
+                d.case_index,
+                d.check,
+                d.config,
+                d.workload,
+                d.detail,
+                d.corpus_entry.as_deref().map(|s| format!(" (corpus: {s})")).unwrap_or_default()
+            );
+        }
+        Err(ArgError(format!(
+            "{out}audit found {} divergence(s); rerun with --seed {:#x} to reproduce",
+            report.divergences.len(),
+            report.seed
+        )))
+    }
+}
+
 /// Dispatches a full command line (without argv\[0\]).
 pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
     let flags = ["csv", "dual", "detailed", "quick", "progress"];
@@ -450,6 +519,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
         "timing" => cmd_timing(&args),
         "workload" => cmd_workload(&args),
         "compare" => cmd_compare(&args),
+        "audit" => cmd_audit(&args),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
@@ -475,6 +545,32 @@ mod tests {
         for b in SpecBenchmark::ALL {
             assert!(l.contains(b.name()));
         }
+    }
+
+    #[test]
+    fn audit_small_run_is_clean_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("tlc-audit-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let json = dir.join("audit.json");
+        let out = run(&[
+            "audit",
+            "--cases",
+            "6",
+            "--seed",
+            "11",
+            "--json",
+            json.to_str().expect("utf-8 path"),
+        ])
+        .expect("audit");
+        assert!(out.contains("clean"));
+        assert!(out.contains("streaming/dyn/arena/filtered/family"));
+        let doc: tlc_core::audit::AuditReport =
+            serde_json::from_str(&std::fs::read_to_string(&json).expect("json written"))
+                .expect("valid report json");
+        assert_eq!(doc.schema, "tlc-audit-report/1");
+        assert_eq!(doc.seed, 11);
+        assert!(doc.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

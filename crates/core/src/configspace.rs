@@ -104,8 +104,12 @@ pub fn unique_configs(configs: &[MachineConfig]) -> (Vec<MachineConfig>, Vec<usi
     let mut unique: Vec<MachineConfig> = Vec::new();
     let mut occurrence = Vec::with_capacity(configs.len());
     for cfg in configs {
-        let key: Key =
-            (cfg.l1_size_bytes, cfg.l1_cell, cfg.l2, cfg.offchip_ns.to_bits(), cfg.line_bytes);
+        // Exhaustive destructuring: adding a `MachineConfig` field breaks
+        // this binding at compile time, forcing the key to be extended —
+        // a hand-picked field tuple would silently alias distinct
+        // configurations instead.
+        let MachineConfig { l1_size_bytes, l1_cell, l2, offchip_ns, line_bytes } = *cfg;
+        let key: Key = (l1_size_bytes, l1_cell, l2, offchip_ns.to_bits(), line_bytes);
         let u = *seen.entry(key).or_insert_with(|| {
             unique.push(*cfg);
             unique.len() - 1
@@ -174,6 +178,29 @@ mod tests {
         let (unique, _) = unique_configs(&both);
         let singles = single_level_configs(&SpaceOptions::baseline()).len();
         assert_eq!(unique.len(), both.len() - singles, "only the single-level leg overlaps");
+    }
+
+    #[test]
+    fn unique_configs_distinguishes_every_field() {
+        // Regression for the hand-picked key tuple: each variant differs
+        // from the base in exactly one `MachineConfig` field, so none may
+        // alias under dedup.
+        let base = MachineConfig::two_level(4, 64, 4, L2Policy::Conventional, 50.0);
+        let variants = [
+            MachineConfig { l1_size_bytes: 8 * 1024, ..base },
+            MachineConfig { l1_cell: CellKind::DualPorted, ..base },
+            MachineConfig {
+                l2: Some(L2Spec { policy: L2Policy::Exclusive, ..base.l2.unwrap() }),
+                ..base
+            },
+            MachineConfig { offchip_ns: 51.0, ..base },
+            MachineConfig { line_bytes: 32, ..base },
+        ];
+        let mut all = vec![base];
+        all.extend(variants);
+        let (unique, occurrence) = unique_configs(&all);
+        assert_eq!(unique.len(), all.len(), "a one-field change must defeat dedup");
+        assert_eq!(occurrence, (0..all.len()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -74,6 +74,69 @@ pub struct DesignPoint {
     pub stats: HierarchyStats,
 }
 
+/// Validated L1 cache configuration of a machine (direct-mapped, the
+/// paper's pseudo-random fill), as a typed error instead of a panic —
+/// the audit's config sampler probes geometry edges (degenerate sizes,
+/// lines larger than the cache) that enumeration never produces.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`](tlc_cache::ConfigError) describing the
+/// invalid geometry.
+pub fn l1_config(cfg: &MachineConfig) -> Result<tlc_cache::CacheConfig, tlc_cache::ConfigError> {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    CacheConfig::new(
+        cfg.l1_size_bytes,
+        cfg.line_bytes,
+        Associativity::Direct,
+        ReplacementKind::PseudoRandom,
+    )
+}
+
+/// Validated L2 cache configuration of a machine (`None` when
+/// single-level), with the same typed-error contract as [`l1_config`].
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`](tlc_cache::ConfigError) describing the
+/// invalid geometry.
+pub fn l2_config(
+    cfg: &MachineConfig,
+) -> Result<Option<tlc_cache::CacheConfig>, tlc_cache::ConfigError> {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    match cfg.l2 {
+        None => Ok(None),
+        Some(spec) => {
+            let assoc = if spec.ways == 1 {
+                Associativity::Direct
+            } else {
+                Associativity::SetAssoc(spec.ways)
+            };
+            CacheConfig::new(spec.size_bytes, cfg.line_bytes, assoc, ReplacementKind::PseudoRandom)
+                .map(Some)
+        }
+    }
+}
+
+/// As [`build_system_kind`], returning the configuration error instead
+/// of panicking — the entry point for callers that sample the config
+/// space's edges (notably `tlc audit`).
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`](tlc_cache::ConfigError) of the first
+/// invalid level.
+pub fn try_build_system_kind(cfg: &MachineConfig) -> Result<SystemKind, tlc_cache::ConfigError> {
+    let l1 = l1_config(cfg)?;
+    Ok(match l2_config(cfg)? {
+        None => SystemKind::single(l1),
+        Some(l2) => match cfg.l2.expect("l2_config returned Some").policy {
+            L2Policy::Conventional => SystemKind::conventional(l1, l2),
+            L2Policy::Exclusive => SystemKind::exclusive(l1, l2),
+        },
+    })
+}
+
 /// Builds the simulated memory system for a configuration as the
 /// closed-set [`SystemKind`] enum (the sweep fast path: `match` dispatch
 /// instead of a vtable in the per-instruction loop).
@@ -81,37 +144,10 @@ pub struct DesignPoint {
 /// # Panics
 ///
 /// Panics if the configuration's sizes are invalid (not powers of two,
-/// etc.) — configuration enumeration only produces valid ones.
+/// etc.) — configuration enumeration only produces valid ones. Callers
+/// that sample arbitrary geometries use [`try_build_system_kind`].
 pub fn build_system_kind(cfg: &MachineConfig) -> SystemKind {
-    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
-    let l1 = CacheConfig::new(
-        cfg.l1_size_bytes,
-        cfg.line_bytes,
-        Associativity::Direct,
-        ReplacementKind::PseudoRandom,
-    )
-    .expect("valid L1 configuration");
-    match cfg.l2 {
-        None => SystemKind::single(l1),
-        Some(spec) => {
-            let assoc = if spec.ways == 1 {
-                Associativity::Direct
-            } else {
-                Associativity::SetAssoc(spec.ways)
-            };
-            let l2 = CacheConfig::new(
-                spec.size_bytes,
-                cfg.line_bytes,
-                assoc,
-                ReplacementKind::PseudoRandom,
-            )
-            .expect("valid L2 configuration");
-            match spec.policy {
-                L2Policy::Conventional => SystemKind::conventional(l1, l2),
-                L2Policy::Exclusive => SystemKind::exclusive(l1, l2),
-            }
-        }
-    }
+    try_build_system_kind(cfg).expect("valid L1/L2 configuration")
 }
 
 /// Builds the simulated memory system for a configuration behind the
@@ -167,9 +203,23 @@ pub fn simulate_source<S: InstructionSource + ?Sized>(
     budget: SimBudget,
 ) -> HierarchyStats {
     let mut sys = build_system_kind(cfg);
-    drive(&mut sys, source, budget.warmup_instructions);
+    simulate_source_on(&mut sys, source, budget)
+}
+
+/// The warm-up/measure protocol of [`simulate_source`] on an externally
+/// built system: drive up to `budget.warmup_instructions`, reset
+/// statistics, drive up to `budget.instructions`, return the measured
+/// counters. This is how alternative [`MemorySystem`] implementations —
+/// the audit's naive reference oracle in particular — are run under the
+/// exact contract the engines share.
+pub fn simulate_source_on<S: InstructionSource + ?Sized, M: MemorySystem + ?Sized>(
+    sys: &mut M,
+    source: &mut S,
+    budget: SimBudget,
+) -> HierarchyStats {
+    drive(sys, source, budget.warmup_instructions);
     sys.reset_stats();
-    drive(&mut sys, source, budget.instructions);
+    drive(sys, source, budget.instructions);
     *sys.stats()
 }
 
@@ -303,14 +353,31 @@ pub fn capture_miss_stream(
     budget: SimBudget,
     byte_limit: usize,
 ) -> Option<MissStream> {
+    try_capture_miss_stream(l1_size_bytes, line_bytes, arena, budget, byte_limit)
+        .expect("valid L1 configuration")
+}
+
+/// As [`capture_miss_stream`], returning the configuration error instead
+/// of panicking on an invalid L1 geometry (the audit sampler's path).
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`](tlc_cache::ConfigError) describing the
+/// invalid L1 geometry.
+pub fn try_capture_miss_stream(
+    l1_size_bytes: u64,
+    line_bytes: u64,
+    arena: &TraceArena,
+    budget: SimBudget,
+    byte_limit: usize,
+) -> Result<Option<MissStream>, tlc_cache::ConfigError> {
     use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
     let l1 = CacheConfig::new(
         l1_size_bytes,
         line_bytes,
         Associativity::Direct,
         ReplacementKind::PseudoRandom,
-    )
-    .expect("valid L1 configuration");
+    )?;
     let mut fe = L1FrontEnd::new(l1);
     let warm = budget.warmup_instructions;
     let total = warm.saturating_add(budget.instructions);
@@ -320,7 +387,7 @@ pub fn capture_miss_stream(
             break;
         }
         if fe.event_bytes() > byte_limit {
-            return None;
+            return Ok(None);
         }
         let take = (chunk.len() as u64).min(total - pos);
         if pos >= warm {
@@ -342,9 +409,9 @@ pub fn capture_miss_stream(
         fe.reset_stats();
     }
     if fe.event_bytes() > byte_limit {
-        return None;
+        return Ok(None);
     }
-    Some(fe.finish(arena.name()))
+    Ok(Some(fe.finish(arena.name())))
 }
 
 /// As [`simulate_arena`], replaying a captured [`MissStream`] through the
@@ -357,30 +424,35 @@ pub fn capture_miss_stream(
 /// Panics if `cfg`'s L1 size or line size differs from the stream's (the
 /// stream encodes one specific L1 front-end).
 pub fn simulate_filtered(cfg: &MachineConfig, stream: &MissStream) -> HierarchyStats {
-    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    try_simulate_filtered(cfg, stream).expect("valid L2 configuration")
+}
+
+/// As [`simulate_filtered`], returning the configuration error instead
+/// of panicking on an invalid L2 geometry (the audit sampler's path).
+/// The L1/line mismatch panics remain — those are contract violations,
+/// not sampleable geometry.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`](tlc_cache::ConfigError) describing the
+/// invalid L2 geometry.
+///
+/// # Panics
+///
+/// Panics if `cfg`'s L1 size or line size differs from the stream's.
+pub fn try_simulate_filtered(
+    cfg: &MachineConfig,
+    stream: &MissStream,
+) -> Result<HierarchyStats, tlc_cache::ConfigError> {
     assert_eq!(cfg.l1_size_bytes, stream.l1_size_bytes(), "stream captured for a different L1");
     assert_eq!(cfg.line_bytes, stream.line_bytes(), "stream captured for a different line size");
-    match cfg.l2 {
+    Ok(match l2_config(cfg)? {
         None => replay_single(stream),
-        Some(spec) => {
-            let assoc = if spec.ways == 1 {
-                Associativity::Direct
-            } else {
-                Associativity::SetAssoc(spec.ways)
-            };
-            let l2 = CacheConfig::new(
-                spec.size_bytes,
-                cfg.line_bytes,
-                assoc,
-                ReplacementKind::PseudoRandom,
-            )
-            .expect("valid L2 configuration");
-            match spec.policy {
-                L2Policy::Conventional => replay_conventional(l2, stream),
-                L2Policy::Exclusive => replay_exclusive(l2, stream),
-            }
-        }
-    }
+        Some(l2) => match cfg.l2.expect("l2_config returned Some").policy {
+            L2Policy::Conventional => replay_conventional(l2, stream),
+            L2Policy::Exclusive => replay_exclusive(l2, stream),
+        },
+    })
 }
 
 /// As [`evaluate_arena`], through the miss-stream filtering engine

@@ -691,7 +691,12 @@ where
                         Ok(p) => mine.push((i, p)),
                         Err(e) => {
                             stop.store(true, Ordering::Relaxed);
-                            first_error.lock().unwrap().get_or_insert(e);
+                            // A poisoned lock only means another worker
+                            // panicked mid-record; the Option inside is
+                            // still usable, and panicking here would turn
+                            // the structured SweepError contract of the
+                            // try_* entry points back into a panic.
+                            first_error.lock().unwrap_or_else(|e| e.into_inner()).get_or_insert(e);
                             break;
                         }
                     }
@@ -708,7 +713,7 @@ where
         }
     });
 
-    if let Some(e) = first_error.lock().unwrap().take() {
+    if let Some(e) = first_error.lock().unwrap_or_else(|e| e.into_inner()).take() {
         return Err(e);
     }
     Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
@@ -953,6 +958,45 @@ mod tests {
         assert!(arena_bytes_for(b) < ARENA_BYTES_LIMIT, "standard budget uses the arena path");
         let huge = b.scaled(1000.0);
         assert!(arena_bytes_for(huge) > ARENA_BYTES_LIMIT, "1000x budget streams instead");
+    }
+
+    #[test]
+    fn panicking_worker_yields_structured_error_not_panic() {
+        // Regression for the poisoned-mutex path: a panicking evaluation
+        // must surface as a SweepError through the try_* contract, never
+        // re-panic inside the runner — on the multi-threaded path (where
+        // racing workers may find the first_error lock poisoned) and on
+        // the inline single-threaded path alike.
+        for threads in [1, 4] {
+            let r = try_run_indexed(
+                8,
+                threads,
+                |i| {
+                    if i >= 2 {
+                        panic!("injected failure at unit {i}");
+                    }
+                    i
+                },
+                |i| SweepUnit::Config { index: i, label: format!("unit-{i}") },
+            );
+            let e = r.expect_err("a panicking worker must produce Err, not a panic");
+            assert!(e.payload.contains("injected failure"), "payload: {}", e.payload);
+            assert!(matches!(e.unit, SweepUnit::Config { index, .. } if index >= 2));
+        }
+    }
+
+    #[test]
+    fn panicking_worker_under_every_thread_returns_first_claimed_error() {
+        // All units panic: every worker races to record an error; the
+        // runner must still return exactly one structured error.
+        let r = try_run_indexed(
+            16,
+            8,
+            |i| -> usize { panic!("boom {i}") },
+            |i| SweepUnit::Config { index: i, label: String::new() },
+        );
+        let e = r.expect_err("expected structured error");
+        assert!(e.payload.contains("boom"));
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub const BINARY_MAGIC: &[u8; 8] = b"TLCTRC01";
 /// Magic bytes identifying an instruction-record trace stream.
 pub const INSTR_MAGIC: &[u8; 8] = b"TLCITR01";
 
+/// Magic bytes identifying a miss-event trace stream (a serialized
+/// [`EventArena`](crate::EventArena), as archived by the audit corpus).
+pub const EVENT_MAGIC: &[u8; 8] = b"TLCEVT01";
+
 /// Writes references to a binary trace stream.
 ///
 /// The header is written on construction; call [`BinaryTraceWriter::write`]
@@ -274,6 +278,126 @@ pub fn read_instruction_trace<R: Read>(mut input: R) -> io::Result<Vec<crate::In
     Ok(out)
 }
 
+/// Writes an [`EventArena`](crate::EventArena) miss/victim stream: the
+/// [`EVENT_MAGIC`] header, an event count (LE u64), then per event one
+/// flags byte (the [`MissEvent::flags`](crate::MissEvent::flags)
+/// encoding), the line address (LE u64), and the victim line (LE u64;
+/// zero when the flags carry no victim) — a fixed 17 bytes per event,
+/// mirroring the arena's resident layout.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::io::{read_event_trace, write_event_trace};
+/// use tlc_trace::{AccessKind, EventArena, LineAddr, MissEvent, VictimLine};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut arena = EventArena::new();
+/// arena.push(MissEvent {
+///     kind: AccessKind::Store,
+///     line: LineAddr(7),
+///     victim: Some(VictimLine { line: LineAddr(3), written: true }),
+/// });
+/// let mut buf = Vec::new();
+/// write_event_trace(&mut buf, &arena)?;
+/// let back = read_event_trace(&buf[..])?;
+/// assert_eq!(back.iter().collect::<Vec<_>>(), arena.iter().collect::<Vec<_>>());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_event_trace<W: Write>(mut out: W, events: &crate::EventArena) -> io::Result<()> {
+    out.write_all(EVENT_MAGIC)?;
+    out.write_all(&events.len().to_le_bytes())?;
+    for chunk in events.chunks() {
+        for i in 0..chunk.len() {
+            out.write_all(&[chunk.flags[i]])?;
+            out.write_all(&chunk.line[i].to_le_bytes())?;
+            out.write_all(&chunk.victim[i].to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+/// Parses a stream produced by [`write_event_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, unknown flag bits, a non-zero
+/// victim word without the victim flag, or a truncated stream, and
+/// propagates I/O errors.
+pub fn read_event_trace<R: Read>(mut input: R) -> io::Result<crate::EventArena> {
+    use crate::events::{
+        EVENT_HAS_VICTIM, EVENT_KIND_MASK, EVENT_KIND_STORE, EVENT_VICTIM_WRITTEN,
+    };
+    use crate::{LineAddr, MissEvent, VictimLine};
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != EVENT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad event-trace magic"));
+    }
+    let mut count = [0u8; 8];
+    input.read_exact(&mut count)?;
+    let count = u64::from_le_bytes(count);
+    let mut arena = crate::EventArena::new();
+    let mut rec = [0u8; 17];
+    for i in 0..count {
+        input.read_exact(&mut rec).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("event trace truncated at record {i} of {count}"),
+                )
+            } else {
+                e
+            }
+        })?;
+        let flags = rec[0];
+        let known = EVENT_KIND_MASK | EVENT_HAS_VICTIM | EVENT_VICTIM_WRITTEN;
+        if flags & !known != 0 || flags & EVENT_KIND_MASK > EVENT_KIND_STORE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown event flags {flags:#04x} at record {i}"),
+            ));
+        }
+        let line = u64::from_le_bytes(rec[1..9].try_into().expect("slice of 8"));
+        let victim_word = u64::from_le_bytes(rec[9..17].try_into().expect("slice of 8"));
+        let victim = if flags & EVENT_HAS_VICTIM != 0 {
+            Some(VictimLine {
+                line: LineAddr(victim_word),
+                written: flags & EVENT_VICTIM_WRITTEN != 0,
+            })
+        } else {
+            if victim_word != 0 || flags & EVENT_VICTIM_WRITTEN != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("victim payload without victim flag at record {i}"),
+                ));
+            }
+            None
+        };
+        let kind = match flags & EVENT_KIND_MASK {
+            0 => AccessKind::InstrFetch,
+            1 => AccessKind::Load,
+            _ => AccessKind::Store,
+        };
+        arena.push(MissEvent { kind, line: LineAddr(line), victim });
+    }
+    // The count header is authoritative; trailing bytes mean the stream
+    // was not produced by `write_event_trace`.
+    let mut trailing = [0u8; 1];
+    match input.read_exact(&mut trailing) {
+        Ok(()) => {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes after event trace"))
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(arena),
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +498,68 @@ mod tests {
         write_instruction_trace(&mut buf, &recs).unwrap();
         buf.truncate(buf.len() - 3); // chop the data address
         assert!(read_instruction_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn event_trace_roundtrip_across_chunk_boundary() {
+        use crate::{EventArena, LineAddr, MissEvent, VictimLine};
+        let mut arena = EventArena::with_chunk_len(8);
+        for i in 0..37u64 {
+            arena.push(MissEvent {
+                kind: match i % 3 {
+                    0 => AccessKind::InstrFetch,
+                    1 => AccessKind::Load,
+                    _ => AccessKind::Store,
+                },
+                line: LineAddr(i * 31),
+                victim: (i % 4 == 1)
+                    .then(|| VictimLine { line: LineAddr(i + 1000), written: i % 8 == 1 }),
+            });
+        }
+        let mut buf = Vec::new();
+        write_event_trace(&mut buf, &arena).unwrap();
+        assert_eq!(buf.len(), 8 + 8 + 37 * 17);
+        let back = read_event_trace(&buf[..]).unwrap();
+        assert_eq!(back.iter().collect::<Vec<_>>(), arena.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_trace_rejects_bad_magic_flags_truncation_and_trailing() {
+        use crate::{EventArena, LineAddr, MissEvent};
+        assert!(read_event_trace(&b"WRONGMAG"[..]).is_err());
+
+        let mut arena = EventArena::new();
+        arena.push(MissEvent { kind: AccessKind::Load, line: LineAddr(5), victim: None });
+        let mut buf = Vec::new();
+        write_event_trace(&mut buf, &arena).unwrap();
+
+        let mut bad_flags = buf.clone();
+        bad_flags[16] = 0b0001_0000; // unknown flag bit
+        assert!(read_event_trace(&bad_flags[..]).is_err());
+        bad_flags[16] = 0b0000_0011; // kind 3 does not exist
+        assert!(read_event_trace(&bad_flags[..]).is_err());
+        bad_flags[16] = EVENT_MAGIC[0]; // arbitrary garbage
+        assert!(read_event_trace(&bad_flags[..]).is_err());
+
+        let mut orphan_victim = buf.clone();
+        orphan_victim[25] = 9; // non-zero victim word without the victim flag
+        assert!(read_event_trace(&orphan_victim[..]).is_err());
+
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() - 4);
+        assert!(read_event_trace(&truncated[..]).is_err());
+
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert!(read_event_trace(&trailing[..]).is_err());
+    }
+
+    #[test]
+    fn empty_event_trace_roundtrip() {
+        use crate::EventArena;
+        let mut buf = Vec::new();
+        write_event_trace(&mut buf, &EventArena::new()).unwrap();
+        assert!(read_event_trace(&buf[..]).unwrap().is_empty());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod events;
 pub mod gen;
 pub mod io;
 mod record;
+pub mod shrink;
 mod source;
 pub mod spec;
 pub mod specfile;

@@ -1,0 +1,150 @@
+//! Deterministic delta-debugging minimization for failing traces.
+//!
+//! When the differential audit finds a divergence, the raw witness is a
+//! capture of tens of thousands of events — useless as a regression
+//! artifact. [`ddmin`] reduces it to a locally-minimal subsequence that
+//! still fails, using Zeller & Hildebrandt's *ddmin* algorithm
+//! ("Simplifying and Isolating Failure-Inducing Input", TSE 2002). The
+//! procedure is fully deterministic: chunk boundaries depend only on the
+//! current length and granularity, candidates are tried in a fixed
+//! order, and the first failing candidate wins each round — so re-running
+//! the shrinker on the same input with the same predicate reproduces the
+//! same minimal trace byte-for-byte, which is what makes committed corpus
+//! entries reviewable.
+
+/// Minimizes `items` to a subsequence on which `fails` still returns
+/// `true`, preserving the original relative order.
+///
+/// `fails` must return `true` on the full input (debug-asserted); the
+/// result is *1-minimal*: removing any single remaining element makes the
+/// predicate pass. The predicate is treated as pure — it is re-invoked
+/// freely on candidate subsets.
+///
+/// Complexity is the classic ddmin worst case, O(n²) predicate calls;
+/// audit witnesses (≤ a few 10⁵ events with cheap replay predicates)
+/// minimize in well under a second.
+///
+/// # Examples
+///
+/// ```
+/// use tlc_trace::shrink::ddmin;
+///
+/// // "Fails" whenever both 3 and 7 survive, in order.
+/// let input: Vec<u32> = (0..100).collect();
+/// let min = ddmin(&input, |c| {
+///     let a = c.iter().position(|&x| x == 3);
+///     let b = c.iter().position(|&x| x == 7);
+///     matches!((a, b), (Some(i), Some(j)) if i < j)
+/// });
+/// assert_eq!(min, vec![3, 7]);
+/// ```
+pub fn ddmin<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    debug_assert!(fails(&current), "ddmin requires a failing input");
+    if current.len() <= 1 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let bounds: Vec<(usize, usize)> = (0..current.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(current.len())))
+            .collect();
+
+        // Reduce to a single subset: a failing chunk becomes the whole
+        // input at granularity 2.
+        let mut reduced = false;
+        for &(s, e) in &bounds {
+            let candidate = &current[s..e];
+            if candidate.len() < current.len() && fails(candidate) {
+                current = candidate.to_vec();
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Reduce to a complement: drop one chunk, keep the rest.
+        if bounds.len() > 2 {
+            for &(s, e) in &bounds {
+                let mut candidate = Vec::with_capacity(current.len() - (e - s));
+                candidate.extend_from_slice(&current[..s]);
+                candidate.extend_from_slice(&current[e..]);
+                if fails(&candidate) {
+                    current = candidate;
+                    granularity = (granularity - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Refine granularity, or stop at single-element chunks.
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_culprit() {
+        let input: Vec<u32> = (0..1000).collect();
+        let min = ddmin(&input, |c| c.contains(&617));
+        assert_eq!(min, vec![617]);
+    }
+
+    #[test]
+    fn keeps_interacting_pair_in_order() {
+        let input: Vec<u32> = (0..256).collect();
+        let min = ddmin(&input, |c| {
+            let a = c.iter().position(|&x| x == 10);
+            let b = c.iter().position(|&x| x == 200);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(min, vec![10, 200]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Fails when the subset sums to at least 20.
+        let input = vec![9u32, 1, 1, 9, 1, 1, 9, 1, 1, 9];
+        let fails = |c: &[u32]| c.iter().sum::<u32>() >= 20;
+        let min = ddmin(&input, fails);
+        assert!(fails(&min));
+        for i in 0..min.len() {
+            let mut sub = min.clone();
+            sub.remove(i);
+            assert!(!fails(&sub), "dropping index {i} of {min:?} should pass");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let input: Vec<u32> = (0..500).map(|i| i * 7 % 501).collect();
+        let fails = |c: &[u32]| c.iter().filter(|&&x| x % 13 == 0).count() >= 3;
+        let a = ddmin(&input, fails);
+        let b = ddmin(&input, fails);
+        assert_eq!(a, b);
+        assert!(fails(&a));
+    }
+
+    #[test]
+    fn trivial_inputs_pass_through() {
+        assert_eq!(ddmin(&[42u8], |c| !c.is_empty()), vec![42]);
+        let empty: Vec<u8> = vec![];
+        assert_eq!(ddmin(&empty, |_| true), empty);
+    }
+}

@@ -1,18 +1,32 @@
 #!/usr/bin/env python3
-"""Validate a tlc-run-manifest/1 document.
+"""Validate a tlc JSON report document.
 
-Independent (non-Rust) check used by CI after the manifest smoke run:
-verifies field presence, types, and the counter arithmetic invariants
-the instrumentation guarantees. Exits non-zero with a message on the
-first violation.
+Independent (non-Rust) check used by CI after the manifest and audit
+smoke runs: verifies field presence, types, and the arithmetic
+invariants the producer guarantees. Dispatches on the document's
+``schema`` field — ``tlc-run-manifest/1`` (sweep instrumentation
+manifests) and ``tlc-audit-report/1`` (differential-audit reports) are
+understood. Exits non-zero with a message on the first violation.
 
-Usage: validate_manifest.py <manifest.json>
+Usage: validate_manifest.py <report.json>
 """
 
 import json
 import sys
 
 SCHEMA = "tlc-run-manifest/1"
+AUDIT_SCHEMA = "tlc-audit-report/1"
+
+AUDIT_FIELDS = {
+    "schema": str,
+    "seed": int,
+    "requested_seconds": (int, float),
+    "elapsed_seconds": (int, float),
+    "cases": int,
+    "engines": list,
+    "checks": list,
+    "divergences": list,
+}
 
 TOP_FIELDS = {
     "schema": str,
@@ -55,11 +69,63 @@ def check_span(node, path):
         check_span(child, f"{path}/{child.get('name', '?')}")
 
 
+def check_audit_report(doc):
+    for field, ty in AUDIT_FIELDS.items():
+        if field not in doc:
+            fail(f"missing field {field!r}")
+        if not isinstance(doc[field], ty):
+            fail(f"field {field!r}: expected {ty}, got {type(doc[field])}")
+    if doc["cases"] < 1:
+        fail("audit ran zero cases")
+    if doc["elapsed_seconds"] < 0:
+        fail("negative elapsed_seconds")
+    engines = doc["engines"]
+    if sorted(engines) != sorted(["streaming", "dyn", "arena", "filtered", "family"]):
+        fail(f"unexpected engine list {engines!r}")
+
+    total_div = 0
+    names = set()
+    for c in doc["checks"]:
+        name = c.get("name")
+        if not isinstance(name, str):
+            fail(f"malformed check entry {c!r}")
+        if name in names:
+            fail(f"duplicate check {name!r}")
+        names.add(name)
+        runs, div = c.get("runs"), c.get("divergences")
+        if not isinstance(runs, int) or not isinstance(div, int):
+            fail(f"check {name!r}: runs/divergences must be integers")
+        if div > runs:
+            fail(f"check {name!r}: {div} divergences out of {runs} runs")
+        total_div += div
+    if total_div != len(doc["divergences"]):
+        fail(
+            f"check tallies count {total_div} divergences but the report "
+            f"records {len(doc['divergences'])}"
+        )
+    for d in doc["divergences"]:
+        for field in ("case_index", "check", "config", "workload", "detail"):
+            if field not in d:
+                fail(f"divergence record missing field {field!r}: {d!r}")
+        if d["check"] not in names:
+            fail(f"divergence cites unknown check {d['check']!r}")
+
+    verdict = "clean" if not doc["divergences"] else f"{total_div} DIVERGENCES"
+    print(
+        f"validate_manifest: OK (audit seed {doc['seed']:#x}, "
+        f"{doc['cases']} cases, {len(doc['checks'])} checks, {verdict})"
+    )
+
+
 def main():
     if len(sys.argv) != 2:
-        fail("usage: validate_manifest.py <manifest.json>")
+        fail("usage: validate_manifest.py <report.json>")
     with open(sys.argv[1]) as f:
         doc = json.load(f)
+
+    if doc.get("schema") == AUDIT_SCHEMA:
+        check_audit_report(doc)
+        return
 
     for field, ty in TOP_FIELDS.items():
         if field not in doc:
