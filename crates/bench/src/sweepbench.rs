@@ -14,9 +14,18 @@
 //! 4. **filtered** — capture once, simulate each distinct L1 once over
 //!    the arena, then fan every L2 over its L1's miss-stream events only;
 //! 5. **family** — filtered, plus one event pass per (L1, policy, ways)
-//!    family drives every L2 size at once (the sweep fast path).
+//!    family drives every L2 size at once (the sweep fast path);
+//! 6. **predict** — one reuse-distance profiling pass per L1 group
+//!    answers every conventional L2 point analytically (exclusive
+//!    members replay through the family engine). The only engine that
+//!    is *approximate*: the report records whether it met its ε
+//!    contract (`predict_within_epsilon`) rather than folding it into
+//!    `identical`, and a scaling section (`predict_scaling`) times it
+//!    against family replay on 90- and 450-point conventional spaces
+//!    (acceptance bar: ≥ 5× at 450).
 //!
-//! All five must produce bit-identical design points. Because the
+//! The five replay engines must produce bit-identical design points.
+//! Because the
 //! filtered and family engines' whole advantage is on configurations
 //! that *share* an L1, the report also times the arena, filtered and
 //! family engines on the two-level subset of the space in isolation
@@ -30,11 +39,12 @@
 use crate::Harness;
 use serde::Serialize;
 use std::time::Instant;
+use tlc_cache::{miss_ratio_error, MISS_RATIO_EPSILON};
 use tlc_core::configspace::{full_space, SpaceOptions};
-use tlc_core::experiment::{capture_benchmark, SimBudget};
+use tlc_core::experiment::{capture_benchmark, DesignPoint, SimBudget};
 use tlc_core::runner::{
     sweep_arena_threads, sweep_dyn_threads, sweep_family_arena_threads,
-    sweep_filtered_arena_threads, sweep_streaming_threads,
+    sweep_filtered_arena_threads, sweep_predict_arena_threads, sweep_streaming_threads,
 };
 use tlc_core::{L2Policy, MachineConfig};
 use tlc_obs::manifest::{build_span_tree, SpanNode};
@@ -125,8 +135,41 @@ pub struct SweepBenchRow {
     /// speedup family batching buys over per-configuration filtered
     /// replay (the acceptance metric: ≥ 1.5×).
     pub twolevel_family_speedup: f64,
-    /// Whether all five engines produced bit-identical design points.
+    /// Wall-clock seconds for the analytical predict sweep (per-L1
+    /// profiling pass plus closed-form evaluation; exclusive members
+    /// replay through the family engine; arena capture not included, as
+    /// for `replay_s`).
+    pub predict_s: f64,
+    /// `legacy_s / (capture_s + predict_s)` — the predict engine's
+    /// headline speedup.
+    pub speedup_predict: f64,
+    /// Whether the predicted design points met the accuracy contract
+    /// against the family replay: single-level and exclusive members
+    /// bit-identical, direct-mapped hit/miss counts exact, and
+    /// set-associative local miss ratios within
+    /// `tlc_cache::MISS_RATIO_EPSILON`. (The predict engine is the one
+    /// engine excluded from `identical`.)
+    pub predict_within_epsilon: bool,
+    /// Whether all five replay engines produced bit-identical design
+    /// points.
     pub identical: bool,
+}
+
+/// One point of the predict-vs-family scaling comparison: the same
+/// conventional configuration space timed through both engines.
+#[derive(Debug, Serialize)]
+pub struct PredictScalingPoint {
+    /// Design points in the space.
+    pub configs: u64,
+    /// Wall-clock seconds for the family-batched replay sweep.
+    pub family_s: f64,
+    /// Wall-clock seconds for the analytical predict sweep.
+    pub predict_s: f64,
+    /// `family_s / predict_s` — replay cost grows with the number of L2
+    /// points per family while prediction is dominated by the one
+    /// profiling pass per L1 group, so this ratio must widen with the
+    /// space (the acceptance bar: ≥ 5× at 450 configurations).
+    pub speedup: f64,
 }
 
 /// The full machine-readable report.
@@ -176,11 +219,79 @@ pub struct SweepBenchReport {
     /// additional two-level speedup of family batching over filtered
     /// replay (≥ 1.5× is the acceptance bar).
     pub total_twolevel_family_speedup: f64,
-    /// Whether every benchmark's engines agreed bit-for-bit.
+    /// Total wall-clock seconds for all captures plus predict sweeps.
+    pub total_predict_s: f64,
+    /// `total_legacy_s / total_predict_s` — the predict engine's
+    /// headline speedup.
+    pub total_speedup_predict: f64,
+    /// Whether every benchmark's predicted points met the ε contract.
+    pub all_predict_within_epsilon: bool,
+    /// Benchmark used for the predict-vs-family scaling comparison.
+    pub predict_scaling_benchmark: String,
+    /// Predict-vs-family timings on growing conventional spaces (90 and
+    /// 450 distinct (L1, L2 size, ways) points).
+    pub predict_scaling: Vec<PredictScalingPoint>,
+    /// Whether every benchmark's replay engines agreed bit-for-bit.
     pub all_identical: bool,
     /// Whether the producing build carried live instrumentation (the
     /// per-phase `family_*` columns are all zero when this is false).
     pub obs_enabled: bool,
+}
+
+/// Checks the predict engine's accuracy contract against family-replay
+/// ground truth over a mixed space: single-level and exclusive members
+/// bit-identical (the latter replay through the family engine inside
+/// the predict sweep), direct-mapped hit/miss counts exact, and
+/// set-associative local miss ratios within [`MISS_RATIO_EPSILON`].
+fn predict_contract_ok(
+    cfgs: &[MachineConfig],
+    predicted: &[DesignPoint],
+    truth: &[DesignPoint],
+) -> bool {
+    cfgs.iter().zip(predicted).zip(truth).all(|((c, p), t)| match c.l2 {
+        None => p == t,
+        Some(s) if s.policy == L2Policy::Exclusive => p == t,
+        Some(s) if s.ways == 1 => {
+            (p.stats.l2_hits, p.stats.l2_misses) == (t.stats.l2_hits, t.stats.l2_misses)
+        }
+        Some(_) => miss_ratio_error(&p.stats, &t.stats) <= MISS_RATIO_EPSILON,
+    })
+}
+
+/// A conventional space of `n` genuinely distinct (L1, L2 size, ways)
+/// points for the scaling comparison — distinct geometry, not latency
+/// clones, so the family engine's per-size dedup cannot collapse the
+/// replay work. The grid deliberately piles many L2 points onto few L1
+/// groups (L2 sizes 256 B – 64 MB, associativities 1–256 where the
+/// geometry admits them): both engines pay the same per-group
+/// miss-stream capture, and what the comparison isolates is replay
+/// cost, which grows with the L2 points per group, versus the
+/// predictor's single profiling pass.
+fn predict_scaling_space(n: usize) -> Vec<MachineConfig> {
+    let mut v = Vec::new();
+    'grid: for l1_kb in [1u64, 2, 4] {
+        for i in 0..19u32 {
+            let l2_bytes = 256u64 << i; // 256 B .. 64 MB
+            for ways in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+                if u64::from(ways) <= l2_bytes / 16 {
+                    let mut c =
+                        MachineConfig::two_level(l1_kb, 1, ways, L2Policy::Conventional, 50.0);
+                    c.l2.as_mut().expect("two-level").size_bytes = l2_bytes;
+                    v.push(c);
+                    if v.len() == 450 {
+                        break 'grid;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(v.len(), 450, "the scaling grid must hold exactly 450 points");
+    // Sample a stride so every space size spans the same L1 groups:
+    // the point of the comparison is L2 points per group, with the
+    // shared per-group capture cost held constant.
+    assert_eq!(450 % n, 0, "scaling sizes must divide 450");
+    let stride = 450 / n;
+    v.into_iter().step_by(stride).collect()
 }
 
 /// Total wall seconds attributed to spans named `name` anywhere in the
@@ -278,6 +389,17 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             sweep_family_arena_threads(&twolevel, &arena, cfg.budget, &timing, &area, cfg.threads);
         let twolevel_family_s = t7.elapsed().as_secs_f64();
 
+        let t8 = Instant::now();
+        let predicted = sweep_predict_arena_threads(
+            &cfg.configs,
+            &arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let predict_s = t8.elapsed().as_secs_f64();
+
         rows.push(SweepBenchRow {
             benchmark: b.name().to_string(),
             legacy_s,
@@ -299,6 +421,9 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
             twolevel_speedup: twolevel_arena_s / twolevel_filtered_s,
             twolevel_family_s,
             twolevel_family_speedup: twolevel_filtered_s / twolevel_family_s,
+            predict_s,
+            speedup_predict: legacy_s / (capture_s + predict_s),
+            predict_within_epsilon: predict_contract_ok(&cfg.configs, &predicted, &family),
             identical: legacy == replayed
                 && streamed == replayed
                 && filtered == replayed
@@ -307,6 +432,50 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
                 && twolevel_family == twolevel_filtered,
         });
     }
+    // Predict-vs-family scaling: the same conventional space at growing
+    // point counts. Family replay probes every member per event, so its
+    // cost grows with the space; prediction pays one profiling pass per
+    // L1 group and answers each point in closed form, so its wall-clock
+    // stays roughly flat and the ratio widens.
+    let scaling_benchmark = SpecBenchmark::Eqntott;
+    let scaling_arena = capture_benchmark(scaling_benchmark, cfg.budget);
+    let mut predict_scaling = Vec::new();
+    let mut scaling_within_epsilon = true;
+    for n in [90usize, 450] {
+        eprintln!(
+            "# bench-sweep: predict scaling on {} ({n} configs)...",
+            scaling_benchmark.name()
+        );
+        let space = predict_scaling_space(n);
+        let tf = Instant::now();
+        let fam = sweep_family_arena_threads(
+            &space,
+            &scaling_arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let family_s = tf.elapsed().as_secs_f64();
+        let tp = Instant::now();
+        let pred = sweep_predict_arena_threads(
+            &space,
+            &scaling_arena,
+            cfg.budget,
+            &timing,
+            &area,
+            cfg.threads,
+        );
+        let predict_s = tp.elapsed().as_secs_f64();
+        scaling_within_epsilon &= predict_contract_ok(&space, &pred, &fam);
+        predict_scaling.push(PredictScalingPoint {
+            configs: n as u64,
+            family_s,
+            predict_s,
+            speedup: family_s / predict_s,
+        });
+    }
+
     let total_legacy_s: f64 = rows.iter().map(|r| r.legacy_s).sum();
     let total_streaming_s: f64 = rows.iter().map(|r| r.streaming_s).sum();
     let total_arena_s: f64 = rows.iter().map(|r| r.capture_s + r.replay_s).sum();
@@ -315,8 +484,9 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
     let total_twolevel_arena_s: f64 = rows.iter().map(|r| r.twolevel_arena_s).sum();
     let total_twolevel_filtered_s: f64 = rows.iter().map(|r| r.twolevel_filtered_s).sum();
     let total_twolevel_family_s: f64 = rows.iter().map(|r| r.twolevel_family_s).sum();
+    let total_predict_s: f64 = rows.iter().map(|r| r.capture_s + r.predict_s).sum();
     SweepBenchReport {
-        schema: "tlc-sweep-bench/4".to_string(),
+        schema: "tlc-sweep-bench/5".to_string(),
         configs: cfg.configs.len() as u64,
         measured_instructions: cfg.budget.instructions,
         warmup_instructions: cfg.budget.warmup_instructions,
@@ -326,6 +496,11 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         total_speedup_family: total_legacy_s / total_family_s,
         total_twolevel_speedup: total_twolevel_arena_s / total_twolevel_filtered_s,
         total_twolevel_family_speedup: total_twolevel_filtered_s / total_twolevel_family_s,
+        total_speedup_predict: total_legacy_s / total_predict_s,
+        all_predict_within_epsilon: scaling_within_epsilon
+            && rows.iter().all(|r| r.predict_within_epsilon),
+        predict_scaling_benchmark: scaling_benchmark.name().to_string(),
+        predict_scaling,
         all_identical: rows.iter().all(|r| r.identical),
         obs_enabled: tlc_obs::ENABLED,
         benchmarks: rows,
@@ -334,6 +509,7 @@ pub fn run_sweep_benchmark(cfg: &SweepBenchConfig) -> SweepBenchReport {
         total_arena_s,
         total_filtered_s,
         total_family_s,
+        total_predict_s,
         total_twolevel_arena_s,
         total_twolevel_filtered_s,
         total_twolevel_family_s,
@@ -390,8 +566,13 @@ mod tests {
                 "instrumented builds must attribute family events"
             );
         }
+        assert!(report.all_predict_within_epsilon, "predicted points must meet the ε contract");
+        assert_eq!(report.predict_scaling.len(), 2);
+        assert_eq!(report.predict_scaling[0].configs, 90);
+        assert_eq!(report.predict_scaling[1].configs, 450);
+        assert!(report.total_predict_s > 0.0);
         let json = serde_json::to_string_pretty(&report).expect("serialises");
-        assert!(json.contains("\"schema\": \"tlc-sweep-bench/4\""));
+        assert!(json.contains("\"schema\": \"tlc-sweep-bench/5\""));
         assert!(json.contains("\"filtered_s\""));
         assert!(json.contains("\"family_s\""));
         assert!(json.contains("\"family_l1_capture_s\""));
@@ -400,7 +581,21 @@ mod tests {
         assert!(json.contains("\"obs_enabled\""));
         assert!(json.contains("\"twolevel_speedup\""));
         assert!(json.contains("\"twolevel_family_speedup\""));
+        assert!(json.contains("\"predict_s\""));
+        assert!(json.contains("\"predict_within_epsilon\""));
+        assert!(json.contains("\"predict_scaling\""));
         assert!(json.contains("\"all_identical\": true"));
+    }
+
+    #[test]
+    fn scaling_space_is_distinct_geometry() {
+        let space = predict_scaling_space(450);
+        assert_eq!(space.len(), 450);
+        let mut keys: Vec<_> =
+            space.iter().map(|c| (c.l1_size_bytes, c.l2.map(|s| (s.size_bytes, s.ways)))).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 450, "family size-dedup would collapse clone points");
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod hierarchy;
 mod inclusive;
 mod mattson;
 pub mod oracle;
+pub mod predict;
 mod prefetch;
 mod replacement;
 mod single;
@@ -75,6 +76,7 @@ pub use mattson::{MissRatioCurve, NestedDmProfiler, StackDistanceProfiler};
 pub use oracle::{
     lru_misses, naive_replay_conventional, naive_replay_exclusive, naive_replay_single, NaiveSystem,
 };
+pub use predict::{miss_ratio_error, ReuseProfile, MISS_RATIO_EPSILON};
 pub use prefetch::StreamBufferSystem;
 pub use replacement::{Lfsr16, ReplState};
 pub use single::SingleLevel;

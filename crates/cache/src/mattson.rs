@@ -19,19 +19,22 @@ use std::collections::HashMap;
 use tlc_trace::LineAddr;
 
 /// Binary indexed tree over access times, counting "most recent access
-/// positions" of live lines.
+/// positions" of live lines. Shared with the reuse-distance predictor
+/// ([`crate::predict`]), which needs the same "distinct lines since last
+/// access" query but keeps exact distances instead of power-of-two
+/// buckets.
 #[derive(Debug)]
-struct Fenwick {
+pub(crate) struct Fenwick {
     tree: Vec<u32>,
 }
 
 impl Fenwick {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fenwick { tree: vec![0; 1024] }
     }
 
     /// Highest addressable 0-based position.
-    fn capacity(&self) -> usize {
+    pub(crate) fn capacity(&self) -> usize {
         self.tree.len() - 2
     }
 
@@ -44,7 +47,7 @@ impl Fenwick {
     /// bottom-up in O(len) — scatter the ones as leaf counts, then
     /// propagate every node into its parent once — instead of n
     /// O(log n) point updates.
-    fn rebuild(&mut self, new_max_idx: usize, ones: impl Iterator<Item = usize>) {
+    pub(crate) fn rebuild(&mut self, new_max_idx: usize, ones: impl Iterator<Item = usize>) {
         let len = (new_max_idx + 2).next_power_of_two().max(2 * self.tree.len());
         self.tree = vec![0; len];
         for idx in ones {
@@ -65,7 +68,7 @@ impl Fenwick {
     ///
     /// Panics (in debug builds) if `idx` exceeds the capacity; callers
     /// grow the tree via [`Fenwick::rebuild`] first.
-    fn add(&mut self, idx: usize, delta: i32) {
+    pub(crate) fn add(&mut self, idx: usize, delta: i32) {
         debug_assert!(idx <= self.capacity(), "fenwick index {idx} out of range");
         let mut i = idx + 1;
         while i < self.tree.len() {
@@ -75,7 +78,7 @@ impl Fenwick {
     }
 
     /// Sum of positions `0..=idx`.
-    fn prefix(&self, idx: usize) -> u32 {
+    pub(crate) fn prefix(&self, idx: usize) -> u32 {
         let mut i = (idx + 1).min(self.tree.len() - 1);
         let mut s = 0;
         while i > 0 {
@@ -86,8 +89,15 @@ impl Fenwick {
     }
 
     /// Total of all positions.
-    fn total(&self) -> u32 {
+    pub(crate) fn total(&self) -> u32 {
         self.prefix(self.tree.len() - 2)
+    }
+
+    /// Zeroes every node in place, keeping the allocation — a fresh tree
+    /// without the `vec![0; n]` churn when a profiler is reused across
+    /// L1 groups.
+    pub(crate) fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|n| *n = 0);
     }
 }
 
@@ -211,12 +221,34 @@ impl StackDistanceProfiler {
     /// to `max_lines`.
     pub fn curve(&self, max_lines: u64) -> MissRatioCurve {
         let mut points = Vec::new();
+        self.curve_into(max_lines, &mut points);
+        MissRatioCurve { points, accesses: self.accesses }
+    }
+
+    /// As [`Self::curve`], but writes the `(capacity_lines, miss_ratio)`
+    /// points into a caller-provided buffer (cleared first, allocation
+    /// kept) instead of building a fresh `Vec`. A sweep profiling many L1
+    /// groups reuses one buffer across all of them.
+    pub fn curve_into(&self, max_lines: u64, points: &mut Vec<(u64, f64)>) {
+        points.clear();
         let mut c = 1u64;
         while c <= max_lines {
             points.push((c, self.miss_ratio_at_capacity(c)));
             c *= 2;
         }
-        MissRatioCurve { points, accesses: self.accesses }
+    }
+
+    /// Returns the profiler to its freshly-constructed state while
+    /// keeping every allocation (Fenwick tree, hash map capacity,
+    /// histogram), so one profiler can serve all L1 groups in a sweep
+    /// back to back.
+    pub fn reset(&mut self) {
+        self.fenwick.clear();
+        self.last_time.clear();
+        self.clock = 0;
+        self.accesses = 0;
+        self.cold_misses = 0;
+        self.histogram.iter_mut().for_each(|h| *h = 0);
     }
 }
 
@@ -546,6 +578,46 @@ mod tests {
         assert_eq!(one.at(1), Some(1.0), "single cold miss at the exact boundary");
         assert_eq!(one.at(0), None, "below the smallest profiled capacity");
         assert_eq!(one.at(2), None, "above the largest profiled capacity");
+    }
+
+    #[test]
+    fn reset_profiler_matches_fresh_profiler() {
+        // A reset profiler must be indistinguishable from a new one:
+        // same curve, same counters, even after the Fenwick grew.
+        let mut reused = StackDistanceProfiler::new();
+        for i in 0..5000u64 {
+            reused.record(line(i % 97));
+        }
+        reused.reset();
+        assert_eq!(reused.accesses(), 0);
+        assert_eq!(reused.cold_misses(), 0);
+        assert_eq!(reused.unique_lines(), 0);
+
+        let mut fresh = StackDistanceProfiler::new();
+        let mut x = 5u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            reused.record(line(x % 300));
+        }
+        x = 5;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            fresh.record(line(x % 300));
+        }
+        assert_eq!(reused.curve(1024), fresh.curve(1024));
+        assert_eq!(reused.cold_misses(), fresh.cold_misses());
+    }
+
+    #[test]
+    fn curve_into_reuses_buffer_and_matches_curve() {
+        let mut p = StackDistanceProfiler::new();
+        for i in 0..500u64 {
+            p.record(line(i % 40));
+        }
+        // Pre-poison the buffer with stale points from a bigger range.
+        let mut buf = vec![(u64::MAX, -1.0); 30];
+        p.curve_into(64, &mut buf);
+        assert_eq!(buf, p.curve(64).points);
     }
 
     #[test]

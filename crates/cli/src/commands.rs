@@ -12,7 +12,8 @@ use tlc_core::experiment::{simulate_source, SimBudget};
 use tlc_core::report::{envelope_table, points_csv, points_table};
 use tlc_core::runner::{
     default_threads, try_sweep_arena_threads, try_sweep_family_arena_threads,
-    try_sweep_filtered_arena_threads, try_sweep_streaming_threads, try_sweep_threads,
+    try_sweep_filtered_arena_threads, try_sweep_predict_arena_threads, try_sweep_streaming_threads,
+    try_sweep_threads,
 };
 use tlc_core::tpi::tpi_ns;
 use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
@@ -34,7 +35,7 @@ pub fn usage() -> String {
      \u{20}            [--offchip 50] [--instr N] [--warmup N]\n\
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
-     \u{20}            [--engine auto|streaming|arena|filtered|family] [--threads N]\n\
+     \u{20}            [--engine auto|streaming|arena|filtered|family|predict] [--threads N]\n\
      \u{20}            [--metrics out.json]  write a tlc-run-manifest/1 document\n\
      \u{20}            [--progress]          live configs-done/ETA/events-per-second ticker on stderr\n\
      \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
@@ -130,9 +131,10 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         return Err(ArgError("--threads must be at least 1".into()));
     }
     let engine = args.get("engine").unwrap_or("auto").to_string();
-    if !["auto", "streaming", "arena", "filtered", "family"].contains(&engine.as_str()) {
+    if !["auto", "streaming", "arena", "filtered", "family", "predict"].contains(&engine.as_str()) {
         return Err(ArgError(format!(
-            "unknown engine {engine:?}; choose auto, streaming, arena, filtered or family"
+            "unknown engine {engine:?}; choose auto, streaming, arena, filtered, family or \
+             predict"
         )));
     }
     let metrics_path = args.get("metrics").map(str::to_string);
@@ -168,6 +170,13 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
             "family" => {
                 let arena = capture("arena_capture");
                 try_sweep_family_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            }
+            // Analytical prediction: one reuse-distance pass per L1 group
+            // answers every conventional point; exclusive members stay on
+            // replay. ε-accurate, not bit-identical (see docs/models.md).
+            "predict" => {
+                let arena = capture("arena_capture");
+                try_sweep_predict_arena_threads(&configs, &arena, budget, &timing, &area, threads)
             }
             _ => unreachable!("engine validated above"),
         }
@@ -244,16 +253,27 @@ impl ProgressTicker {
                     break;
                 }
                 let done = tlc_obs::counters().get(Counter::RunnerConfigsCompleted);
+                let predicted = tlc_obs::counters().get(Counter::PredictConfigsPredicted);
                 let events = tlc_obs::counters().get(Counter::FilterEventsDecoded)
                     + tlc_obs::counters().get(Counter::L2EventsReplayed);
                 let elapsed = start.elapsed().as_secs_f64();
-                let eta = if done > 0 {
+                // Analytically-predicted configs complete near-instantly;
+                // pacing the ETA on them would promise the replayed
+                // remainder far too soon. Extrapolate from replay-paced
+                // completions only (with no predictions this is `done`).
+                let pace_basis = done.saturating_sub(predicted);
+                let eta = if pace_basis > 0 {
                     format!(
                         "{:.1}s",
-                        elapsed * (total.saturating_sub(done as usize)) as f64 / done as f64
+                        elapsed * (total.saturating_sub(done as usize)) as f64 / pace_basis as f64
                     )
                 } else {
                     "?".to_string()
+                };
+                let split = if predicted > 0 {
+                    format!(" ({predicted} predicted, {pace_basis} replayed)")
+                } else {
+                    String::new()
                 };
                 // The arena/streaming engines feed neither filter nor
                 // replay counters; leave throughput off rather than
@@ -264,7 +284,7 @@ impl ProgressTicker {
                     String::new()
                 };
                 eprintln!(
-                    "# sweep progress: {done}/{total} configs, {elapsed:.1}s elapsed, eta {eta}{rate}"
+                    "# sweep progress: {done}/{total} configs{split}, {elapsed:.1}s elapsed, eta {eta}{rate}"
                 );
             }
         });
@@ -563,7 +583,7 @@ mod tests {
         ])
         .expect("audit");
         assert!(out.contains("clean"));
-        assert!(out.contains("streaming/dyn/arena/filtered/family"));
+        assert!(out.contains("streaming/dyn/arena/filtered/family/predict"));
         let doc: tlc_core::audit::AuditReport =
             serde_json::from_str(&std::fs::read_to_string(&json).expect("json written"))
                 .expect("valid report json");
@@ -713,6 +733,46 @@ mod tests {
         argv.push("warp");
         let err = run(&argv).expect_err("unknown engine must be rejected");
         assert!(format!("{err:?}").contains("unknown engine"));
+    }
+
+    #[test]
+    fn sweep_predict_engine_runs_with_family_shaped_output() {
+        // predict is the one approximate engine: it must NOT join the
+        // bit-identity loop above, but its CSV must cover exactly the
+        // same design points in the same order, and its manifest must
+        // account every config as predicted or replayed.
+        let path = std::env::temp_dir().join("tlc_cli_test_predict_manifest.json");
+        let _ = std::fs::remove_file(&path);
+        let base = ["sweep", "--workload", "li", "--instr", "4000", "--warmup", "1000", "--csv"];
+        let mut family_argv: Vec<&str> = base.to_vec();
+        family_argv.extend(["--engine", "family"]);
+        let family = run(&family_argv).expect("family sweep");
+        let mut predict_argv: Vec<&str> = base.to_vec();
+        predict_argv.extend([
+            "--engine",
+            "predict",
+            "--metrics",
+            path.to_str().expect("utf8 path"),
+        ]);
+        let predict = run(&predict_argv).expect("predict sweep");
+        let keys = |csv: &str| -> Vec<String> {
+            csv.lines().map(|l| l.split(',').take(2).collect::<Vec<_>>().join(",")).collect()
+        };
+        assert_eq!(keys(&family), keys(&predict), "same design points, same order");
+        let json = std::fs::read_to_string(&path).expect("manifest written");
+        let manifest = RunManifest::from_json(&json).expect("manifest parses");
+        assert_eq!(manifest.engine, "predict");
+        if tlc_obs::ENABLED {
+            let predicted = manifest.counter("predict.configs_predicted").unwrap_or(0);
+            let replayed = manifest.counter("predict.configs_replayed").unwrap_or(0);
+            assert_eq!(
+                predicted + replayed,
+                manifest.configs,
+                "every config is predicted or replayed"
+            );
+            assert!(predicted > 0, "the conventional space must be predicted");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

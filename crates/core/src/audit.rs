@@ -15,7 +15,11 @@
 //! ([`tlc_cache::NaiveSystem`], [`tlc_cache::oracle`]) and the Mattson
 //! stack-distance oracles ([`tlc_cache::StackDistanceProfiler`],
 //! [`tlc_cache::NestedDmProfiler`]), which predict the same counters from
-//! first principles.
+//! first principles. The sixth engine — the analytical predictor
+//! ([`simulate_predicted`](crate::experiment::simulate_predicted)) — is
+//! deliberately *not* bit-identical; it is audited against its own
+//! tolerance contract instead (`predict-vs-family`,
+//! [`PREDICT_AUDIT_EPSILON`]).
 //!
 //! [`run_audit`] samples (workload, L1/L2 geometry, policy, warm-up
 //! split, chunk size, thread count) tuples from a seeded RNG, replays
@@ -51,6 +55,29 @@ use tlc_trace::{EventArena, InstructionRecord, MissEvent, ReplaySource, TraceAre
 
 /// Schema identifier of the audit report JSON.
 pub const AUDIT_REPORT_SCHEMA: &str = "tlc-audit-report/1";
+
+/// Tolerance of the `predict-vs-family` check on the local L2 miss
+/// ratio. Wider than [`tlc_cache::MISS_RATIO_EPSILON`]: the audit's
+/// adversarial streams are tiny (thousands of events through a small
+/// L1) and its replayed L2s use pseudo-random replacement, both of
+/// which stress the predictor's LRU model far beyond the
+/// benchmark-scale contract the `predict_equivalence` suite enforces.
+/// The worst observed cases are fpppp's tight floating-point loops —
+/// a loop slightly wider than the cache scores near zero under LRU but
+/// keeps a capacity-fraction of hits under random replacement — which
+/// peak just above 0.22; a genuinely broken model (distance off by one,
+/// sign error in the writeback histogram) lands far beyond this bound.
+pub const PREDICT_AUDIT_EPSILON: f64 = 0.25;
+
+/// Small-sample slack of the `predict-vs-family` check: the allowed
+/// miss-ratio error is [`PREDICT_AUDIT_EPSILON`] `+ NOISE / sqrt(n)`
+/// where `n` is the member's replayed L2 access count. Pseudo-random
+/// replacement makes the replayed hit count itself noisy — its standard
+/// deviation on `n` accesses is at most `sqrt(n)/2` — so a slack of
+/// `3/sqrt(n)` admits ~6σ of replacement noise on the audit's tiniest
+/// streams (a 47-access fpppp loop has been observed at 0.28) while
+/// contributing under 0.01 at the ≥100k-access benchmark scale.
+pub const PREDICT_AUDIT_NOISE: f64 = 3.0;
 
 /// Schema identifier of a corpus entry's JSON sidecar.
 pub const CORPUS_ENTRY_SCHEMA: &str = "tlc-audit-corpus/1";
@@ -524,6 +551,59 @@ fn run_case(case: &SampledCase, case_index: u64, opts: &AuditOptions, ledger: &m
     }
     ledger.tally("family-vs-filtered", family_diverged);
 
+    // The analytical predictor against the family-replayed ground truth
+    // it advertises a tolerance contract for. Exclusive samples are
+    // outside the model (the predict engine replays them instead), so
+    // the check covers single-level and conventional cases: single-level
+    // members must be exact, direct-mapped hit/miss counts must be
+    // exact, and set-associative members must keep the local miss ratio
+    // within [`PREDICT_AUDIT_EPSILON`] plus the [`PREDICT_AUDIT_NOISE`]
+    // small-sample slack. Divergence witnesses carry the
+    // measured error (tolerance breaches are not event-shrinkable: the
+    // predictor has no per-event ground truth to bisect against).
+    if cfg.l2.map(|s| s.policy) != Some(L2Policy::Exclusive) {
+        let predicted = crate::experiment::simulate_predicted(&siblings, &stream);
+        let mut predict_diverged = false;
+        for ((member, got), want) in siblings.iter().zip(&predicted).zip(&family) {
+            let failure = match member.l2 {
+                None => (got != want)
+                    .then(|| format!("single-level predicted {got:?} != replayed {want:?}")),
+                Some(s) if s.ways == 1 => {
+                    ((got.l2_hits, got.l2_misses) != (want.l2_hits, want.l2_misses)).then(|| {
+                        format!(
+                            "direct-mapped predicted ({}, {}) != replayed ({}, {})",
+                            got.l2_hits, got.l2_misses, want.l2_hits, want.l2_misses
+                        )
+                    })
+                }
+                Some(_) => {
+                    let err = tlc_cache::miss_ratio_error(got, want);
+                    let accesses = (want.l2_hits + want.l2_misses).max(1) as f64;
+                    let allowed = PREDICT_AUDIT_EPSILON + PREDICT_AUDIT_NOISE / accesses.sqrt();
+                    (err > allowed).then(|| {
+                        format!(
+                            "miss-ratio error {err:.4} > {allowed:.4} (epsilon \
+                             {PREDICT_AUDIT_EPSILON} + {PREDICT_AUDIT_NOISE}/sqrt({accesses}); \
+                             predicted {got:?}, replayed {want:?})"
+                        )
+                    })
+                }
+            };
+            if let Some(detail) = failure {
+                predict_diverged = true;
+                ledger.record(
+                    case_index,
+                    "predict-vs-family",
+                    case,
+                    format!("member {}: {detail}", member.label()),
+                    None,
+                );
+                break;
+            }
+        }
+        ledger.tally("predict-vs-family", predict_diverged);
+    }
+
     // Independent DM oracle: a direct-mapped conventional L2's content is
     // a pure DM tag array over the event line sequence, so the nested
     // profiler predicts hits/misses for all sibling sizes at once —
@@ -772,7 +852,9 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
         requested_seconds: opts.seconds,
         elapsed_seconds: started.elapsed().as_secs_f64(),
         cases,
-        engines: ["streaming", "dyn", "arena", "filtered", "family"].map(String::from).to_vec(),
+        engines: ["streaming", "dyn", "arena", "filtered", "family", "predict"]
+            .map(String::from)
+            .to_vec(),
         checks: ledger.checks,
         divergences: ledger.divergences,
     }
@@ -790,6 +872,10 @@ mod tests {
         assert!(a.is_clean(), "divergences: {:#?}", a.divergences);
         assert!(a.checks.iter().any(|c| c.name == "filtered-vs-oracle" && c.runs == 24));
         assert!(a.checks.iter().any(|c| c.name == "config-edge-typed-errors"));
+        assert!(
+            a.checks.iter().any(|c| c.name == "predict-vs-family" && c.runs > 0),
+            "the predictor's tolerance check must run on non-exclusive cases"
+        );
         let b = run_audit(&opts);
         assert_eq!(a.checks, b.checks, "audit must be a pure function of the seed");
     }

@@ -554,6 +554,80 @@ pub fn evaluate_family(
         .collect()
 }
 
+/// As [`simulate_family`] with the replay removed: one reuse-distance
+/// profiling pass over the stream ([`tlc_cache::ReuseProfile`]) answers
+/// every member analytically, in time independent of the event count.
+/// Unlike a family, members may mix associativities, sizes, and
+/// single-level points freely — the only constraint is that every
+/// two-level member uses the conventional policy (exclusive hierarchies
+/// are outside the model; see [`tlc_cache::predict`]).
+///
+/// Results are approximate, not bit-identical: single-level members are
+/// exact, direct-mapped members have exact hit/miss counts, and
+/// set-associative members carry the documented ε contract
+/// ([`tlc_cache::MISS_RATIO_EPSILON`]) against [`simulate_family`]
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics if any member's L1 geometry differs from the stream's or uses
+/// the exclusive L2 policy.
+pub fn simulate_predicted(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<HierarchyStats> {
+    use tlc_cache::ReuseProfile;
+    if cfgs.is_empty() {
+        return Vec::new();
+    }
+    for cfg in cfgs {
+        assert_eq!(cfg.l1_size_bytes, stream.l1_size_bytes(), "stream captured for a different L1");
+        assert_eq!(
+            cfg.line_bytes,
+            stream.line_bytes(),
+            "stream captured for a different line size"
+        );
+        assert_ne!(
+            cfg.l2.map(|s| s.policy),
+            Some(L2Policy::Exclusive),
+            "exclusive hierarchies are outside the prediction model"
+        );
+    }
+    // Direct-mapped members get exact nested tag-array counts: name
+    // every 1-way set count at capture (deduplicated, ascending).
+    let mut dm_sets: Vec<u64> = cfgs
+        .iter()
+        .filter_map(|c| c.l2.filter(|s| s.ways == 1).map(|s| s.size_bytes / c.line_bytes))
+        .collect();
+    dm_sets.sort_unstable();
+    dm_sets.dedup();
+    let profile = ReuseProfile::capture(stream, &dm_sets);
+    cfgs.iter()
+        .map(|cfg| {
+            tlc_obs::obs_count!(tlc_obs::Counter::PredictConfigsPredicted, 1);
+            match l2_config(cfg).expect("valid L2 configuration") {
+                None => profile.predict_single(stream),
+                Some(l2) => profile.predict_conventional(stream, &l2),
+            }
+        })
+        .collect()
+}
+
+/// As [`evaluate_family`] through the analytical predictor
+/// ([`simulate_predicted`]): one profiling pass serves every member, and
+/// each member still gets its own timing/area derivation. Returns one
+/// [`DesignPoint`] per member of `cfgs`, in input order, under the
+/// predictor's ε contract rather than bit-identity.
+pub fn evaluate_predicted(
+    cfgs: &[MachineConfig],
+    stream: &MissStream,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> Vec<DesignPoint> {
+    let stats = simulate_predicted(cfgs, stream);
+    cfgs.iter()
+        .zip(stats)
+        .map(|(cfg, s)| design_point(cfg, stream.name().to_string(), s, timing, area))
+        .collect()
+}
+
 fn design_point(
     cfg: &MachineConfig,
     workload: String,
@@ -788,6 +862,59 @@ mod tests {
         for (cfg, got) in singles.iter().zip(&family) {
             assert_eq!(*got, evaluate_filtered(cfg, &stream, &tm, &am), "{}", cfg.label());
         }
+    }
+
+    #[test]
+    fn predicted_evaluation_matches_filtered_within_epsilon() {
+        use tlc_cache::{miss_ratio_error, MISS_RATIO_EPSILON};
+        let (tm, am) = models();
+        let budget = SimBudget { instructions: 20_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let stream = capture_miss_stream(4 * 1024, 16, &arena, budget, usize::MAX).unwrap();
+        // One heterogeneous batch: single-level, direct-mapped, and
+        // mixed set-associative members — no family constraint.
+        let cfgs = vec![
+            MachineConfig::single_level(4, 50.0),
+            MachineConfig::two_level(4, 32, 1, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(4, 8, 1, L2Policy::Conventional, 200.0),
+            MachineConfig::two_level(4, 64, 2, L2Policy::Conventional, 50.0),
+            MachineConfig::two_level(4, 32, 4, L2Policy::Conventional, 50.0),
+        ];
+        let predicted = evaluate_predicted(&cfgs, &stream, &tm, &am);
+        assert_eq!(predicted.len(), cfgs.len());
+        for (cfg, got) in cfgs.iter().zip(&predicted) {
+            let truth = evaluate_filtered(cfg, &stream, &tm, &am);
+            assert_eq!(got.label, truth.label);
+            assert_eq!(got.workload, truth.workload);
+            assert_eq!(got.area_rbe, truth.area_rbe);
+            match cfg.l2 {
+                None => assert_eq!(got.stats, truth.stats, "single-level must be exact"),
+                Some(spec) if spec.ways == 1 => assert_eq!(
+                    (got.stats.l2_hits, got.stats.l2_misses),
+                    (truth.stats.l2_hits, truth.stats.l2_misses),
+                    "direct-mapped hit/miss counts must be exact for {}",
+                    cfg.label()
+                ),
+                Some(_) => {
+                    let err = miss_ratio_error(&got.stats, &truth.stats);
+                    assert!(
+                        err <= MISS_RATIO_EPSILON,
+                        "{}: miss-ratio error {err:.4} > ε",
+                        cfg.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the prediction model")]
+    fn predicted_rejects_exclusive() {
+        let budget = SimBudget { instructions: 2_000, warmup_instructions: 500 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let stream = capture_miss_stream(1024, 16, &arena, budget, usize::MAX).unwrap();
+        let cfgs = [MachineConfig::two_level(1, 8, 4, L2Policy::Exclusive, 50.0)];
+        let _ = simulate_predicted(&cfgs, &stream);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::configspace::unique_configs;
 use crate::experiment::{
     capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
-    evaluate_family, evaluate_filtered, DesignPoint, SimBudget,
+    evaluate_family, evaluate_filtered, evaluate_predicted, DesignPoint, SimBudget,
 };
 use crate::machine::{L2Policy, MachineConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +61,16 @@ pub enum SweepUnit {
         /// Indices into the sweep's input `configs`.
         members: Vec<usize>,
     },
+    /// Analytical prediction of a whole L1 group's conventional members
+    /// from one reuse-distance profiling pass.
+    PredictGroup {
+        /// The group's L1 capacity in bytes.
+        l1_size_bytes: u64,
+        /// The group's line size in bytes.
+        line_bytes: u64,
+        /// Indices into the sweep's input `configs`.
+        members: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for SweepUnit {
@@ -72,6 +82,9 @@ impl std::fmt::Display for SweepUnit {
             }
             SweepUnit::FamilyChunk { l1_size_bytes, line_bytes, members } => {
                 write!(f, "family chunk {l1_size_bytes}B/{line_bytes}B (configs {members:?})")
+            }
+            SweepUnit::PredictGroup { l1_size_bytes, line_bytes, members } => {
+                write!(f, "predict group {l1_size_bytes}B/{line_bytes}B (configs {members:?})")
             }
         }
     }
@@ -515,6 +528,180 @@ pub fn try_sweep_family_arena_threads(
     Ok(slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect())
 }
 
+/// One parallel work unit of the predict sweep: a whole group answered
+/// analytically from one profiling pass, a family chunk replaying the
+/// members the model cannot cover, or a single configuration falling
+/// back to arena replay.
+enum PredictUnit<'a> {
+    Predict { stream: &'a tlc_cache::MissStream, members: Vec<usize> },
+    Family { stream: &'a tlc_cache::MissStream, members: Vec<usize> },
+    Arena { idx: usize },
+}
+
+/// The analytical-prediction sweep: configurations are grouped and
+/// captured exactly as in [`sweep_family_arena_threads`], but each
+/// captured group's single-level and conventional members are answered
+/// by **one** reuse-distance profiling pass
+/// ([`evaluate_predicted`]) — O(events) per L1 group, independent of how
+/// many L2 points the group sweeps — instead of one replay per
+/// associativity family.
+///
+/// **Not bit-identical.** Predicted points carry the documented ε
+/// contract ([`tlc_cache::MISS_RATIO_EPSILON`]) on the local L2 miss
+/// ratio versus family-replayed ground truth; single-level members are
+/// exact and direct-mapped members have exact hit/miss counts (see
+/// [`tlc_cache::predict`]). Members the model cannot cover stay on
+/// replay and remain bit-identical: exclusive hierarchies go through
+/// the family engine, and singleton or byte-limited L1 groups fall back
+/// to plain arena replay. The `predict.configs_predicted` /
+/// `predict.configs_replayed` counters record the split. Results are
+/// returned in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn sweep_predict_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    expect_sweep(try_sweep_predict_arena_threads(configs, arena, budget, timing, area, threads))
+}
+
+/// As [`sweep_predict_arena_threads`], reporting a worker panic as a
+/// structured [`SweepError`] naming the L1 group, predict group, family
+/// chunk, or configuration that failed.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn try_sweep_predict_arena_threads(
+    configs: &[MachineConfig],
+    arena: &TraceArena,
+    budget: SimBudget,
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
+    assert!(threads > 0, "need at least one worker thread");
+    let groups = l1_groups(configs);
+    // Phase A: one L1 capture per group that will amortise it.
+    let streams = try_capture_group_streams(&groups, arena, budget, threads)?;
+    // Partition each captured group: everything inside the prediction
+    // model (single-level and conventional members, any mix of sizes
+    // and ways) forms one predict unit sharing one profiling pass;
+    // exclusive members stay on family-batched replay.
+    let mut units: Vec<PredictUnit> = Vec::new();
+    let mut replay_members = 0usize;
+    for (g, (_, idxs)) in groups.iter().enumerate() {
+        match streams[g].as_ref() {
+            Some(stream) => {
+                let (predictable, exclusive): (Vec<usize>, Vec<usize>) = idxs
+                    .iter()
+                    .partition(|&&i| configs[i].l2.map(|s| s.policy) != Some(L2Policy::Exclusive));
+                if !predictable.is_empty() {
+                    units.push(PredictUnit::Predict { stream, members: predictable });
+                }
+                let mut fams: Vec<(u32, Vec<usize>)> = Vec::new();
+                for i in exclusive {
+                    let ways = configs[i].l2.expect("exclusive is two-level").ways;
+                    match fams.iter_mut().find(|(w, _)| *w == ways) {
+                        Some((_, v)) => v.push(i),
+                        None => fams.push((ways, vec![i])),
+                    }
+                }
+                for (_, members) in fams {
+                    replay_members += members.len();
+                    units.push(PredictUnit::Family { stream, members });
+                }
+            }
+            None => {
+                replay_members += idxs.len();
+                units.extend(idxs.iter().map(|&i| PredictUnit::Arena { idx: i }));
+            }
+        }
+    }
+    // Chunk oversized replay families exactly as the family engine does.
+    // Predict units are never chunked: splitting one would repeat its
+    // profiling pass, and the per-member cost after the pass is tiny.
+    if threads > 1 && replay_members > 0 {
+        let cap = replay_members.div_ceil(threads).max(2);
+        let mut chunked = Vec::with_capacity(units.len());
+        for unit in units {
+            match unit {
+                PredictUnit::Family { stream, members } if members.len() > cap => {
+                    for chunk in members.chunks(cap) {
+                        chunked.push(PredictUnit::Family { stream, members: chunk.to_vec() });
+                    }
+                }
+                other => chunked.push(other),
+            }
+        }
+        units = chunked;
+    }
+    // Phase B: fan the units out; each returns (input index, point) pairs.
+    let evaluated = {
+        let _span = obs_span!("fan_out");
+        try_run_indexed(
+            units.len(),
+            threads,
+            |u| match &units[u] {
+                PredictUnit::Predict { stream, members } => {
+                    let first = &configs[members[0]];
+                    let span = PhaseSpan::enter_with("predict_group", || {
+                        format!("{}B/{}B", first.l1_size_bytes, first.line_bytes)
+                    });
+                    span.add_items(members.len() as u64);
+                    let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let points = evaluate_predicted(&cfgs, stream, timing, area);
+                    members.iter().copied().zip(points).collect::<Vec<_>>()
+                }
+                PredictUnit::Family { stream, members } => {
+                    obs_count!(Counter::PredictConfigsReplayed, members.len() as u64);
+                    let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let points = evaluate_family(&cfgs, stream, timing, area);
+                    members.iter().copied().zip(points).collect::<Vec<_>>()
+                }
+                PredictUnit::Arena { idx } => {
+                    obs_count!(Counter::PredictConfigsReplayed, 1);
+                    vec![(*idx, evaluate_arena(&configs[*idx], arena, budget, timing, area))]
+                }
+            },
+            |u| match &units[u] {
+                PredictUnit::Predict { members, .. } => {
+                    let first = &configs[members[0]];
+                    SweepUnit::PredictGroup {
+                        l1_size_bytes: first.l1_size_bytes,
+                        line_bytes: first.line_bytes,
+                        members: members.clone(),
+                    }
+                }
+                PredictUnit::Family { members, .. } => {
+                    let first = &configs[members[0]];
+                    SweepUnit::FamilyChunk {
+                        l1_size_bytes: first.l1_size_bytes,
+                        line_bytes: first.line_bytes,
+                        members: members.clone(),
+                    }
+                }
+                PredictUnit::Arena { idx } => {
+                    SweepUnit::Config { index: *idx, label: configs[*idx].label() }
+                }
+            },
+        )?
+    };
+    let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    for batch in evaluated {
+        for (i, p) in batch {
+            slots[i] = Some(p);
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect())
+}
+
 /// The regenerate-per-configuration sweep: each evaluation rebuilds the
 /// benchmark's seeded generator and streams it from scratch. Kept public
 /// as the memory-lean fallback and as the reference the arena path is
@@ -886,6 +1073,78 @@ mod tests {
             let family = sweep_family_arena_threads(&configs, &arena, budget, &tm, &am, threads);
             assert_eq!(filtered, family, "family sweep diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn predict_sweep_meets_epsilon_contract_on_mixed_space() {
+        use tlc_cache::{miss_ratio_error, MISS_RATIO_EPSILON};
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        // Mixed space: singles, conventional 4-way, conventional 1-way,
+        // and exclusive members (which must stay on exact replay).
+        let mut opts = SpaceOptions::baseline();
+        let mut configs = single_level_configs(&opts)[..3].to_vec();
+        configs.extend_from_slice(&two_level_configs(&opts)[..6]);
+        opts.l2_ways = 1;
+        configs.extend_from_slice(&two_level_configs(&opts)[..4]);
+        opts.l2_ways = 4;
+        opts.l2_policy = crate::machine::L2Policy::Exclusive;
+        configs.extend_from_slice(&two_level_configs(&opts)[..4]);
+        let budget = SimBudget { instructions: 15_000, warmup_instructions: 5_000 };
+        let arena = capture_benchmark(SpecBenchmark::Gcc1, budget);
+        let truth = sweep_family_arena_threads(&configs, &arena, budget, &tm, &am, 2);
+        for threads in [1, 3] {
+            let predicted =
+                sweep_predict_arena_threads(&configs, &arena, budget, &tm, &am, threads);
+            assert_eq!(predicted.len(), configs.len());
+            for ((cfg, got), want) in configs.iter().zip(&predicted).zip(&truth) {
+                assert_eq!(got.label, want.label, "order must be preserved");
+                match cfg.l2 {
+                    Some(spec) if spec.policy == crate::machine::L2Policy::Exclusive => {
+                        assert_eq!(got, want, "exclusive members replay bit-identically");
+                    }
+                    None => assert_eq!(
+                        got.stats,
+                        want.stats,
+                        "single-level prediction is exact ({})",
+                        cfg.label()
+                    ),
+                    Some(spec) => {
+                        if spec.ways == 1 {
+                            assert_eq!(
+                                (got.stats.l2_hits, got.stats.l2_misses),
+                                (want.stats.l2_hits, want.stats.l2_misses),
+                                "direct-mapped counts are exact ({})",
+                                cfg.label()
+                            );
+                        }
+                        let err = miss_ratio_error(&got.stats, &want.stats);
+                        assert!(
+                            err <= MISS_RATIO_EPSILON,
+                            "{}: miss-ratio error {err:.4} > ε at {threads} threads",
+                            cfg.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_sweep_is_thread_invariant() {
+        // The predictor is deterministic: thread count must not change a
+        // single predicted statistic.
+        let tm = TimingModel::paper();
+        let am = AreaModel::new();
+        let opts = SpaceOptions::baseline();
+        let configs: Vec<MachineConfig> =
+            two_level_configs(&opts).into_iter().filter(|c| c.l1_size_bytes <= 4096).collect();
+        assert!(configs.len() >= 6);
+        let budget = SimBudget { instructions: 10_000, warmup_instructions: 2_000 };
+        let arena = capture_benchmark(SpecBenchmark::Li, budget);
+        let one = sweep_predict_arena_threads(&configs, &arena, budget, &tm, &am, 1);
+        let many = sweep_predict_arena_threads(&configs, &arena, budget, &tm, &am, 4);
+        assert_eq!(one, many);
     }
 
     #[test]

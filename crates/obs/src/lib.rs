@@ -78,11 +78,22 @@ pub enum Counter {
     RunnerFallbackByteLimit,
     /// Whole sweeps demoted from arena capture to streaming replay.
     RunnerFallbackStreaming,
+    /// Design points answered analytically by the reuse-distance
+    /// predictor (no event replay).
+    PredictConfigsPredicted,
+    /// Design points the predict engine fell back to event replay for
+    /// (exclusive hierarchies, uncaptured groups).
+    PredictConfigsReplayed,
+    /// Events walked by reuse-distance profiling passes (one per stream
+    /// event per profiled group).
+    PredictEventsProfiled,
+    /// L1 groups profiled into reuse-distance histograms.
+    PredictGroupsProfiled,
 }
 
 impl Counter {
     /// Number of counters (size of the [`CounterSet`] array).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 21;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -103,6 +114,10 @@ impl Counter {
         Counter::RunnerFallbackSingleton,
         Counter::RunnerFallbackByteLimit,
         Counter::RunnerFallbackStreaming,
+        Counter::PredictConfigsPredicted,
+        Counter::PredictConfigsReplayed,
+        Counter::PredictEventsProfiled,
+        Counter::PredictGroupsProfiled,
     ];
 
     /// Dotted manifest name, e.g. `"filter.events_decoded"`.
@@ -125,6 +140,10 @@ impl Counter {
             Counter::RunnerFallbackSingleton => "runner.fallback_singleton",
             Counter::RunnerFallbackByteLimit => "runner.fallback_byte_limit",
             Counter::RunnerFallbackStreaming => "runner.fallback_streaming",
+            Counter::PredictConfigsPredicted => "predict.configs_predicted",
+            Counter::PredictConfigsReplayed => "predict.configs_replayed",
+            Counter::PredictEventsProfiled => "predict.events_profiled",
+            Counter::PredictGroupsProfiled => "predict.groups_profiled",
         }
     }
 }

@@ -80,7 +80,8 @@ def check_audit_report(doc):
     if doc["elapsed_seconds"] < 0:
         fail("negative elapsed_seconds")
     engines = doc["engines"]
-    if sorted(engines) != sorted(["streaming", "dyn", "arena", "filtered", "family"]):
+    expected = ["streaming", "dyn", "arena", "filtered", "family", "predict"]
+    if sorted(engines) != sorted(expected):
         fail(f"unexpected engine list {engines!r}")
 
     total_div = 0
@@ -178,6 +179,19 @@ def main():
             fail(f"runner.configs_completed ({done}) != configs ({doc['configs']})")
         if counter("trace.instructions") == 0:
             fail("instrumented sweep captured no trace instructions")
+        if doc["engine"] == "predict":
+            # Every design point is either answered analytically or
+            # replayed through a fallback — nothing may fall through.
+            predicted = counter("predict.configs_predicted")
+            replayed = counter("predict.configs_replayed")
+            if predicted + replayed != doc["configs"]:
+                fail(
+                    f"predict.configs_predicted ({predicted}) + "
+                    f"predict.configs_replayed ({replayed}) != configs "
+                    f"({doc['configs']})"
+                )
+            if predicted > 0 and counter("predict.groups_profiled") == 0:
+                fail("points were predicted but no L1 group was profiled")
 
     print(
         f"validate_manifest: OK ({doc['command']} {doc['benchmark']}, "
