@@ -129,6 +129,38 @@ impl L1FrontEnd {
             line_bytes: self.line_bytes,
         }
     }
+
+    /// Splits everything captured so far off into a [`MissStream`] —
+    /// events, warm-up boundary, and L1-side statistics — while
+    /// **keeping** the L1 cache contents, the same-line fetch filter,
+    /// and the dirty bits. The front-end then keeps capturing into a
+    /// fresh segment from warm (stale) L1 state.
+    ///
+    /// This is the stitched-warming primitive behind the sampled sweep:
+    /// one front-end replays every representative phase slice in trace
+    /// order, `take_stream` cuts a segment per slice, and the segments
+    /// inherit L1 state across the gaps instead of restarting cold.
+    pub fn take_stream(&mut self, name: &str) -> MissStream {
+        // Same counter flush as `finish`, scoped to this segment.
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterEventsDecoded, self.total_refs);
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Misses, self.events.len());
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Hits, self.total_refs - self.events.len());
+        let events = std::mem::replace(&mut self.events, EventArena::new());
+        let warmup_events = std::mem::take(&mut self.warmup_events);
+        let l1_stats = self.stats;
+        self.stats = HierarchyStats::default();
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.total_refs = 0;
+        MissStream {
+            name: name.to_string(),
+            events,
+            warmup_events,
+            l1_stats,
+            l1_size_bytes: self.l1i.config().size_bytes(),
+            line_bytes: self.line_bytes,
+        }
+    }
 }
 
 impl MemorySystem for L1FrontEnd {

@@ -547,6 +547,185 @@ pub fn replay_single_family(stream: &MissStream, members: usize) -> Vec<Hierarch
     vec![replay_single(stream); members]
 }
 
+/// Validates that every segment of a stitched stream shares one L1
+/// geometry — they must all have come from the same front-end.
+fn assert_segments_stitchable(segments: &[MissStream]) {
+    let first = &segments[0];
+    for seg in segments {
+        assert_eq!(seg.line_bytes(), first.line_bytes(), "segments must share a line size");
+        assert_eq!(seg.l1_size_bytes(), first.l1_size_bytes(), "segments must share an L1 size");
+    }
+}
+
+/// Flushes one segmented family pass's totals, mirroring
+/// [`flush_family`] with the event count summed over the segments (the
+/// stream was still decoded exactly once).
+fn flush_family_segments(
+    segments: &[MissStream],
+    out: &[Vec<HierarchyStats>],
+    draws: u64,
+    swaps: u64,
+) {
+    if !tlc_obs::ENABLED {
+        return;
+    }
+    let totals = HierarchyStats {
+        l2_hits: out.iter().flatten().map(|s| s.l2_hits).sum(),
+        l2_misses: out.iter().flatten().map(|s| s.l2_misses).sum(),
+        offchip_writebacks: out.iter().flatten().map(|s| s.offchip_writebacks).sum(),
+        ..HierarchyStats::default()
+    };
+    let events: u64 = segments.iter().map(|s| s.len()).sum();
+    crate::filter::flush_l2_counters(events, &totals, draws, swaps);
+}
+
+/// Replays a *stitched* sequence of segments through one family of
+/// conventional L2s, returning per-segment, per-member statistics
+/// (`out[segment][member]`, members in `l2_cfgs` input order).
+///
+/// The family state — slot arrays, dirty bits, per-member LFSRs — is
+/// built **once** and persists across segments: segment `k` starts from
+/// the (stale) contents segment `k-1` left behind, each segment's
+/// warm-up prefix then refreshes that state before the counters reset
+/// at the segment's own warm-up boundary. This is the L2 half of
+/// stitched warming for sampled sweeps; a lone segment reproduces
+/// [`replay_conventional_family`] bit-for-bit.
+///
+/// # Panics
+///
+/// As [`replay_conventional_family`], plus if segments disagree on L1
+/// geometry or `segments` is empty.
+pub fn replay_conventional_family_segments(
+    l2_cfgs: &[CacheConfig],
+    segments: &[MissStream],
+) -> Vec<Vec<HierarchyStats>> {
+    assert!(!segments.is_empty(), "need at least one segment");
+    assert_segments_stitchable(segments);
+    if l2_cfgs.is_empty() {
+        return vec![Vec::new(); segments.len()];
+    }
+    let fw = FamilyWays::of(l2_cfgs, &segments[0]);
+    if fw.ways == 1 {
+        let mut order: Vec<usize> = (0..l2_cfgs.len()).collect();
+        order.sort_by_key(|&i| l2_cfgs[i].size_bytes());
+        let ascending: Vec<&CacheConfig> = order.iter().map(|&i| &l2_cfgs[i]).collect();
+        let mut fam = DmConventionalFamily::new(&ascending);
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            fam.reset_counters();
+            walk_events(&mut fam, seg);
+            let counters = fam.counters();
+            let mut row = vec![HierarchyStats::default(); l2_cfgs.len()];
+            for (k, &i) in order.iter().enumerate() {
+                row[i] = assemble(seg, counters[k]);
+            }
+            out.push(row);
+        }
+        flush_family_segments(segments, &out, 0, 0);
+        return out;
+    }
+    fn run<const W: usize>(
+        l2_cfgs: &[CacheConfig],
+        segments: &[MissStream],
+        fw: FamilyWays,
+    ) -> Vec<Vec<HierarchyStats>> {
+        let mut fam =
+            ConventionalFamily::<W> { states: l2_cfgs.iter().map(L2State::new).collect(), fw };
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            fam.reset_counters();
+            walk_events(&mut fam, seg);
+            out.push(
+                fam.states
+                    .iter()
+                    .map(|st| assemble(seg, (st.hits, st.misses, st.writebacks)))
+                    .collect(),
+            );
+        }
+        flush_family_segments(segments, &out, fam.states.iter().map(|st| st.lfsr_draws).sum(), 0);
+        out
+    }
+    match fw.ways {
+        2 => run::<2>(l2_cfgs, segments, fw),
+        4 => run::<4>(l2_cfgs, segments, fw),
+        8 => run::<8>(l2_cfgs, segments, fw),
+        _ => run::<0>(l2_cfgs, segments, fw),
+    }
+}
+
+/// As [`replay_conventional_family_segments`] for a family of exclusive
+/// (victim-swap) L2s: persistent slot arrays, per-member fill-dirty
+/// mirrors, and LFSRs stitch across segments; a lone segment reproduces
+/// [`replay_exclusive_family`] bit-for-bit.
+///
+/// # Panics
+///
+/// As [`replay_conventional_family_segments`].
+pub fn replay_exclusive_family_segments(
+    l2_cfgs: &[CacheConfig],
+    segments: &[MissStream],
+) -> Vec<Vec<HierarchyStats>> {
+    assert!(!segments.is_empty(), "need at least one segment");
+    assert_segments_stitchable(segments);
+    if l2_cfgs.is_empty() {
+        return vec![Vec::new(); segments.len()];
+    }
+    let fw = FamilyWays::of(l2_cfgs, &segments[0]);
+    fn run<const W: usize>(
+        l2_cfgs: &[CacheConfig],
+        segments: &[MissStream],
+        fw: FamilyWays,
+    ) -> Vec<Vec<HierarchyStats>> {
+        let sets = segments[0].l1_sets();
+        let mut fam = ExclusiveFamily::<W> {
+            members: l2_cfgs
+                .iter()
+                .map(|cfg| ExclusiveFamilyMember {
+                    l2: L2State::new(cfg),
+                    mirror_i: vec![false; sets],
+                    mirror_d: vec![false; sets],
+                })
+                .collect(),
+            fw,
+            l1_set_mask: sets as u64 - 1,
+        };
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            fam.reset_counters();
+            walk_events(&mut fam, seg);
+            out.push(
+                fam.members
+                    .iter()
+                    .map(|m| assemble(seg, (m.l2.hits, m.l2.misses, m.l2.writebacks)))
+                    .collect(),
+            );
+        }
+        flush_family_segments(
+            segments,
+            &out,
+            fam.members.iter().map(|m| m.l2.lfsr_draws).sum(),
+            fam.members.iter().map(|m| m.l2.swaps).sum(),
+        );
+        out
+    }
+    match fw.ways {
+        1 => run::<1>(l2_cfgs, segments, fw),
+        2 => run::<2>(l2_cfgs, segments, fw),
+        4 => run::<4>(l2_cfgs, segments, fw),
+        8 => run::<8>(l2_cfgs, segments, fw),
+        _ => run::<0>(l2_cfgs, segments, fw),
+    }
+}
+
+/// Per-segment single-level statistics: there is no L2 state to stitch,
+/// so each segment replays independently.
+pub fn replay_single_family_segments(
+    segments: &[MissStream],
+    members: usize,
+) -> Vec<Vec<HierarchyStats>> {
+    segments.iter().map(|seg| replay_single_family(seg, members)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

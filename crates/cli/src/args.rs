@@ -93,6 +93,32 @@ impl ArgMap {
         let v = self.options.get(key).ok_or_else(|| ArgError(format!("--{key} is required")))?;
         v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
     }
+
+    /// Seed option accepting `0x`-prefixed hex or plain decimal, shared
+    /// by `audit --seed` and `trace sample --seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the option if the value parses as neither.
+    pub fn get_seed_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => parse_seed(v).map_err(|e| ArgError(format!("--{key}: {}", e.0))),
+        }
+    }
+}
+
+/// Parses a seed as `0x`/`0X`-prefixed hexadecimal or plain decimal.
+///
+/// # Errors
+///
+/// Returns an error describing the unparsable value.
+pub fn parse_seed(s: &str) -> Result<u64, ArgError> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| ArgError(format!("cannot parse seed {s:?} (decimal or 0x-hex)")))
 }
 
 #[cfg(test)]
@@ -130,5 +156,19 @@ mod tests {
     fn missing_value_is_an_error() {
         let e = ArgMap::parse(sv(&["--l1"]), &[]).unwrap_err();
         assert!(e.to_string().contains("--l1"));
+    }
+
+    #[test]
+    fn seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("42").expect("decimal"), 42);
+        assert_eq!(parse_seed("0xC1").expect("hex"), 0xC1);
+        assert_eq!(parse_seed("0Xdead_beef".replace('_', "").as_str()).expect("hex"), 0xDEAD_BEEF);
+        assert!(parse_seed("zebra").is_err());
+        assert!(parse_seed("0xzebra").is_err());
+        let a = ArgMap::parse(sv(&["--seed", "0x10"]), &[]).expect("parse");
+        assert_eq!(a.get_seed_or("seed", 1).expect("hex option"), 16);
+        assert_eq!(a.get_seed_or("missing", 7).expect("default"), 7);
+        let b = ArgMap::parse(sv(&["--seed", "x"]), &[]).expect("parse");
+        assert!(b.get_seed_or("seed", 1).unwrap_err().to_string().contains("--seed"));
     }
 }

@@ -12,16 +12,19 @@ use tlc_core::experiment::{simulate_source, SimBudget};
 use tlc_core::report::{envelope_table, points_csv, points_table};
 use tlc_core::runner::{
     default_threads, try_sweep_arena_threads, try_sweep_family_arena_threads,
-    try_sweep_filtered_arena_threads, try_sweep_predict_arena_threads, try_sweep_streaming_threads,
-    try_sweep_threads,
+    try_sweep_filtered_arena_threads, try_sweep_predict_arena_threads, try_sweep_sampled_threads,
+    try_sweep_streaming_threads, try_sweep_threads, ARENA_BYTES_LIMIT, ARENA_BYTES_PER_RECORD,
 };
+use tlc_core::sampling::{capture_phase_slices, sample_source, PhaseSample, SampleOptions};
 use tlc_core::tpi::tpi_ns;
 use tlc_core::{evaluate, L2Policy, MachineConfig, MachineTiming};
 use tlc_obs::manifest::{fnv1a64, RunManifest, RunMeta};
 use tlc_obs::Counter;
 use tlc_timing::{DetailedTimingModel, EnergyModel, TimingModel};
+use tlc_trace::compact::import_to_compact;
 use tlc_trace::spec::SpecBenchmark;
 use tlc_trace::specfile::WorkloadSpec;
+use tlc_trace::{ImportFormat, InstructionSource, TraceArena, TraceReader, TraceStats};
 
 /// Top-level usage text.
 pub fn usage() -> String {
@@ -38,6 +41,15 @@ pub fn usage() -> String {
      \u{20}            [--engine auto|streaming|arena|filtered|family|predict] [--threads N]\n\
      \u{20}            [--metrics out.json]  write a tlc-run-manifest/1 document\n\
      \u{20}            [--progress]          live configs-done/ETA/events-per-second ticker on stderr\n\
+     \u{20}            --trace t.trc         sweep a captured TLCTRC01 trace instead of a workload\n\
+     \u{20}            --sample phases.json  replay only the trace's representative phases\n\
+     \u{20}                                  (weighted recombination; --warmup N primes each slice)\n\
+     \u{20} trace      on-disk traces: convert, phase-sample, and inspect\n\
+     \u{20}            import IN OUT [--format auto|compact|instr|refs|text|addr-text|addr-bin]\n\
+     \u{20}                          [--limit N]  convert IN to the compact TLCTRC01 format\n\
+     \u{20}            sample FILE [--interval N] [--k N] [--seed S] [--out phases.json]\n\
+     \u{20}                          cluster intervals into K phases (tlc-phase-sample/1)\n\
+     \u{20}            info FILE [--interval N]  header, counts, footprint, per-interval summary\n\
      \u{20} profile    single-pass Mattson miss-ratio curve of a workload\n\
      \u{20}            --workload li [--instr N]\n\
      \u{20} timing     access/cycle time, area, and energy of one cache\n\
@@ -110,10 +122,68 @@ pub fn cmd_evaluate(args: &ArgMap) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// The stream a sweep replays: a built-in synthetic benchmark, or an
+/// on-disk compact trace (optionally reduced to its representative
+/// phases).
+enum SweepInput {
+    Bench(SpecBenchmark),
+    Trace {
+        reader: Box<TraceReader<std::io::BufReader<std::fs::File>>>,
+        sample: Option<PhaseSample>,
+    },
+}
+
+/// Opens a `TLCTRC01` trace for streaming, named after its file stem.
+fn open_trace_reader(
+    path: &str,
+) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, ArgError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace")
+        .to_string();
+    TraceReader::new(std::io::BufReader::new(file), name).map_err(|e| {
+        ArgError(format!("{path}: {e} (is this a TLCTRC01 file? see `tlc trace import`)"))
+    })
+}
+
 /// `tlc sweep`.
 pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
-    let benchmark = parse_workload(args)?;
-    let budget = parse_budget(args)?;
+    let trace_path = args.get("trace").map(str::to_string);
+    let sample_path = args.get("sample").map(str::to_string);
+    if sample_path.is_some() && trace_path.is_none() {
+        return Err(ArgError("--sample requires --trace".into()));
+    }
+    let (input, bench_name, budget) = match &trace_path {
+        None => {
+            let b = parse_workload(args)?;
+            (SweepInput::Bench(b), b.name().to_string(), parse_budget(args)?)
+        }
+        Some(path) => {
+            let reader = open_trace_reader(path)?;
+            let name = reader.source_name().to_string();
+            let sample = match &sample_path {
+                None => None,
+                Some(spath) => {
+                    let json = std::fs::read_to_string(spath)
+                        .map_err(|e| ArgError(format!("cannot read {spath}: {e}")))?;
+                    let sample = PhaseSample::from_json(&json)
+                        .map_err(|e| ArgError(format!("{spath}: {e}")))?;
+                    sample.validate().map_err(|e| ArgError(format!("{spath}: {e}")))?;
+                    Some(sample)
+                }
+            };
+            // Trace mode defaults to the whole stream with no warm-up
+            // discard; in sampled mode --warmup primes each slice instead.
+            let budget = SimBudget {
+                instructions: args.get_or("instr", u64::MAX)?,
+                warmup_instructions: args.get_or("warmup", 0)?,
+            };
+            (SweepInput::Trace { reader: Box::new(reader), sample }, name, budget)
+        }
+    };
     let ways: u32 = args.get_or("ways", 4)?;
     let offchip: f64 = args.get_or("offchip", 50.0)?;
     let policy = match args.get("policy").unwrap_or("conventional") {
@@ -137,6 +207,24 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
              predict"
         )));
     }
+    match &input {
+        SweepInput::Trace { sample: Some(_), .. }
+            if !["auto", "family"].contains(&engine.as_str()) =>
+        {
+            return Err(ArgError(format!(
+                "--sample replays phases through the family engine; --engine {engine} does not \
+                 apply"
+            )));
+        }
+        SweepInput::Trace { .. } if engine == "streaming" => {
+            return Err(ArgError(
+                "--engine streaming regenerates a synthetic workload; a --trace sweep always \
+                 replays the captured stream (use auto, arena, filtered, family or predict)"
+                    .into(),
+            ));
+        }
+        _ => {}
+    }
     let metrics_path = args.get("metrics").map(str::to_string);
     let configs = full_space(&opts);
 
@@ -145,40 +233,121 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
     tlc_obs::reset();
     let ticker = args.flag("progress").then(|| ProgressTicker::start(configs.len()));
     let start = std::time::Instant::now();
+    // Trace decode problems surface *during* capture (the reader parks
+    // them); collected here and reported after the ticker is stopped.
+    let mut trace_error: Option<String> = None;
     let result = {
         let _span = tlc_obs::obs_span!("sweep");
-        let capture = |name: &'static str| {
-            let _span = tlc_obs::PhaseSpan::enter(name);
-            capture_benchmark(benchmark, budget)
-        };
-        match engine.as_str() {
-            // The default heuristic: family-batched miss-stream filtering
-            // over a captured arena, streaming when the capture would be
-            // enormous.
-            "auto" => try_sweep_threads(&configs, benchmark, budget, &timing, &area, threads),
-            "streaming" => {
-                try_sweep_streaming_threads(&configs, benchmark, budget, &timing, &area, threads)
+        match input {
+            SweepInput::Bench(benchmark) => {
+                let capture = |name: &'static str| {
+                    let _span = tlc_obs::PhaseSpan::enter(name);
+                    capture_benchmark(benchmark, budget)
+                };
+                match engine.as_str() {
+                    // The default heuristic: family-batched miss-stream
+                    // filtering over a captured arena, streaming when the
+                    // capture would be enormous.
+                    "auto" => {
+                        try_sweep_threads(&configs, benchmark, budget, &timing, &area, threads)
+                    }
+                    "streaming" => try_sweep_streaming_threads(
+                        &configs, benchmark, budget, &timing, &area, threads,
+                    ),
+                    "arena" => {
+                        let arena = capture("arena_capture");
+                        try_sweep_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+                    }
+                    "filtered" => {
+                        let arena = capture("arena_capture");
+                        try_sweep_filtered_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        )
+                    }
+                    "family" => {
+                        let arena = capture("arena_capture");
+                        try_sweep_family_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        )
+                    }
+                    // Analytical prediction: one reuse-distance pass per L1
+                    // group answers every conventional point; exclusive
+                    // members stay on replay. ε-accurate, not bit-identical
+                    // (see docs/models.md).
+                    "predict" => {
+                        let arena = capture("arena_capture");
+                        try_sweep_predict_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        )
+                    }
+                    _ => unreachable!("engine validated above"),
+                }
             }
-            "arena" => {
-                let arena = capture("arena_capture");
-                try_sweep_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            SweepInput::Trace { mut reader, sample: Some(sample) } => {
+                // Sampled sweep: capture only the representative slices,
+                // sweep each with the family engine, recombine weighted.
+                let slices = {
+                    let _span = tlc_obs::PhaseSpan::enter("slice_capture");
+                    capture_phase_slices(&mut *reader, &sample, budget.warmup_instructions)
+                };
+                match reader.take_error() {
+                    Some(e) => {
+                        trace_error = Some(e.to_string());
+                        Ok(Vec::new())
+                    }
+                    None => try_sweep_sampled_threads(&configs, &slices, &timing, &area, threads),
+                }
             }
-            "filtered" => {
-                let arena = capture("arena_capture");
-                try_sweep_filtered_arena_threads(&configs, &arena, budget, &timing, &area, threads)
+            SweepInput::Trace { mut reader, sample: None } => {
+                // Full-trace sweep: capture the whole stream (or --instr
+                // worth) into an arena, then fan out like any other sweep.
+                let cap = if budget.instructions == u64::MAX {
+                    (ARENA_BYTES_LIMIT / ARENA_BYTES_PER_RECORD) as u64
+                } else {
+                    budget.warmup_instructions.saturating_add(budget.instructions)
+                };
+                let arena = {
+                    let _span = tlc_obs::PhaseSpan::enter("trace_capture");
+                    TraceArena::capture(&mut *reader, cap)
+                };
+                if let Some(e) = reader.take_error() {
+                    trace_error = Some(e.to_string());
+                }
+                if trace_error.is_none()
+                    && budget.instructions == u64::MAX
+                    && arena.len() == cap
+                    && reader.try_next().is_ok_and(|r| r.is_some())
+                {
+                    trace_error = Some(format!(
+                        "trace exceeds the {} MiB arena budget; sweep a prefix with --instr N or \
+                         sample it first (tlc trace sample + --sample)",
+                        ARENA_BYTES_LIMIT >> 20
+                    ));
+                }
+                if trace_error.is_some() {
+                    Ok(Vec::new())
+                } else {
+                    let budget = SimBudget {
+                        instructions: arena.len().saturating_sub(budget.warmup_instructions),
+                        warmup_instructions: budget.warmup_instructions,
+                    };
+                    match engine.as_str() {
+                        "arena" => try_sweep_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        ),
+                        "filtered" => try_sweep_filtered_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        ),
+                        "predict" => try_sweep_predict_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        ),
+                        // auto == family for a captured trace.
+                        _ => try_sweep_family_arena_threads(
+                            &configs, &arena, budget, &timing, &area, threads,
+                        ),
+                    }
+                }
             }
-            "family" => {
-                let arena = capture("arena_capture");
-                try_sweep_family_arena_threads(&configs, &arena, budget, &timing, &area, threads)
-            }
-            // Analytical prediction: one reuse-distance pass per L1 group
-            // answers every conventional point; exclusive members stay on
-            // replay. ε-accurate, not bit-identical (see docs/models.md).
-            "predict" => {
-                let arena = capture("arena_capture");
-                try_sweep_predict_arena_threads(&configs, &arena, budget, &timing, &area, threads)
-            }
-            _ => unreachable!("engine validated above"),
         }
     };
     if let Some(t) = ticker {
@@ -189,7 +358,7 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
     }
     let manifest = RunManifest::collect(RunMeta {
         command: "sweep".to_string(),
-        benchmark: benchmark.name().to_string(),
+        benchmark: bench_name.clone(),
         engine,
         threads: threads as u64,
         configs: configs.len() as u64,
@@ -203,12 +372,15 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         std::fs::write(path, manifest.to_json())
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
     }
+    if let Some(e) = trace_error {
+        return Err(ArgError(e));
+    }
     let points = result.map_err(|e| ArgError(format!("sweep worker thread panicked at {e}")))?;
     if args.flag("csv") {
         return Ok(points_csv(&points));
     }
     let title = format!(
-        "{benchmark}: {offchip}ns off-chip, {ways}-way {} L2{}",
+        "{bench_name}: {offchip}ns off-chip, {ways}-way {} L2{}",
         if policy == L2Policy::Exclusive { "exclusive" } else { "conventional" },
         if cell == CellKind::DualPorted { ", dual-ported L1" } else { "" }
     );
@@ -467,17 +639,9 @@ pub fn cmd_list() -> String {
 pub fn cmd_audit(args: &ArgMap) -> Result<String, ArgError> {
     let defaults = AuditOptions::default();
     // Seeds are echoed back in hex (`rerun with --seed 0x…`), so accept
-    // both decimal and 0x-prefixed hex on the way in.
-    let seed = match args.get("seed") {
-        None => defaults.seed,
-        Some(s) => {
-            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => s.parse(),
-            };
-            parsed.map_err(|e| ArgError(format!("--seed: cannot parse {s:?}: {e}")))?
-        }
-    };
+    // both decimal and 0x-prefixed hex on the way in (shared with
+    // `trace sample --seed`).
+    let seed = args.get_seed_or("seed", defaults.seed)?;
     let opts = AuditOptions {
         seed,
         seconds: args.get_or("seconds", defaults.seconds)?,
@@ -527,6 +691,230 @@ pub fn cmd_audit(args: &ArgMap) -> Result<String, ArgError> {
     }
 }
 
+/// `tlc trace` — on-disk trace utilities: `import`, `sample`, `info`.
+pub fn cmd_trace(args: &ArgMap) -> Result<String, ArgError> {
+    match args.positional(1) {
+        Some("import") => cmd_trace_import(args),
+        Some("sample") => cmd_trace_sample(args),
+        Some("info") => cmd_trace_info(args),
+        _ => Err(ArgError("usage: tlc trace <import|sample|info> ... (see tlc help)".into())),
+    }
+}
+
+/// `tlc trace import IN OUT` — convert any supported trace format to
+/// compact `TLCTRC01`.
+fn cmd_trace_import(args: &ArgMap) -> Result<String, ArgError> {
+    let input = args.positional(2).ok_or_else(|| {
+        ArgError("usage: tlc trace import IN OUT [--format F] [--limit N]".into())
+    })?;
+    let output = args.positional(3).ok_or_else(|| {
+        ArgError("usage: tlc trace import IN OUT [--format F] [--limit N]".into())
+    })?;
+    let limit = match args.get("limit") {
+        None => None,
+        Some(_) => Some(args.require::<u64>("limit")?),
+    };
+    let format = match args.get("format").unwrap_or("auto") {
+        "auto" => {
+            // Sniff the first bytes; magic formats identify themselves,
+            // text formats by their line shape. The window is generous
+            // so a text trace's `#` comment header cannot swallow it
+            // before the first payload line.
+            let mut prefix = [0u8; 4096];
+            let mut f = std::fs::File::open(input)
+                .map_err(|e| ArgError(format!("cannot open {input}: {e}")))?;
+            let mut filled = 0usize;
+            while filled < prefix.len() {
+                match std::io::Read::read(&mut f, &mut prefix[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) => return Err(ArgError(format!("cannot read {input}: {e}"))),
+                }
+            }
+            ImportFormat::detect(&prefix[..filled])
+        }
+        other => ImportFormat::parse(other).ok_or_else(|| {
+            ArgError(format!(
+                "unknown format {other:?}; choose auto, compact, instr, refs, text, addr-text or \
+                 addr-bin"
+            ))
+        })?,
+    };
+    let reader = std::io::BufReader::new(
+        std::fs::File::open(input).map_err(|e| ArgError(format!("cannot open {input}: {e}")))?,
+    );
+    let writer = std::io::BufWriter::new(
+        std::fs::File::create(output)
+            .map_err(|e| ArgError(format!("cannot create {output}: {e}")))?,
+    );
+    let written = import_to_compact(format, reader, writer, limit)
+        .map_err(|e| ArgError(format!("{input}: {e}")))?;
+    let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "imported {written} instructions from {input} ({}) -> {output} ({bytes} bytes, {:.2} \
+         B/instr)\n",
+        format.name(),
+        if written > 0 { bytes as f64 / written as f64 } else { 0.0 }
+    ))
+}
+
+/// `tlc trace sample FILE` — cluster the trace's intervals into K
+/// representative phases and persist the weighted selection.
+fn cmd_trace_sample(args: &ArgMap) -> Result<String, ArgError> {
+    let path = args.positional(2).ok_or_else(|| {
+        ArgError("usage: tlc trace sample FILE [--interval N] [--k N] [--seed S] [--out F]".into())
+    })?;
+    let defaults = SampleOptions::default();
+    let opts = SampleOptions {
+        interval: args.get_or("interval", defaults.interval)?,
+        phases: args.get_or("k", defaults.phases)?,
+        seed: args.get_seed_or("seed", defaults.seed)?,
+    };
+    if opts.interval == 0 {
+        return Err(ArgError("--interval must be at least 1".into()));
+    }
+    let mut reader = open_trace_reader(path)?;
+    let sample = sample_source(&mut reader, &opts);
+    if let Some(e) = reader.take_error() {
+        return Err(ArgError(format!("{path}: {e}")));
+    }
+    sample.validate().map_err(|e| ArgError(format!("{path}: sampling failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} instructions in {} intervals of {} -> {} phases (k {}, seed {:#x})",
+        sample.trace,
+        sample.instructions,
+        sample.intervals,
+        sample.interval,
+        sample.phases.len(),
+        sample.k,
+        sample.seed
+    );
+    for p in &sample.phases {
+        let _ = writeln!(
+            out,
+            "  phase @ interval {:>6}: {:>5} member interval(s), weight {:>12} instructions \
+             ({:.1}%)",
+            p.representative,
+            p.members,
+            p.weight_instructions,
+            100.0 * p.weight_instructions as f64 / sample.instructions as f64
+        );
+    }
+    let replayed: u64 = sample
+        .phases
+        .iter()
+        .map(|p| sample.interval.min(sample.instructions - p.representative * sample.interval))
+        .sum();
+    let _ = writeln!(
+        out,
+        "sampled replay covers {replayed} of {} instructions ({:.1}x reduction)",
+        sample.instructions,
+        sample.instructions as f64 / replayed as f64
+    );
+    match args.get("out") {
+        Some(dest) => {
+            std::fs::write(dest, sample.to_json())
+                .map_err(|e| ArgError(format!("cannot write {dest}: {e}")))?;
+            let _ = writeln!(out, "selection written to {dest} ({PHASE_SAMPLE_USAGE})");
+            Ok(out)
+        }
+        None => Ok(format!("{out}\n{}\n", sample.to_json())),
+    }
+}
+
+/// How a persisted selection is consumed, for the `sample` report text.
+const PHASE_SAMPLE_USAGE: &str = "replay with: tlc sweep --trace FILE --sample <this file>";
+
+/// `tlc trace info FILE` — header, counts, footprint, and per-interval
+/// summary, without running any sweep.
+fn cmd_trace_info(args: &ArgMap) -> Result<String, ArgError> {
+    let path = args
+        .positional(2)
+        .ok_or_else(|| ArgError("usage: tlc trace info FILE [--interval N]".into()))?;
+    let interval: u64 = args.get_or("interval", 100_000)?;
+    if interval == 0 {
+        return Err(ArgError("--interval must be at least 1".into()));
+    }
+    let mut reader = open_trace_reader(path)?;
+    let mut stats = TraceStats::new(16);
+    // Per-interval rollup: instructions, data refs, distinct 4 KiB
+    // regions touched (fetch + data).
+    struct IntervalRow {
+        instructions: u64,
+        data_refs: u64,
+        regions: std::collections::BTreeSet<u64>,
+    }
+    let mut rows: Vec<IntervalRow> = Vec::new();
+    let mut current =
+        IntervalRow { instructions: 0, data_refs: 0, regions: std::collections::BTreeSet::new() };
+    while let Some(rec) = reader.try_next().map_err(|e| ArgError(format!("{path}: {e}")))? {
+        stats.record_instruction(&rec);
+        current.instructions += 1;
+        current.regions.insert(rec.fetch.raw() >> 12);
+        if let Some(d) = rec.data {
+            current.data_refs += 1;
+            current.regions.insert(d.addr.raw() >> 12);
+        }
+        if current.instructions == interval {
+            rows.push(std::mem::replace(
+                &mut current,
+                IntervalRow {
+                    instructions: 0,
+                    data_refs: 0,
+                    regions: std::collections::BTreeSet::new(),
+                },
+            ));
+        }
+    }
+    if current.instructions > 0 {
+        rows.push(current);
+    }
+    let n = stats.instr_refs();
+    let mut out = String::new();
+    let _ = writeln!(out, "trace    : {path} (TLCTRC01 v1, {} bytes)", reader.byte_offset());
+    let _ = writeln!(
+        out,
+        "records  : {n} instructions ({:.2} B/instr)",
+        if n > 0 { reader.byte_offset() as f64 / n as f64 } else { 0.0 }
+    );
+    let _ = writeln!(
+        out,
+        "refs     : {} data ({} loads, {} stores); {:.3} data/instr",
+        stats.data_refs(),
+        stats.loads(),
+        stats.stores(),
+        if n > 0 { stats.data_refs() as f64 / n as f64 } else { 0.0 }
+    );
+    let _ = writeln!(
+        out,
+        "footprint: instr {} KB, data {} KB (16B lines)",
+        stats.instr_footprint_bytes() / 1024,
+        stats.data_footprint_bytes() / 1024
+    );
+    let _ = writeln!(out, "intervals: {} of {} instructions", rows.len(), interval);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>12} {:>12}",
+        "interval", "instructions", "data refs", "4K regions"
+    );
+    const MAX_ROWS: usize = 24;
+    for (i, row) in rows.iter().take(MAX_ROWS).enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>8} {:>14} {:>12} {:>12}",
+            row.instructions,
+            row.data_refs,
+            row.regions.len()
+        );
+    }
+    if rows.len() > MAX_ROWS {
+        let _ = writeln!(out, "     ... {} more interval(s)", rows.len() - MAX_ROWS);
+    }
+    Ok(out)
+}
+
 /// Dispatches a full command line (without argv\[0\]).
 pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
     let flags = ["csv", "dual", "detailed", "quick", "progress"];
@@ -540,6 +928,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
         "workload" => cmd_workload(&args),
         "compare" => cmd_compare(&args),
         "audit" => cmd_audit(&args),
+        "trace" => cmd_trace(&args),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
@@ -814,6 +1203,103 @@ mod tests {
             assert!(manifest.spans.iter().any(|s| s.name == "sweep"), "root sweep span missing");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_import_sample_sweep_workflow() {
+        // End to end: a flat address list imports to TLCTRC01; info and
+        // sample read it; a full-trace sweep and a degenerate sampled
+        // sweep (interval >= stream -> one phase, weight 1) agree
+        // exactly.
+        let dir = std::env::temp_dir().join(format!("tlc-trace-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let addrs = dir.join("addrs.txt");
+        let trc = dir.join("trace.trc");
+        let phases = dir.join("phases.json");
+        let manifest_path = dir.join("manifest.json");
+        let mut text = String::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for i in 0..6000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let tag = if state.is_multiple_of(4) { "W" } else { "R" };
+            let addr = 0x10_0000 + (state >> 33) % (1 << 14);
+            let _ = writeln!(text, "{tag} {:#x}", addr);
+            if i % 3 == 0 {
+                let _ = writeln!(text, "R {}", 0x20_0000 + (state >> 17) % (1 << 12));
+            }
+        }
+        std::fs::write(&addrs, text).expect("write addr list");
+        let trc_s = trc.to_str().expect("utf8");
+        let out = run(&["trace", "import", addrs.to_str().expect("utf8"), trc_s]).expect("import");
+        assert!(out.contains("addr-text"), "auto-detect flat list: {out}");
+        let info = run(&["trace", "info", trc_s, "--interval", "2000"]).expect("info");
+        assert!(info.contains("TLCTRC01"));
+        assert!(info.contains("footprint"));
+        let sample_out = run(&[
+            "trace",
+            "sample",
+            trc_s,
+            "--interval",
+            "1000000",
+            "--k",
+            "3",
+            "--seed",
+            "0xC1",
+            "--out",
+            phases.to_str().expect("utf8"),
+        ])
+        .expect("sample");
+        assert!(sample_out.contains("1 phases") || sample_out.contains("-> 1 phases"));
+        let doc = PhaseSample::from_json(&std::fs::read_to_string(&phases).expect("json"))
+            .expect("parses");
+        doc.validate().expect("valid selection");
+        assert_eq!(doc.seed, 0xC1);
+        let full = run(&["sweep", "--trace", trc_s, "--csv"]).expect("full trace sweep");
+        assert!(full.starts_with("workload,label"));
+        assert!(full.contains("trace"), "workload column carries the trace name");
+        let sampled = run(&[
+            "sweep",
+            "--trace",
+            trc_s,
+            "--sample",
+            phases.to_str().expect("utf8"),
+            "--csv",
+            "--metrics",
+            manifest_path.to_str().expect("utf8"),
+        ])
+        .expect("sampled sweep");
+        assert_eq!(full, sampled, "single-phase full-weight sampling is exact");
+        let manifest =
+            RunManifest::from_json(&std::fs::read_to_string(&manifest_path).expect("manifest"))
+                .expect("manifest parses");
+        manifest.validate().expect("sampled-run invariants hold");
+        if tlc_obs::ENABLED {
+            assert_eq!(manifest.counter("sample.intervals"), Some(1));
+            assert_eq!(manifest.counter("sample.phases"), Some(1));
+            assert_eq!(manifest.counter("sample.intervals_skipped"), Some(0));
+            assert!(manifest.counter("sample.events_replayed").unwrap_or(0) > 0);
+            assert_eq!(
+                manifest.counter("runner.configs_completed"),
+                Some(manifest.configs),
+                "one phase -> one engine run per config"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_sweep_rejects_bad_combinations() {
+        let e = run(&["sweep", "--sample", "x.json", "--workload", "li"]).unwrap_err();
+        assert!(e.to_string().contains("--trace"));
+        let dir = std::env::temp_dir().join(format!("tlc-trace-cli-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trc = dir.join("t.trc");
+        std::fs::write(&trc, b"NOTATRACE").expect("write");
+        let e = run(&["sweep", "--trace", trc.to_str().expect("utf8"), "--csv"]).unwrap_err();
+        assert!(e.to_string().contains("trace import"), "bad magic advises import: {e}");
+        let e = run(&["trace", "frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("import|sample|info"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

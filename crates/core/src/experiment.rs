@@ -414,6 +414,79 @@ pub fn try_capture_miss_stream(
     Ok(Some(fe.finish(arena.name())))
 }
 
+/// Stitched-warming capture for a sampled sweep: **one** L1 front-end
+/// replays every representative [`PhaseSlice`](crate::sampling::PhaseSlice)
+/// in trace order, and [`L1FrontEnd::take_stream`] cuts a [`MissStream`]
+/// segment per slice — so slice `k` starts from the (stale) L1 contents
+/// slice `k-1` left behind, and each slice's warm-up prefix refreshes
+/// that state before its counters reset at the slice's own warm-up
+/// boundary. Feeding the segments to [`simulate_family_segments`]
+/// extends the stitching to the L2 side.
+///
+/// Returns `None` when the packed segments collectively outgrow
+/// `byte_limit` (checked between chunks) — callers fall back to cold
+/// per-slice replay.
+///
+/// # Panics
+///
+/// Panics on an invalid L1 geometry.
+pub fn capture_miss_stream_segments(
+    l1_size_bytes: u64,
+    line_bytes: u64,
+    slices: &[crate::sampling::PhaseSlice],
+    byte_limit: usize,
+) -> Option<Vec<MissStream>> {
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    let l1 = CacheConfig::new(
+        l1_size_bytes,
+        line_bytes,
+        Associativity::Direct,
+        ReplacementKind::PseudoRandom,
+    )
+    .expect("valid L1 configuration");
+    let mut fe = L1FrontEnd::new(l1);
+    let mut segments = Vec::with_capacity(slices.len());
+    let mut banked = 0usize;
+    for slice in slices {
+        let warm = slice.budget.warmup_instructions;
+        let total = warm.saturating_add(slice.budget.instructions);
+        let mut pos = 0u64;
+        for chunk in slice.arena.chunks() {
+            if pos >= total {
+                break;
+            }
+            if banked + fe.event_bytes() > byte_limit {
+                return None;
+            }
+            let take = (chunk.len() as u64).min(total - pos);
+            if pos >= warm {
+                replay_chunk(&mut fe, chunk, 0, take as usize);
+            } else if pos + take <= warm {
+                replay_chunk(&mut fe, chunk, 0, take as usize);
+                if pos + take == warm {
+                    fe.reset_stats();
+                }
+            } else {
+                let split = (warm - pos) as usize;
+                replay_chunk(&mut fe, chunk, 0, split);
+                fe.reset_stats();
+                replay_chunk(&mut fe, chunk, split, take as usize);
+            }
+            pos += take;
+        }
+        if pos <= warm {
+            fe.reset_stats();
+        }
+        let seg = fe.take_stream(slice.arena.name());
+        banked += seg.bytes();
+        segments.push(seg);
+    }
+    if banked > byte_limit {
+        return None;
+    }
+    Some(segments)
+}
+
 /// As [`simulate_arena`], replaying a captured [`MissStream`] through the
 /// configuration's L2 back-end only — the miss-stream filtering fast
 /// path. Bit-identical to the arena engine when `stream` was captured
@@ -554,6 +627,79 @@ pub fn evaluate_family(
         .collect()
 }
 
+/// As [`simulate_family`] over a *stitched* sequence of segments (one
+/// per representative phase slice, from
+/// [`capture_miss_stream_segments`]): the family's L2 state — slot
+/// arrays, per-member LFSRs, exclusive fill-dirty mirrors — is built
+/// once and persists across segments, so each segment's warm-up prefix
+/// refreshes stale state instead of filling a cold cache. Returns
+/// per-segment, per-member statistics (`out[segment][member]`, members
+/// in `cfgs` input order); a lone segment reproduces [`simulate_family`]
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// As [`simulate_family`], plus if `segments` is empty or segments
+/// disagree on L1 geometry.
+pub fn simulate_family_segments(
+    cfgs: &[MachineConfig],
+    segments: &[MissStream],
+) -> Vec<Vec<HierarchyStats>> {
+    use tlc_cache::filter_family::{
+        replay_conventional_family_segments, replay_exclusive_family_segments,
+        replay_single_family_segments,
+    };
+    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    assert!(!segments.is_empty(), "need at least one segment");
+    if cfgs.is_empty() {
+        return vec![Vec::new(); segments.len()];
+    }
+    for cfg in cfgs {
+        assert_eq!(
+            cfg.l1_size_bytes,
+            segments[0].l1_size_bytes(),
+            "segments captured for a different L1"
+        );
+        assert_eq!(
+            cfg.line_bytes,
+            segments[0].line_bytes(),
+            "segments captured for a different line size"
+        );
+    }
+    let family = cfgs[0].l2.map(|s| (s.policy, s.ways));
+    assert!(
+        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways)) == family),
+        "a family shares one L2 policy and associativity"
+    );
+    let Some((policy, ways)) = family else {
+        return replay_single_family_segments(segments, cfgs.len());
+    };
+    // Deduplicate by L2 capacity; duplicate sizes share one simulation.
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut size_of: Vec<usize> = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let sz = cfg.l2.expect("two-level family").size_bytes;
+        let k = sizes.iter().position(|&s| s == sz).unwrap_or_else(|| {
+            sizes.push(sz);
+            sizes.len() - 1
+        });
+        size_of.push(k);
+    }
+    let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
+    let l2_cfgs: Vec<CacheConfig> = sizes
+        .iter()
+        .map(|&sz| {
+            CacheConfig::new(sz, segments[0].line_bytes(), assoc, ReplacementKind::PseudoRandom)
+                .expect("valid L2 configuration")
+        })
+        .collect();
+    let per_size = match policy {
+        L2Policy::Conventional => replay_conventional_family_segments(&l2_cfgs, segments),
+        L2Policy::Exclusive => replay_exclusive_family_segments(&l2_cfgs, segments),
+    };
+    per_size.into_iter().map(|row| size_of.iter().map(|&k| row[k]).collect()).collect()
+}
+
 /// As [`simulate_family`] with the replay removed: one reuse-distance
 /// profiling pass over the stream ([`tlc_cache::ReuseProfile`]) answers
 /// every member analytically, in time independent of the event count.
@@ -635,12 +781,28 @@ fn design_point(
     timing: &TimingModel,
     area: &AreaModel,
 ) -> DesignPoint {
-    let t = MachineTiming::derive(cfg, timing, area);
-    let tpi = tpi::tpi_ns(&stats, &t);
     // Every engine funnels finished evaluations through here, so this
     // is the one completion tick the progress ticker and the manifest's
-    // `runner.configs_completed` invariant rely on.
+    // `runner.configs_completed` invariant rely on. (Sampled sweeps tick
+    // once per phase through the per-phase engine runs, then build the
+    // recombined point via `design_point_untracked` — the manifest
+    // invariant there is configs × phases.)
     tlc_obs::obs_count!(tlc_obs::Counter::RunnerConfigsCompleted, 1);
+    design_point_untracked(cfg, workload, stats, timing, area)
+}
+
+/// Derives a [`DesignPoint`] from already-aggregated statistics without
+/// registering a completion tick — the recombination step of a sampled
+/// sweep, whose per-phase engine runs already ticked.
+pub(crate) fn design_point_untracked(
+    cfg: &MachineConfig,
+    workload: String,
+    stats: HierarchyStats,
+    timing: &TimingModel,
+    area: &AreaModel,
+) -> DesignPoint {
+    let t = MachineTiming::derive(cfg, timing, area);
+    let tpi = tpi::tpi_ns(&stats, &t);
     DesignPoint {
         machine: *cfg,
         label: cfg.label(),

@@ -46,6 +46,7 @@ pub mod machine;
 pub mod overlap;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod tpi;
 
 pub use experiment::{
@@ -53,3 +54,7 @@ pub use experiment::{
     evaluate_filtered, DesignPoint, SimBudget,
 };
 pub use machine::{L2Policy, L2Spec, MachineConfig, MachineTiming};
+pub use sampling::{
+    capture_phase_slices, combine_weighted, sample_source, PhaseSample, PhaseSlice, SampleOptions,
+    SAMPLED_MISS_RATIO_EPSILON,
+};

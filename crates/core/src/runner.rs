@@ -21,10 +21,12 @@
 
 use crate::configspace::unique_configs;
 use crate::experiment::{
-    capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
-    evaluate_family, evaluate_filtered, evaluate_predicted, DesignPoint, SimBudget,
+    capture_benchmark, capture_miss_stream, capture_miss_stream_segments, evaluate, evaluate_arena,
+    evaluate_dyn, evaluate_family, evaluate_filtered, evaluate_predicted, simulate_family_segments,
+    DesignPoint, SimBudget,
 };
 use crate::machine::{L2Policy, MachineConfig};
+use crate::sampling::PhaseSlice;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -514,6 +516,224 @@ pub fn try_sweep_family_arena_threads(
                     }
                 }
                 FamilyUnit::Arena { idx } => {
+                    SweepUnit::Config { index: *idx, label: configs[*idx].label() }
+                }
+            },
+        )?
+    };
+    let mut slots: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    for batch in evaluated {
+        for (i, p) in batch {
+            slots[i] = Some(p);
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.expect("every configuration evaluated")).collect())
+}
+
+/// One parallel work unit of the sampled sweep: a family walking every
+/// stitched segment of its L1 group, or a single configuration falling
+/// back to cold per-slice arena replay (byte-limited capture).
+enum SampledUnit<'a> {
+    Family { segments: &'a [tlc_cache::MissStream], members: Vec<usize> },
+    Cold { idx: usize },
+}
+
+/// The sampled sweep with **stitched warming**: configurations are
+/// grouped by L1 front-end ([`l1_groups`]) and each group's front-end
+/// replays every representative [`PhaseSlice`] in trace order
+/// ([`capture_miss_stream_segments`]) — L1 contents persist across the
+/// gaps between slices, and each slice's warm-up prefix refreshes them.
+/// Each family then walks the per-slice segments through **one**
+/// persistent set of L2 states ([`simulate_family_segments`]), so the
+/// L2 arrays, LFSRs, and exclusive mirrors inherit stale state instead
+/// of restarting cold at every slice. Per-phase measured statistics are
+/// recombined with [`crate::sampling::combine_weighted`] into one
+/// whole-trace estimate per configuration.
+///
+/// Reconstruction accuracy is bounded by
+/// [`crate::sampling::SAMPLED_MISS_RATIO_EPSILON`] (see the
+/// [`crate::sampling`] module docs for the contract and the exact
+/// degenerate cases).
+///
+/// `runner.configs_completed` ticks once per (configuration × phase)
+/// evaluation; the recombination itself is untracked, so a sampled sweep
+/// reports `configs × phases` completions in its manifest.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, `slices` is empty, or a worker panics.
+pub fn sweep_sampled_threads(
+    configs: &[MachineConfig],
+    slices: &[PhaseSlice],
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    expect_sweep(try_sweep_sampled_threads(configs, slices, timing, area, threads))
+}
+
+/// As [`sweep_sampled_threads`], reporting a worker panic as a
+/// structured [`SweepError`].
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or `slices` is empty.
+pub fn try_sweep_sampled_threads(
+    configs: &[MachineConfig],
+    slices: &[PhaseSlice],
+    timing: &TimingModel,
+    area: &AreaModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
+    assert!(threads > 0, "need at least one worker thread");
+    assert!(!slices.is_empty(), "need at least one phase slice");
+    let workload = slices[0].arena.name().to_string();
+    let groups = l1_groups(configs);
+    // Phase A: one stitched capture per L1 group — a single front-end
+    // replays every slice sequentially so L1 state carries across them.
+    let captured: Vec<Option<Vec<tlc_cache::MissStream>>> = {
+        let _span = obs_span!("l1_capture");
+        try_run_indexed(
+            groups.len(),
+            threads,
+            |g| {
+                let (key, idxs) = &groups[g];
+                let span = PhaseSpan::enter_with("group", || format!("{}B/{}B", key.0, key.1));
+                span.add_items(idxs.len() as u64);
+                let segs =
+                    capture_miss_stream_segments(key.0, key.1, slices, MISS_STREAM_BYTES_LIMIT);
+                if segs.is_none() {
+                    obs_count!(Counter::RunnerFallbackByteLimit, 1);
+                    obs_event!(
+                        "fallback.byte_limit",
+                        "L1 group {}B/{}B phase segments exceeded {} B; cold per-slice replay",
+                        key.0,
+                        key.1,
+                        MISS_STREAM_BYTES_LIMIT
+                    );
+                }
+                segs
+            },
+            |g| SweepUnit::L1Group { l1_size_bytes: groups[g].0 .0, line_bytes: groups[g].0 .1 },
+        )?
+    };
+    // Partition each captured group into families exactly as the family
+    // sweep does; byte-limited groups fall back per configuration.
+    let mut units: Vec<SampledUnit> = Vec::new();
+    let mut family_members = 0usize;
+    for (g, (_, idxs)) in groups.iter().enumerate() {
+        match captured[g].as_deref() {
+            Some(segments) => {
+                type FamilyKey = Option<(L2Policy, u32)>;
+                let mut fams: Vec<(FamilyKey, Vec<usize>)> = Vec::new();
+                for &i in idxs {
+                    let key = configs[i].l2.map(|s| (s.policy, s.ways));
+                    match fams.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, v)) => v.push(i),
+                        None => fams.push((key, vec![i])),
+                    }
+                }
+                for (_, members) in fams {
+                    family_members += members.len();
+                    units.push(SampledUnit::Family { segments, members });
+                }
+            }
+            None => units.extend(idxs.iter().map(|&i| SampledUnit::Cold { idx: i })),
+        }
+    }
+    // Chunk oversized families so one dominant group cannot serialise a
+    // multi-threaded sweep (same policy as the family sweep).
+    if threads > 1 && family_members > 0 {
+        let cap = family_members.div_ceil(threads).max(2);
+        let mut chunked = Vec::with_capacity(units.len());
+        for unit in units {
+            match unit {
+                SampledUnit::Family { segments, members } if members.len() > cap => {
+                    for chunk in members.chunks(cap) {
+                        chunked.push(SampledUnit::Family { segments, members: chunk.to_vec() });
+                    }
+                }
+                other => chunked.push(other),
+            }
+        }
+        units = chunked;
+    }
+    // Phase B: fan the units out; each returns (input index, point)
+    // pairs with the per-phase statistics already recombined.
+    let evaluated = {
+        let _span = obs_span!("fan_out");
+        try_run_indexed(
+            units.len(),
+            threads,
+            |u| match &units[u] {
+                SampledUnit::Family { segments, members } => {
+                    let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let per_seg = simulate_family_segments(&cfgs, segments);
+                    obs_count!(
+                        Counter::RunnerConfigsCompleted,
+                        (members.len() * segments.len()) as u64
+                    );
+                    members
+                        .iter()
+                        .enumerate()
+                        .map(|(m, &i)| {
+                            let parts: Vec<(f64, tlc_cache::HierarchyStats)> = per_seg
+                                .iter()
+                                .zip(slices)
+                                .map(|(row, slice)| (slice.weight, row[m]))
+                                .collect();
+                            let stats = crate::sampling::combine_weighted(&parts);
+                            (
+                                i,
+                                crate::experiment::design_point_untracked(
+                                    &configs[i],
+                                    workload.clone(),
+                                    stats,
+                                    timing,
+                                    area,
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                }
+                SampledUnit::Cold { idx } => {
+                    // No stitched segments: replay each slice cold (its
+                    // warm-up prefix is the only warming). Each
+                    // `evaluate_arena` ticks one completion, keeping the
+                    // configs × phases manifest invariant.
+                    let cfg = &configs[*idx];
+                    let parts: Vec<(f64, tlc_cache::HierarchyStats)> = slices
+                        .iter()
+                        .map(|slice| {
+                            (
+                                slice.weight,
+                                evaluate_arena(cfg, &slice.arena, slice.budget, timing, area).stats,
+                            )
+                        })
+                        .collect();
+                    let stats = crate::sampling::combine_weighted(&parts);
+                    vec![(
+                        *idx,
+                        crate::experiment::design_point_untracked(
+                            cfg,
+                            workload.clone(),
+                            stats,
+                            timing,
+                            area,
+                        ),
+                    )]
+                }
+            },
+            |u| match &units[u] {
+                SampledUnit::Family { members, .. } => {
+                    let first = &configs[members[0]];
+                    SweepUnit::FamilyChunk {
+                        l1_size_bytes: first.l1_size_bytes,
+                        line_bytes: first.line_bytes,
+                        members: members.clone(),
+                    }
+                }
+                SampledUnit::Cold { idx } => {
                     SweepUnit::Config { index: *idx, label: configs[*idx].label() }
                 }
             },

@@ -89,11 +89,21 @@ pub enum Counter {
     PredictEventsProfiled,
     /// L1 groups profiled into reuse-distance histograms.
     PredictGroupsProfiled,
+    /// Fixed-length intervals a sampled trace was sliced into.
+    SampleIntervals,
+    /// Representative phases selected (and replayed) by phase sampling.
+    SamplePhases,
+    /// Intervals skipped because a representative stands in for them
+    /// (`sample.phases + sample.intervals_skipped == sample.intervals`).
+    SampleIntervalsSkipped,
+    /// Instruction records actually replayed from representative slices
+    /// (warm-up prefixes included).
+    SampleEventsReplayed,
 }
 
 impl Counter {
     /// Number of counters (size of the [`CounterSet`] array).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -118,6 +128,10 @@ impl Counter {
         Counter::PredictConfigsReplayed,
         Counter::PredictEventsProfiled,
         Counter::PredictGroupsProfiled,
+        Counter::SampleIntervals,
+        Counter::SamplePhases,
+        Counter::SampleIntervalsSkipped,
+        Counter::SampleEventsReplayed,
     ];
 
     /// Dotted manifest name, e.g. `"filter.events_decoded"`.
@@ -144,6 +158,10 @@ impl Counter {
             Counter::PredictConfigsReplayed => "predict.configs_replayed",
             Counter::PredictEventsProfiled => "predict.events_profiled",
             Counter::PredictGroupsProfiled => "predict.groups_profiled",
+            Counter::SampleIntervals => "sample.intervals",
+            Counter::SamplePhases => "sample.phases",
+            Counter::SampleIntervalsSkipped => "sample.intervals_skipped",
+            Counter::SampleEventsReplayed => "sample.events_replayed",
         }
     }
 }

@@ -149,7 +149,10 @@ impl RunManifest {
     /// * when instrumented: `filter.events_decoded` ==
     ///   `filter.l1_hits + filter.l1_misses`, `l2.probes` ==
     ///   `l2.hits + l2.misses`, and for sweeps
-    ///   `runner.configs_completed` == `configs`.
+    ///   `runner.configs_completed` == `configs` (times the phase count
+    ///   for sampled sweeps);
+    /// * when phase-sampled (`sample.phases` > 0):
+    ///   `sample.phases + sample.intervals_skipped == sample.intervals`.
     pub fn validate(&self) -> Result<(), String> {
         if self.schema != SCHEMA {
             return Err(format!("schema {:?}, expected {SCHEMA:?}", self.schema));
@@ -173,10 +176,29 @@ impl RunManifest {
         if probes != l2h + l2m {
             return Err(format!("l2.probes {probes} != l2.hits {l2h} + l2.misses {l2m}"));
         }
+        let phases = self.counter("sample.phases").unwrap_or(0);
+        if phases > 0 {
+            let intervals = get("sample.intervals")?;
+            let skipped = get("sample.intervals_skipped")?;
+            if phases + skipped != intervals {
+                return Err(format!(
+                    "sample.phases {phases} + sample.intervals_skipped {skipped} \
+                     != sample.intervals {intervals}"
+                ));
+            }
+        }
         if self.command == "sweep" {
             let done = get("runner.configs_completed")?;
-            if done != self.configs {
-                return Err(format!("runner.configs_completed {done} != configs {}", self.configs));
+            // A sampled sweep runs every config once per representative
+            // phase before recombining, so the completion ticks scale by
+            // the phase count.
+            let expected = self.configs * phases.max(1);
+            if done != expected {
+                return Err(format!(
+                    "runner.configs_completed {done} != configs {} x phases {}",
+                    self.configs,
+                    phases.max(1)
+                ));
             }
         }
         Ok(())

@@ -1,22 +1,30 @@
 //! Trace serialisation.
 //!
-//! Two interchange formats are provided so generated streams can be
+//! Several interchange formats are provided so generated streams can be
 //! inspected, archived, or replayed without re-running the generators:
 //!
 //! * **binary** — 9 bytes per reference (1 kind byte + little-endian u64
 //!   address), preceded by an 8-byte magic; compact and fast;
 //! * **text** — one `K 0xADDR` line per reference (`K` ∈ `I`/`L`/`S`),
-//!   greppable and diffable.
+//!   greppable and diffable;
+//! * **compact** — the delta/varint-encoded `TLCTRC01` instruction
+//!   format, which lives in [`crate::compact`] together with its
+//!   streaming reader and external-format importer.
 //!
-//! Readers are strict: malformed input is an error, never silently
-//! skipped.
+//! Readers are strict: malformed input is a typed [`TraceIoError`]
+//! carrying the byte offset and expected magic, never a panic and never
+//! a silent skip.
 
 use crate::addr::Addr;
 use crate::record::{AccessKind, MemRef};
 use std::io::{self, BufRead, Read, Write};
 
-/// Magic bytes identifying a binary trace stream.
-pub const BINARY_MAGIC: &[u8; 8] = b"TLCTRC01";
+/// Magic bytes identifying a flat binary reference stream.
+///
+/// (Historically this magic read `TLCTRC01`; that name now identifies
+/// the versioned compact instruction format in [`crate::compact`], so
+/// the flat per-reference stream carries `TLCREF01` instead.)
+pub const BINARY_MAGIC: &[u8; 8] = b"TLCREF01";
 
 /// Magic bytes identifying an instruction-record trace stream.
 pub const INSTR_MAGIC: &[u8; 8] = b"TLCITR01";
@@ -24,6 +32,120 @@ pub const INSTR_MAGIC: &[u8; 8] = b"TLCITR01";
 /// Magic bytes identifying a miss-event trace stream (a serialized
 /// [`EventArena`](crate::EventArena), as archived by the audit corpus).
 pub const EVENT_MAGIC: &[u8; 8] = b"TLCEVT01";
+
+/// Typed error for every trace *reading* path in this crate.
+///
+/// Writers keep plain [`io::Result`]; readers return this so corrupt or
+/// truncated input produces a diagnostic naming the byte offset and, for
+/// header mismatches, the expected magic. Converts into [`io::Error`]
+/// (as `InvalidData`) so callers already plumbing `io::Result` keep
+/// working with `?`.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying I/O failure (not a format violation).
+    Io(io::Error),
+    /// The stream did not start with the expected 8-byte magic.
+    BadMagic {
+        /// The bytes actually found at the start of the stream.
+        found: [u8; 8],
+        /// The magic the reader expected.
+        expected: &'static [u8; 8],
+    },
+    /// The header carried a format version this build does not know.
+    UnknownVersion {
+        /// The version byte found in the header.
+        found: u8,
+        /// The newest version this reader understands.
+        supported: u8,
+    },
+    /// The stream violated the format's encoding rules.
+    Corrupt {
+        /// Byte offset of the offending record or field.
+        offset: u64,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The stream ended in the middle of a header or record.
+    Truncated {
+        /// Byte offset at which the stream was cut short.
+        offset: u64,
+        /// Human-readable description of what was being read.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadMagic { found, expected } => write!(
+                f,
+                "bad trace magic {:?} at offset 0, expected {:?}",
+                found.escape_ascii().to_string(),
+                expected.escape_ascii().to_string(),
+            ),
+            TraceIoError::UnknownVersion { found, supported } => {
+                write!(f, "unknown trace format version {found} (supported: <= {supported})")
+            }
+            TraceIoError::Corrupt { offset, detail } => {
+                write!(f, "corrupt trace at byte offset {offset}: {detail}")
+            }
+            TraceIoError::Truncated { offset, detail } => {
+                write!(f, "truncated trace at byte offset {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<TraceIoError> for io::Error {
+    fn from(e: TraceIoError) -> Self {
+        match e {
+            TraceIoError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Reads and checks an 8-byte magic, reporting truncation and mismatch
+/// as typed errors.
+pub(crate) fn expect_magic<R: Read>(
+    input: &mut R,
+    expected: &'static [u8; 8],
+) -> Result<(), TraceIoError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated {
+                offset: 0,
+                detail: format!(
+                    "stream ended inside the 8-byte magic (expected {:?})",
+                    expected.escape_ascii().to_string()
+                ),
+            }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })?;
+    if &magic != expected {
+        return Err(TraceIoError::BadMagic { found: magic, expected });
+    }
+    Ok(())
+}
 
 /// Writes references to a binary trace stream.
 ///
@@ -102,44 +224,45 @@ impl<W: Write> BinaryTraceWriter<W> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic, an unknown kind byte, or a
+/// Returns a [`TraceIoError`] on a bad magic, an unknown kind byte, or a
 /// truncated record, and propagates I/O errors.
-pub fn read_binary_trace<R: Read>(mut input: R) -> io::Result<Vec<MemRef>> {
-    let mut magic = [0u8; 8];
-    input.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
-    }
+pub fn read_binary_trace<R: Read>(mut input: R) -> Result<Vec<MemRef>, TraceIoError> {
+    expect_magic(&mut input, BINARY_MAGIC)?;
     let mut refs = Vec::new();
-    let mut rec = [0u8; 9];
     loop {
-        match input.read_exact(&mut rec) {
+        let offset = 8 + refs.len() as u64 * 9;
+        // A record may legitimately be absent (clean EOF before the kind
+        // byte) but never partial: once the kind byte exists, the 8-byte
+        // address must follow.
+        let mut kind_byte = [0u8; 1];
+        match input.read_exact(&mut kind_byte) {
             Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                // Distinguish clean EOF (no bytes) from a truncated record:
-                // read_exact may have consumed a partial record, but an
-                // exact-at-boundary EOF is the common clean case and
-                // read_exact only returns UnexpectedEof without having
-                // filled the buffer; we accept it as end of stream only if
-                // the very first byte was absent, which read_exact cannot
-                // tell us. Re-read a single byte to check.
-                break;
-            }
-            Err(e) => return Err(e),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(TraceIoError::Io(e)),
         }
-        let kind = match rec[0] {
+        let kind = match kind_byte[0] {
             0 => AccessKind::InstrFetch,
             1 => AccessKind::Load,
             2 => AccessKind::Store,
             k => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown reference kind byte {k}"),
-                ))
+                return Err(TraceIoError::Corrupt {
+                    offset,
+                    detail: format!("unknown reference kind byte {k}"),
+                })
             }
         };
-        let addr = u64::from_le_bytes(rec[1..9].try_into().expect("slice of 8"));
-        refs.push(MemRef { addr: Addr::new(addr), kind });
+        let mut addr = [0u8; 8];
+        input.read_exact(&mut addr).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceIoError::Truncated {
+                    offset,
+                    detail: format!("reference record {} cut short", refs.len()),
+                }
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        refs.push(MemRef { addr: Addr::new(u64::from_le_bytes(addr)), kind });
     }
     Ok(refs)
 }
@@ -160,37 +283,43 @@ pub fn write_text_trace<W: Write>(mut out: W, refs: &[MemRef]) -> io::Result<()>
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` naming the offending line number on any malformed
-/// line; blank lines and `#` comments are permitted.
-pub fn read_text_trace<R: BufRead>(input: R) -> io::Result<Vec<MemRef>> {
+/// Returns [`TraceIoError::Corrupt`] naming the offending line number on
+/// any malformed line; blank lines and `#` comments are permitted.
+pub fn read_text_trace<R: BufRead>(input: R) -> Result<Vec<MemRef>, TraceIoError> {
     let mut refs = Vec::new();
+    let mut offset = 0u64;
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
+        let line_offset = offset;
+        offset += line.len() as u64 + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        let bad = || {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed trace line {}: {t:?}", lineno + 1),
-            )
-        };
-        let (kind_s, addr_s) = t.split_once(' ').ok_or_else(bad)?;
-        let kind_c = {
-            let mut chars = kind_s.chars();
-            let c = chars.next().ok_or_else(bad)?;
-            if chars.next().is_some() {
-                return Err(bad());
-            }
-            c
-        };
-        let kind = AccessKind::from_code(kind_c).ok_or_else(bad)?;
-        let addr_s = addr_s.trim().strip_prefix("0x").ok_or_else(bad)?;
-        let addr = u64::from_str_radix(addr_s, 16).map_err(|_| bad())?;
-        refs.push(MemRef { addr: Addr::new(addr), kind });
+        refs.push(parse_text_ref(t, lineno, line_offset)?);
     }
     Ok(refs)
+}
+
+/// Parses one non-blank, non-comment `K 0xADDR` text-trace line.
+pub(crate) fn parse_text_ref(t: &str, lineno: usize, offset: u64) -> Result<MemRef, TraceIoError> {
+    let bad = || TraceIoError::Corrupt {
+        offset,
+        detail: format!("malformed trace line {}: {t:?}", lineno + 1),
+    };
+    let (kind_s, addr_s) = t.split_once(' ').ok_or_else(bad)?;
+    let kind_c = {
+        let mut chars = kind_s.chars();
+        let c = chars.next().ok_or_else(bad)?;
+        if chars.next().is_some() {
+            return Err(bad());
+        }
+        c
+    };
+    let kind = AccessKind::from_code(kind_c).ok_or_else(bad)?;
+    let addr_s = addr_s.trim().strip_prefix("0x").ok_or_else(bad)?;
+    let addr = u64::from_str_radix(addr_s, 16).map_err(|_| bad())?;
+    Ok(MemRef { addr: Addr::new(addr), kind })
 }
 
 /// Writes [`InstructionRecord`](crate::InstructionRecord)s in a compact
@@ -239,35 +368,48 @@ pub fn write_instruction_trace<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic, unknown flag bits, or a
+/// Returns a [`TraceIoError`] on a bad magic, unknown flag bits, or a
 /// truncated record, and propagates I/O errors.
-pub fn read_instruction_trace<R: Read>(mut input: R) -> io::Result<Vec<crate::InstructionRecord>> {
-    let mut magic = [0u8; 8];
-    input.read_exact(&mut magic)?;
-    if &magic != INSTR_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad instruction-trace magic"));
-    }
+pub fn read_instruction_trace<R: Read>(
+    mut input: R,
+) -> Result<Vec<crate::InstructionRecord>, TraceIoError> {
+    expect_magic(&mut input, INSTR_MAGIC)?;
     let mut out = Vec::new();
+    let mut offset = 8u64;
     loop {
+        let record_offset = offset;
         let mut flags = [0u8; 1];
         match input.read_exact(&mut flags) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
+            Err(e) => return Err(TraceIoError::Io(e)),
         }
+        offset += 1;
         let flags = flags[0];
         if flags & !0b11 != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown instruction-record flags {flags:#04x}"),
-            ));
+            return Err(TraceIoError::Corrupt {
+                offset: record_offset,
+                detail: format!("unknown instruction-record flags {flags:#04x}"),
+            });
         }
+        let truncated = |e: io::Error| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceIoError::Truncated {
+                    offset: record_offset,
+                    detail: format!("instruction record {} cut short", out.len()),
+                }
+            } else {
+                TraceIoError::Io(e)
+            }
+        };
         let mut fetch = [0u8; 8];
-        input.read_exact(&mut fetch)?;
+        input.read_exact(&mut fetch).map_err(truncated)?;
+        offset += 8;
         let fetch = Addr::new(u64::from_le_bytes(fetch));
         let data = if flags & 1 != 0 {
             let mut a = [0u8; 8];
-            input.read_exact(&mut a)?;
+            input.read_exact(&mut a).map_err(truncated)?;
+            offset += 8;
             let addr = Addr::new(u64::from_le_bytes(a));
             Some(if flags & 2 != 0 { MemRef::store(addr) } else { MemRef::load(addr) })
         } else {
@@ -326,42 +468,48 @@ pub fn write_event_trace<W: Write>(mut out: W, events: &crate::EventArena) -> io
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic, unknown flag bits, a non-zero
-/// victim word without the victim flag, or a truncated stream, and
-/// propagates I/O errors.
-pub fn read_event_trace<R: Read>(mut input: R) -> io::Result<crate::EventArena> {
+/// Returns a [`TraceIoError`] on a bad magic, unknown flag bits, a
+/// non-zero victim word without the victim flag, or a truncated stream,
+/// and propagates I/O errors.
+pub fn read_event_trace<R: Read>(mut input: R) -> Result<crate::EventArena, TraceIoError> {
     use crate::events::{
         EVENT_HAS_VICTIM, EVENT_KIND_MASK, EVENT_KIND_STORE, EVENT_VICTIM_WRITTEN,
     };
     use crate::{LineAddr, MissEvent, VictimLine};
-    let mut magic = [0u8; 8];
-    input.read_exact(&mut magic)?;
-    if &magic != EVENT_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad event-trace magic"));
-    }
+    expect_magic(&mut input, EVENT_MAGIC)?;
     let mut count = [0u8; 8];
-    input.read_exact(&mut count)?;
+    input.read_exact(&mut count).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated {
+                offset: 8,
+                detail: "stream ended inside the event-count header".into(),
+            }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })?;
     let count = u64::from_le_bytes(count);
     let mut arena = crate::EventArena::new();
     let mut rec = [0u8; 17];
     for i in 0..count {
+        let offset = 16 + i * 17;
         input.read_exact(&mut rec).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("event trace truncated at record {i} of {count}"),
-                )
+                TraceIoError::Truncated {
+                    offset,
+                    detail: format!("event trace truncated at record {i} of {count}"),
+                }
             } else {
-                e
+                TraceIoError::Io(e)
             }
         })?;
         let flags = rec[0];
         let known = EVENT_KIND_MASK | EVENT_HAS_VICTIM | EVENT_VICTIM_WRITTEN;
         if flags & !known != 0 || flags & EVENT_KIND_MASK > EVENT_KIND_STORE {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown event flags {flags:#04x} at record {i}"),
-            ));
+            return Err(TraceIoError::Corrupt {
+                offset,
+                detail: format!("unknown event flags {flags:#04x} at record {i}"),
+            });
         }
         let line = u64::from_le_bytes(rec[1..9].try_into().expect("slice of 8"));
         let victim_word = u64::from_le_bytes(rec[9..17].try_into().expect("slice of 8"));
@@ -372,10 +520,10 @@ pub fn read_event_trace<R: Read>(mut input: R) -> io::Result<crate::EventArena> 
             })
         } else {
             if victim_word != 0 || flags & EVENT_VICTIM_WRITTEN != 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("victim payload without victim flag at record {i}"),
-                ));
+                return Err(TraceIoError::Corrupt {
+                    offset,
+                    detail: format!("victim payload without victim flag at record {i}"),
+                });
             }
             None
         };
@@ -390,11 +538,12 @@ pub fn read_event_trace<R: Read>(mut input: R) -> io::Result<crate::EventArena> 
     // was not produced by `write_event_trace`.
     let mut trailing = [0u8; 1];
     match input.read_exact(&mut trailing) {
-        Ok(()) => {
-            Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes after event trace"))
-        }
+        Ok(()) => Err(TraceIoError::Corrupt {
+            offset: 16 + count * 17,
+            detail: "trailing bytes after event trace".into(),
+        }),
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(arena),
-        Err(e) => Err(e),
+        Err(e) => Err(TraceIoError::Io(e)),
     }
 }
 
@@ -456,8 +605,42 @@ mod tests {
     fn text_rejects_malformed() {
         for bad in ["X 0x100", "I 100", "I", "II 0x100", "I 0xZZ"] {
             let err = read_text_trace(bad.as_bytes()).unwrap_err();
-            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?} should fail");
+            assert!(matches!(err, TraceIoError::Corrupt { .. }), "{bad:?} should fail: {err}");
         }
+    }
+
+    #[test]
+    fn errors_carry_offset_and_expected_magic() {
+        let err = read_binary_trace(&b"NOTMAGIC"[..]).unwrap_err();
+        match &err {
+            TraceIoError::BadMagic { found, expected } => {
+                assert_eq!(found, b"NOTMAGIC");
+                assert_eq!(*expected, BINARY_MAGIC);
+            }
+            other => panic!("expected BadMagic, got {other}"),
+        }
+        assert!(err.to_string().contains("TLCREF01"), "{err}");
+
+        // A truncated record reports the byte offset where it began.
+        let mut buf = Vec::new();
+        {
+            let mut w = BinaryTraceWriter::new(&mut buf).unwrap();
+            w.write(MemRef::load(Addr::new(0x42))).unwrap();
+        }
+        buf.truncate(buf.len() - 2);
+        match read_binary_trace(&buf[..]).unwrap_err() {
+            TraceIoError::Truncated { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_io_error_converts_to_io_error() {
+        let err: io::Error = TraceIoError::Corrupt { offset: 3, detail: "x".into() }.into();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        let err: io::Error = TraceIoError::Io(inner).into();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
     }
 
     #[test]

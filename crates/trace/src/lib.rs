@@ -38,12 +38,15 @@
 //! * [`spec`] — the seven SPEC'89-like presets of the paper's Table 1.
 //! * [`TraceStats`] — Table-1-style counters and footprints.
 //! * [`io`] — binary and text trace serialisation.
+//! * [`compact`] — the `TLCTRC01` delta/varint on-disk format, its
+//!   streaming reader, and the external-trace importer.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;
 pub mod arena;
+pub mod compact;
 pub mod events;
 pub mod gen;
 pub mod io;
@@ -58,7 +61,9 @@ mod workload;
 
 pub use addr::{Addr, AddrRange, LineAddr};
 pub use arena::{ArenaReplay, ChunkView, TraceArena};
+pub use compact::{CompactTraceWriter, ImportFormat, TraceReader};
 pub use events::{EventArena, EventChunkView, MissEvent, VictimLine};
+pub use io::TraceIoError;
 pub use record::{AccessKind, InstructionRecord, MemRef};
 pub use source::{InstructionSource, ReplaySource};
 pub use stats::{TraceStats, TraceSummary};

@@ -2,11 +2,14 @@
 //! round-trips, workload determinism, and statistics consistency.
 
 use proptest::prelude::*;
+use two_level_cache::trace::compact::{read_compact_trace, write_compact_trace, COMPACT_MAGIC};
 use two_level_cache::trace::io::{
     read_binary_trace, read_text_trace, write_text_trace, BinaryTraceWriter,
 };
 use two_level_cache::trace::spec::SpecBenchmark;
-use two_level_cache::trace::{AccessKind, Addr, MemRef, TraceStats};
+use two_level_cache::trace::{
+    AccessKind, Addr, CompactTraceWriter, InstructionRecord, MemRef, TraceIoError, TraceStats,
+};
 
 fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
     prop::collection::vec((any::<u64>(), 0u8..3), 0..len).prop_map(|v| {
@@ -60,6 +63,84 @@ proptest! {
         prop_assert!(stats.instr_footprint_lines() <= stats.instr_refs());
         prop_assert!(stats.data_footprint_lines() <= stats.data_refs());
     }
+}
+
+fn arbitrary_records(len: usize) -> impl Strategy<Value = Vec<InstructionRecord>> {
+    prop::collection::vec((any::<u64>(), any::<u64>(), 0u8..3), 0..len).prop_map(|v| {
+        v.into_iter()
+            .map(|(fetch, addr, kind)| match kind {
+                0 => InstructionRecord::fetch_only(Addr::new(fetch)),
+                1 => InstructionRecord::with_data(Addr::new(fetch), MemRef::load(Addr::new(addr))),
+                _ => InstructionRecord::with_data(Addr::new(fetch), MemRef::store(Addr::new(addr))),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compact_roundtrip(records in arbitrary_records(200)) {
+        // TLCTRC01: arbitrary (worst-case random) addresses survive the
+        // delta/varint encoding bit-for-bit.
+        let mut buf = Vec::new();
+        let mut w = CompactTraceWriter::new(&mut buf).expect("header");
+        for r in &records {
+            w.write(r).expect("record");
+        }
+        prop_assert_eq!(w.written() as usize, records.len());
+        w.into_inner().expect("flush");
+        let back = read_compact_trace(&buf[..]).expect("read back");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn compact_truncation_is_diagnosed(records in arbitrary_records(40), cut_frac in 0.0f64..1.0) {
+        // Any mid-record cut either decodes a clean prefix or reports a
+        // typed Truncated/Corrupt error — never a panic, never silently
+        // inventing records.
+        let mut records = records;
+        records.push(InstructionRecord::fetch_only(Addr::new(0x400)));
+        let mut buf = Vec::new();
+        write_compact_trace(&mut buf, &records).expect("write");
+        let cut = 9 + ((buf.len() - 9) as f64 * cut_frac) as usize;
+        match read_compact_trace(&buf[..cut]) {
+            Ok(prefix) => prop_assert!(prefix.len() <= records.len()),
+            Err(TraceIoError::Truncated { offset, .. }) => prop_assert!(offset as usize <= cut),
+            Err(e) => prop_assert!(matches!(e, TraceIoError::Corrupt { .. }), "unexpected: {e}"),
+        }
+    }
+}
+
+#[test]
+fn compact_rejects_corrupt_headers() {
+    let mut buf = Vec::new();
+    write_compact_trace(&mut buf, &[InstructionRecord::fetch_only(Addr::new(0x400))])
+        .expect("write");
+    // Wrong magic names both what was found and what was expected.
+    let mut bad = buf.clone();
+    bad[0..8].copy_from_slice(b"NOTATRAC");
+    match read_compact_trace(&bad[..]) {
+        Err(TraceIoError::BadMagic { found, expected }) => {
+            assert_eq!(&found, b"NOTATRAC");
+            assert_eq!(expected, COMPACT_MAGIC);
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // Future version byte is refused up front.
+    let mut future = buf.clone();
+    future[8] = 9;
+    assert!(matches!(
+        read_compact_trace(&future[..]),
+        Err(TraceIoError::UnknownVersion { found: 9, .. })
+    ));
+    // A header alone is a valid empty trace; losing part of it is not.
+    assert_eq!(read_compact_trace(&buf[..9]).expect("empty"), Vec::new());
+    assert!(matches!(
+        read_compact_trace(&buf[..5]),
+        Err(TraceIoError::Truncated { .. } | TraceIoError::Io(_))
+    ));
 }
 
 #[test]

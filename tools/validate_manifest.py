@@ -175,8 +175,28 @@ def main():
 
     if doc["command"] == "sweep":
         done = counter("runner.configs_completed")
-        if done != doc["configs"]:
-            fail(f"runner.configs_completed ({done}) != configs ({doc['configs']})")
+        phases = counters.get("sample.phases", 0)
+        if phases > 0:
+            # Sampled sweep: every interval is either represented by a
+            # phase or skipped, and each configuration completes once
+            # per phase.
+            intervals = counters.get("sample.intervals", 0)
+            skipped = counters.get("sample.intervals_skipped", 0)
+            if phases + skipped != intervals:
+                fail(
+                    f"sample.phases ({phases}) + sample.intervals_skipped "
+                    f"({skipped}) != sample.intervals ({intervals})"
+                )
+            if counters.get("sample.events_replayed", 0) == 0:
+                fail("sampled sweep replayed no events")
+            expected = doc["configs"] * phases
+        else:
+            expected = doc["configs"]
+        if done != expected:
+            fail(
+                f"runner.configs_completed ({done}) != configs × phases "
+                f"({doc['configs']} × {max(phases, 1)})"
+            )
         if counter("trace.instructions") == 0:
             fail("instrumented sweep captured no trace instructions")
         if doc["engine"] == "predict":
@@ -193,10 +213,16 @@ def main():
             if predicted > 0 and counter("predict.groups_profiled") == 0:
                 fail("points were predicted but no L1 group was profiled")
 
+    sampled = ""
+    if doc["command"] == "sweep" and counters.get("sample.phases", 0) > 0:
+        sampled = (
+            f", sampled {counters['sample.phases']}/"
+            f"{counters.get('sample.intervals', 0)} intervals"
+        )
     print(
         f"validate_manifest: OK ({doc['command']} {doc['benchmark']}, "
         f"engine={doc['engine']}, {doc['configs']} configs, "
-        f"{decoded} events decoded, {probes} L2 probes)"
+        f"{decoded} events decoded, {probes} L2 probes{sampled})"
     )
 
 
