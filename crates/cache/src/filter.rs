@@ -120,6 +120,7 @@ impl L1FrontEnd {
         tlc_obs::obs_count!(tlc_obs::Counter::FilterEventsDecoded, self.total_refs);
         tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Misses, self.events.len());
         tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Hits, self.total_refs - self.events.len());
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterEventBytes, self.events.bytes() as u64);
         MissStream {
             name: name.to_string(),
             events: self.events,
@@ -145,6 +146,7 @@ impl L1FrontEnd {
         tlc_obs::obs_count!(tlc_obs::Counter::FilterEventsDecoded, self.total_refs);
         tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Misses, self.events.len());
         tlc_obs::obs_count!(tlc_obs::Counter::FilterL1Hits, self.total_refs - self.events.len());
+        tlc_obs::obs_count!(tlc_obs::Counter::FilterEventBytes, self.events.bytes() as u64);
         let events = std::mem::replace(&mut self.events, EventArena::new());
         let warmup_events = std::mem::take(&mut self.warmup_events);
         let l1_stats = self.stats;

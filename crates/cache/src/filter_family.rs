@@ -613,7 +613,10 @@ pub fn replay_conventional_family_segments(
         let mut out = Vec::with_capacity(segments.len());
         for seg in segments {
             fam.reset_counters();
-            walk_events(&mut fam, seg);
+            {
+                let _t = tlc_obs::HistTimer::start(tlc_obs::Hist::SampleSliceReplayNs);
+                walk_events(&mut fam, seg);
+            }
             let counters = fam.counters();
             let mut row = vec![HierarchyStats::default(); l2_cfgs.len()];
             for (k, &i) in order.iter().enumerate() {
@@ -634,7 +637,10 @@ pub fn replay_conventional_family_segments(
         let mut out = Vec::with_capacity(segments.len());
         for seg in segments {
             fam.reset_counters();
-            walk_events(&mut fam, seg);
+            {
+                let _t = tlc_obs::HistTimer::start(tlc_obs::Hist::SampleSliceReplayNs);
+                walk_events(&mut fam, seg);
+            }
             out.push(
                 fam.states
                     .iter()
@@ -692,7 +698,10 @@ pub fn replay_exclusive_family_segments(
         let mut out = Vec::with_capacity(segments.len());
         for seg in segments {
             fam.reset_counters();
-            walk_events(&mut fam, seg);
+            {
+                let _t = tlc_obs::HistTimer::start(tlc_obs::Hist::SampleSliceReplayNs);
+                walk_events(&mut fam, seg);
+            }
             out.push(
                 fam.members
                     .iter()
@@ -723,7 +732,13 @@ pub fn replay_single_family_segments(
     segments: &[MissStream],
     members: usize,
 ) -> Vec<Vec<HierarchyStats>> {
-    segments.iter().map(|seg| replay_single_family(seg, members)).collect()
+    segments
+        .iter()
+        .map(|seg| {
+            let _t = tlc_obs::HistTimer::start(tlc_obs::Hist::SampleSliceReplayNs);
+            replay_single_family(seg, members)
+        })
+        .collect()
 }
 
 #[cfg(test)]

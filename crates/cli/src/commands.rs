@@ -39,7 +39,8 @@ pub fn usage() -> String {
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
      \u{20}            [--engine auto|streaming|arena|filtered|family|predict] [--threads N]\n\
-     \u{20}            [--metrics out.json]  write a tlc-run-manifest/1 document\n\
+     \u{20}            [--metrics out.json]  write a tlc-run-manifest/2 document\n\
+     \u{20}            [--trace-out t.json]  Chrome trace-event timeline (open in ui.perfetto.dev)\n\
      \u{20}            [--progress]          live configs-done/ETA/events-per-second ticker on stderr\n\
      \u{20}            --trace t.trc         sweep a captured TLCTRC01 trace instead of a workload\n\
      \u{20}            --sample phases.json  replay only the trace's representative phases\n\
@@ -60,7 +61,16 @@ pub fn usage() -> String {
      \u{20}            --workload gcc1 [--l1 4] [--l2 32] [--instr N]\n\
      \u{20} audit      differential fuzz of every engine against the naive oracle\n\
      \u{20}            [--seconds N] [--seed S] [--cases N] [--corpus DIR] [--json out.json]\n\
+     \u{20}            [--progress]  cases/s, elapsed-vs-budget, and divergences on stderr\n\
      \u{20}            exits non-zero on any divergence; shrunk witnesses land in DIR\n\
+     \u{20} runs       registry of sweep manifests with regression diffing\n\
+     \u{20}            list [--dir D]       runs filed under D (default .tlc/runs)\n\
+     \u{20}            show ID              counters/histograms/span tree of one run\n\
+     \u{20}            add manifest.json    file a --metrics manifest into the registry\n\
+     \u{20}            diff A B             compare two runs (registry id prefixes or\n\
+     \u{20}                                 manifest files; also --baseline/--candidate);\n\
+     \u{20}                                 [--tol-wall F] [--tol-counter F] [--tol-quantile F]\n\
+     \u{20}                                 [--tol-memory F]; exits non-zero on regression\n\
      \u{20} list       list built-in workloads\n"
         .to_string()
 }
@@ -226,6 +236,7 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         _ => {}
     }
     let metrics_path = args.get("metrics").map(str::to_string);
+    let trace_out_path = args.get("trace-out").map(str::to_string);
     let configs = full_space(&opts);
 
     // One observability epoch per sweep: counters and spans drained by
@@ -356,21 +367,35 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
     if let Err(e) = &result {
         tlc_obs::record_event("worker.panic", e.to_string());
     }
-    let manifest = RunManifest::collect(RunMeta {
-        command: "sweep".to_string(),
-        benchmark: bench_name.clone(),
-        engine,
-        threads: threads as u64,
-        configs: configs.len() as u64,
-        config_space_hash: config_space_hash(&configs),
-        wall_s: start.elapsed().as_secs_f64(),
-    });
+    // Drain the raw spans once: the Perfetto timeline consumes them
+    // per-instance, the manifest aggregates the same records into its
+    // span tree.
+    let spans = tlc_obs::take_spans();
+    let trace_json =
+        trace_out_path.as_ref().map(|_| tlc_obs::trace_export::chrome_trace_json(&spans));
+    let manifest = RunManifest::from_parts(
+        RunMeta {
+            command: "sweep".to_string(),
+            benchmark: bench_name.clone(),
+            engine,
+            threads: threads as u64,
+            configs: configs.len() as u64,
+            config_space_hash: config_space_hash(&configs),
+            wall_s: start.elapsed().as_secs_f64(),
+        },
+        spans,
+        tlc_obs::take_events(),
+        tlc_obs::counters().snapshot(),
+    );
     // The manifest is written even when the sweep failed — the recorded
     // fallbacks and the worker.panic event are exactly what a post-mortem
     // needs.
     if let Some(path) = &metrics_path {
         std::fs::write(path, manifest.to_json())
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    if let (Some(path), Some(json)) = (&trace_out_path, trace_json) {
+        std::fs::write(path, json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
     }
     if let Some(e) = trace_error {
         return Err(ArgError(e));
@@ -461,6 +486,48 @@ impl ProgressTicker {
             }
         });
         ProgressTicker { stop, handle }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
+/// The `tlc audit --progress` ticker: like [`ProgressTicker`] but paced
+/// against the audit's own counters — cases/s, elapsed against the
+/// `--seconds` budget, and divergences found so far.
+struct AuditTicker {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl AuditTicker {
+    fn start(budget_s: f64) -> AuditTicker {
+        use std::sync::atomic::Ordering;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let seen = stop.clone();
+        let handle = std::thread::spawn(move || {
+            if !tlc_obs::ENABLED {
+                eprintln!("# progress: this build has instrumentation disabled; no live counters");
+                return;
+            }
+            let start = std::time::Instant::now();
+            while !seen.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if seen.load(Ordering::Relaxed) {
+                    break;
+                }
+                let cases = tlc_obs::counters().get(Counter::AuditCases);
+                let divergences = tlc_obs::counters().get(Counter::AuditDivergences);
+                let elapsed = start.elapsed().as_secs_f64();
+                eprintln!(
+                    "# audit progress: {cases} cases ({:.0}/s), {elapsed:.1}s of {budget_s:.1}s budget, {divergences} divergence(s)",
+                    cases as f64 / elapsed.max(1e-9)
+                );
+            }
+        });
+        AuditTicker { stop, handle }
     }
 
     fn stop(self) {
@@ -649,7 +716,14 @@ pub fn cmd_audit(args: &ArgMap) -> Result<String, ArgError> {
         corpus_dir: args.get("corpus").map(std::path::PathBuf::from),
         ..defaults
     };
+    // The ticker paces against the `audit.cases`/`audit.divergences`
+    // counters, so start them from zero for this run.
+    tlc_obs::reset();
+    let ticker = args.flag("progress").then(|| AuditTicker::start(opts.seconds));
     let report = run_audit(&opts);
+    if let Some(t) = ticker {
+        t.stop();
+    }
     if let Some(path) = args.get("json") {
         std::fs::write(path, report.to_json())
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -689,6 +763,115 @@ pub fn cmd_audit(args: &ArgMap) -> Result<String, ArgError> {
             report.seed
         )))
     }
+}
+
+/// `tlc runs` — the persisted run registry: `list`, `show`, `add`, and
+/// the regression ratchet `diff`.
+pub fn cmd_runs(args: &ArgMap) -> Result<String, ArgError> {
+    use tlc_obs::registry::{RunRegistry, DEFAULT_DIR};
+    let dir = std::path::PathBuf::from(args.get("dir").unwrap_or(DEFAULT_DIR));
+    match args.positional(1) {
+        Some("list") => {
+            let reg = RunRegistry::open(&dir).map_err(ArgError)?;
+            let entries = reg.list().map_err(ArgError)?;
+            if entries.is_empty() {
+                return Ok(format!(
+                    "no runs registered under {} (file one with `tlc runs add manifest.json`)\n",
+                    dir.display()
+                ));
+            }
+            let mut out = String::new();
+            let _ = writeln!(out, "{:<44} {:<10} {:<10} {:>9}", "id", "workload", "engine", "wall");
+            for e in &entries {
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:<10} {:<10} {:>8.2}s",
+                    e.id, e.benchmark, e.engine, e.wall_s
+                );
+            }
+            let _ = writeln!(out, "{} run(s) under {}", entries.len(), dir.display());
+            Ok(out)
+        }
+        Some("show") => {
+            let id = args
+                .positional(2)
+                .ok_or_else(|| ArgError("usage: tlc runs show ID [--dir D]".into()))?;
+            let manifest = resolve_manifest(&dir, id)?;
+            Ok(manifest.render_text())
+        }
+        Some("add") => {
+            let path = args
+                .positional(2)
+                .ok_or_else(|| ArgError("usage: tlc runs add manifest.json [--dir D]".into()))?;
+            let manifest = tlc_obs::registry::load_manifest_file(std::path::Path::new(path))
+                .map_err(ArgError)?;
+            let reg = RunRegistry::open(&dir).map_err(ArgError)?;
+            let id = reg.add(&manifest).map_err(ArgError)?;
+            Ok(format!("registered {id} under {}\n", dir.display()))
+        }
+        Some("diff") => cmd_runs_diff(args, &dir),
+        _ => Err(ArgError("usage: tlc runs <list|show|add|diff> ... (see tlc help)".into())),
+    }
+}
+
+/// `tlc runs diff A B` — compare a candidate run against a baseline and
+/// fail (non-zero exit) if anything regressed beyond tolerance.
+fn cmd_runs_diff(args: &ArgMap, dir: &std::path::Path) -> Result<String, ArgError> {
+    use tlc_obs::registry::{diff_manifests, DiffTolerances};
+    // Operands can be positional (`diff A B`) or named, which reads
+    // better in CI scripts (`diff --baseline ci/baseline.json --candidate m.json`).
+    let baseline_ref = args
+        .get("baseline")
+        .or_else(|| args.positional(2))
+        .ok_or_else(|| ArgError("usage: tlc runs diff BASELINE CANDIDATE [--tol-* F]".into()))?
+        .to_string();
+    let candidate_ref = args
+        .get("candidate")
+        .or_else(|| {
+            // With `--baseline X` the candidate may be the only positional.
+            if args.get("baseline").is_some() {
+                args.positional(2)
+            } else {
+                args.positional(3)
+            }
+        })
+        .ok_or_else(|| ArgError("usage: tlc runs diff BASELINE CANDIDATE [--tol-* F]".into()))?
+        .to_string();
+    let defaults = DiffTolerances::default();
+    let tol = DiffTolerances {
+        wall_frac: args.get_or("tol-wall", defaults.wall_frac)?,
+        counter_frac: args.get_or("tol-counter", defaults.counter_frac)?,
+        quantile_frac: args.get_or("tol-quantile", defaults.quantile_frac)?,
+        memory_frac: args.get_or("tol-memory", defaults.memory_frac)?,
+    };
+    let baseline = resolve_manifest(dir, &baseline_ref)?;
+    let candidate = resolve_manifest(dir, &candidate_ref)?;
+    let report = diff_manifests(&baseline, &candidate, tol);
+    let rendered = report.render_text();
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(ArgError(format!(
+            "{rendered}{} metric(s) regressed beyond tolerance ({candidate_ref} vs {baseline_ref})",
+            regressions.len()
+        )))
+    }
+}
+
+/// Resolves a diff/show operand: an existing manifest file wins, then a
+/// path-looking operand is treated as a file, anything else as a
+/// registry id (or unique prefix).
+fn resolve_manifest(
+    dir: &std::path::Path,
+    operand: &str,
+) -> Result<tlc_obs::manifest::RunManifest, ArgError> {
+    let path = std::path::Path::new(operand);
+    if path.is_file() || operand.contains('/') || operand.ends_with(".json") {
+        return tlc_obs::registry::load_manifest_file(path).map_err(ArgError);
+    }
+    let reg = tlc_obs::registry::RunRegistry::open(dir).map_err(ArgError)?;
+    reg.load(operand).map_err(ArgError)
 }
 
 /// `tlc trace` — on-disk trace utilities: `import`, `sample`, `info`.
@@ -928,6 +1111,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<String, ArgError> {
         "workload" => cmd_workload(&args),
         "compare" => cmd_compare(&args),
         "audit" => cmd_audit(&args),
+        "runs" => cmd_runs(&args),
         "trace" => cmd_trace(&args),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -1320,5 +1504,154 @@ mod tests {
         argv.extend(["--threads", "many"]);
         let err = run(&argv).expect_err("non-numeric --threads must be rejected");
         assert!(format!("{err:?}").contains("--threads"));
+    }
+
+    #[test]
+    fn sweep_trace_out_writes_chrome_trace_and_v2_manifest() {
+        let dir = std::env::temp_dir().join(format!("tlc-traceout-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let manifest_path = dir.join("m.json");
+        let trace_path = dir.join("trace.json");
+        run(&[
+            "sweep",
+            "--workload",
+            "li",
+            "--instr",
+            "4000",
+            "--warmup",
+            "1000",
+            "--csv",
+            "--engine",
+            "family",
+            "--threads",
+            "2",
+            "--metrics",
+            manifest_path.to_str().expect("utf8 path"),
+            "--trace-out",
+            trace_path.to_str().expect("utf8 path"),
+        ])
+        .expect("sweep with --trace-out");
+
+        let manifest =
+            RunManifest::from_json(&std::fs::read_to_string(&manifest_path).expect("manifest"))
+                .expect("manifest parses");
+        manifest.validate().expect("manifest invariants hold");
+        assert_eq!(manifest.schema, tlc_obs::manifest::SCHEMA);
+
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        let doc: serde_json::Value = serde_json::from_str(&trace).expect("trace parses");
+        let events =
+            doc.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array present");
+        if tlc_obs::ENABLED {
+            // At least the sweep root span must show up as a complete event.
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("name").and_then(|n| n.as_str()) == Some("sweep")
+                }),
+                "root sweep X event missing from {trace}"
+            );
+            // Distribution sections of the tentpole: >= 3 histograms
+            // populated by a plain family sweep, monotone quantiles, and
+            // a believable peak-RSS reading.
+            let populated: Vec<_> = manifest.histograms.iter().filter(|h| h.count > 0).collect();
+            assert!(
+                populated.len() >= 3,
+                "want >= 3 populated histograms, got {:?}",
+                populated.iter().map(|h| h.name.as_str()).collect::<Vec<_>>()
+            );
+            for h in &populated {
+                assert!(
+                    h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max,
+                    "{}: quantiles not monotone",
+                    h.name
+                );
+            }
+            assert!(manifest.memory.peak_rss_bytes > 0, "peak RSS must be read from procfs");
+        } else {
+            assert!(events.is_empty(), "uninstrumented build must emit an empty timeline");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runs_registry_workflow_and_regression_diff() {
+        let dir = std::env::temp_dir().join(format!("tlc-runs-cli-{}", std::process::id()));
+        let reg_dir = dir.join("registry");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let baseline_path = dir.join("baseline.json");
+        run(&[
+            "sweep",
+            "--workload",
+            "li",
+            "--instr",
+            "4000",
+            "--warmup",
+            "1000",
+            "--csv",
+            "--engine",
+            "family",
+            "--metrics",
+            baseline_path.to_str().expect("utf8 path"),
+        ])
+        .expect("baseline sweep");
+
+        // Inject a 2x wall-time regression into an otherwise identical run.
+        let mut slow = tlc_obs::registry::load_manifest_file(&baseline_path).expect("baseline");
+        slow.wall_s *= 2.0;
+        // Keep the injected regression meaningful even on a machine so
+        // fast the baseline wall rounds to ~0.
+        slow.wall_s += 1.0;
+        let slow_path = dir.join("slow.json");
+        std::fs::write(&slow_path, slow.to_json()).expect("write slow manifest");
+
+        let reg = reg_dir.to_str().expect("utf8 path");
+        let base = baseline_path.to_str().expect("utf8 path");
+        let slow = slow_path.to_str().expect("utf8 path");
+
+        // add + list + show round-trip through the registry.
+        let added = run(&["runs", "add", base, "--dir", reg]).expect("runs add");
+        let id = added.split_whitespace().nth(1).expect("id in add output").to_string();
+        let listing = run(&["runs", "list", "--dir", reg]).expect("runs list");
+        assert!(listing.contains(&id) && listing.contains("li"), "listing: {listing}");
+        let shown = run(&["runs", "show", &id, "--dir", reg]).expect("runs show");
+        assert!(
+            shown.contains("sweep li") && shown.contains("engine=family"),
+            "show renders the manifest: {shown}"
+        );
+        if tlc_obs::ENABLED {
+            assert!(shown.contains("# memory peak_rss="), "show includes memory: {shown}");
+        }
+        // Idempotent re-add, and prefix loads resolve.
+        assert!(run(&["runs", "add", base, "--dir", reg]).expect("re-add").contains(&id));
+        assert!(run(&["runs", "show", &id[..12], "--dir", reg]).is_ok());
+
+        // Identical runs pass the ratchet; a 2x wall regression fails it
+        // with a non-zero exit (dispatch Err) naming the metric.
+        run(&["runs", "diff", base, base, "--dir", reg]).expect("identical runs must pass");
+        let err = run(&["runs", "diff", base, slow, "--dir", reg])
+            .expect_err("2x wall-time regression must fail the diff");
+        let msg = err.to_string();
+        assert!(msg.contains("wall_s") && msg.contains("REGRESSED"), "diff error: {msg}");
+        // The ratchet is one-directional: the fast run "regressing" from
+        // the slow baseline is an improvement and passes.
+        run(&["runs", "diff", slow, base, "--dir", reg]).expect("improvement must pass");
+        // CI spelling with named operands and a custom tolerance (the
+        // injected +1s swamps a sub-second baseline, so it must be huge).
+        run(&["runs", "diff", "--baseline", base, "--candidate", slow, "--tol-wall", "1000"])
+            .expect("generous tolerance must absorb the regression");
+
+        let e = run(&["runs", "show", "nosuchrun", "--dir", reg]).unwrap_err();
+        assert!(e.to_string().contains("no run matching"), "unknown id: {e}");
+        let e = run(&["runs", "frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("list|show|add|diff"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_progress_flag_is_accepted() {
+        let out =
+            run(&["audit", "--cases", "2", "--seed", "7", "--progress"]).expect("audit --progress");
+        assert!(out.contains("clean"));
     }
 }

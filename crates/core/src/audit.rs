@@ -839,12 +839,18 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
         if cases >= opts.min_cases && elapsed >= opts.seconds {
             break;
         }
+        let diverged_before = ledger.divergences.len();
         if cases % 16 == 15 {
             run_config_edge_case(&mut rng, &mut ledger);
         }
         let case = sample_case(&mut rng);
         run_case(&case, cases, opts, &mut ledger);
         cases += 1;
+        tlc_obs::obs_count!(tlc_obs::Counter::AuditCases, 1);
+        tlc_obs::obs_count!(
+            tlc_obs::Counter::AuditDivergences,
+            (ledger.divergences.len() - diverged_before) as u64
+        );
     }
     AuditReport {
         schema: AUDIT_REPORT_SCHEMA.to_string(),

@@ -748,6 +748,7 @@ pub fn simulate_predicted(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<Hi
     cfgs.iter()
         .map(|cfg| {
             tlc_obs::obs_count!(tlc_obs::Counter::PredictConfigsPredicted, 1);
+            let _t = tlc_obs::HistTimer::start(tlc_obs::Hist::PredictSolveNs);
             match l2_config(cfg).expect("valid L2 configuration") {
                 None => profile.predict_single(stream),
                 Some(l2) => profile.predict_conventional(stream, &l2),

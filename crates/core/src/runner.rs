@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tlc_area::AreaModel;
-use tlc_obs::{obs_count, obs_event, obs_span, Counter, PhaseSpan};
+use tlc_obs::{obs_count, obs_event, obs_hist, obs_span, Counter, Hist, HistTimer, PhaseSpan};
 use tlc_timing::TimingModel;
 use tlc_trace::spec::SpecBenchmark;
 use tlc_trace::TraceArena;
@@ -335,6 +335,7 @@ fn try_capture_group_streams(
             }
             let span = PhaseSpan::enter_with("group", || format!("{}B/{}B", key.0, key.1));
             span.add_items(idxs.len() as u64);
+            let _t = HistTimer::start(Hist::CaptureL1GroupNs);
             let stream = capture_miss_stream(key.0, key.1, arena, budget, MISS_STREAM_BYTES_LIMIT);
             if stream.is_none() {
                 obs_count!(Counter::RunnerFallbackByteLimit, 1);
@@ -499,6 +500,7 @@ pub fn try_sweep_family_arena_threads(
             |u| match &units[u] {
                 FamilyUnit::Family { stream, members } => {
                     let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let _t = HistTimer::start(Hist::ReplayFamilyChunkNs);
                     let points = evaluate_family(&cfgs, stream, timing, area);
                     members.iter().copied().zip(points).collect::<Vec<_>>()
                 }
@@ -882,6 +884,7 @@ pub fn try_sweep_predict_arena_threads(
                 PredictUnit::Family { stream, members } => {
                     obs_count!(Counter::PredictConfigsReplayed, members.len() as u64);
                     let cfgs: Vec<MachineConfig> = members.iter().map(|&i| configs[i]).collect();
+                    let _t = HistTimer::start(Hist::ReplayFamilyChunkNs);
                     let points = evaluate_family(&cfgs, stream, timing, area);
                     members.iter().copied().zip(points).collect::<Vec<_>>()
                 }
@@ -1065,6 +1068,7 @@ where
         // configuration's cache arrays page-fault from scratch.
         let span = PhaseSpan::enter_with("worker", || "0".to_string());
         span.add_items(n as u64);
+        obs_hist!(Hist::RunnerWorkerItems, n as u64);
         return (0..n).map(caught).collect();
     }
     let next = AtomicUsize::new(0);
@@ -1085,6 +1089,7 @@ where
             handles.push(scope.spawn(move || {
                 let span = PhaseSpan::enter_under(parent, "worker", &w.to_string());
                 let mut mine = Vec::new();
+                let mut claimed = 0u64;
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -1094,6 +1099,7 @@ where
                         break;
                     }
                     span.add_items(1);
+                    claimed += 1;
                     match caught(i) {
                         Ok(p) => mine.push((i, p)),
                         Err(e) => {
@@ -1108,6 +1114,9 @@ where
                         }
                     }
                 }
+                // One sample per worker per fan-out: the *distribution*
+                // of claimed counts across workers is queue imbalance.
+                obs_hist!(Hist::RunnerWorkerItems, claimed);
                 mine
             }));
         }

@@ -20,17 +20,36 @@
 //! totals* (one `obs_count!` per chunk/replay pass, accumulated in a
 //! plain local first), never per-event atomic increments.
 //!
+//! Beyond counters and spans, the [`hist`] module adds lock-free
+//! log-linear latency histograms (tail latency, queue imbalance), the
+//! [`trace_export`] module renders raw spans as Chrome trace-event JSON
+//! for Perfetto, and the [`registry`] module persists manifests under
+//! `.tlc/runs/` and diffs them run-over-run.
+//!
 //! The [`manifest`] module (always compiled, so `--metrics` keeps
 //! working in uninstrumented builds — it just reports
-//! `"instrumentation": false`) assembles counters + spans + events into
-//! a versioned `tlc-run-manifest/1` JSON document.
+//! `"instrumentation": false`) assembles counters + spans + events +
+//! histograms + memory accounting into a versioned `tlc-run-manifest/2`
+//! JSON document.
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod manifest;
+pub mod registry;
+pub mod trace_export;
+
+pub use hist::{Hist, HistTimer};
 
 /// `true` iff this build carries live instrumentation (`enabled`
 /// feature). A `const` so `if ENABLED { .. }` folds away entirely.
 pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Cap on retained span records. A big sweep can close millions of
+/// fine-grained spans; beyond this the *oldest* are overwritten (ring
+/// semantics) so the buffer bounds memory while the tail — usually the
+/// interesting part of a stall — survives. Drops are counted
+/// ([`spans_dropped`]) and surfaced in the manifest as `spans_dropped`.
+pub const SPAN_RING_CAPACITY: usize = 1 << 16;
 
 /// Every counter the pipeline can bump. Discriminants index the
 /// [`CounterSet`] array; [`Counter::name`] gives the dotted name used
@@ -99,11 +118,18 @@ pub enum Counter {
     /// Instruction records actually replayed from representative slices
     /// (warm-up prefixes included).
     SampleEventsReplayed,
+    /// Bytes of encoded L1 miss events accumulated in filter event
+    /// buffers (summed at flush; feeds the manifest `memory` section).
+    FilterEventBytes,
+    /// Randomised audit cases executed (differential fuzz runs).
+    AuditCases,
+    /// Audit cases whose engines disagreed with the oracle.
+    AuditDivergences,
 }
 
 impl Counter {
     /// Number of counters (size of the [`CounterSet`] array).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -132,6 +158,9 @@ impl Counter {
         Counter::SamplePhases,
         Counter::SampleIntervalsSkipped,
         Counter::SampleEventsReplayed,
+        Counter::FilterEventBytes,
+        Counter::AuditCases,
+        Counter::AuditDivergences,
     ];
 
     /// Dotted manifest name, e.g. `"filter.events_decoded"`.
@@ -162,6 +191,9 @@ impl Counter {
             Counter::SamplePhases => "sample.phases",
             Counter::SampleIntervalsSkipped => "sample.intervals_skipped",
             Counter::SampleEventsReplayed => "sample.events_replayed",
+            Counter::FilterEventBytes => "filter.event_bytes",
+            Counter::AuditCases => "audit.cases",
+            Counter::AuditDivergences => "audit.divergences",
         }
     }
 }
@@ -251,8 +283,42 @@ mod live {
         }
     }
 
+    use super::SPAN_RING_CAPACITY;
+
+    /// Fixed-capacity overwrite-oldest buffer of span records.
+    struct SpanRing {
+        buf: Vec<SpanRecord>,
+        /// Next write position once `buf` is full (oldest record).
+        next: usize,
+        dropped: u64,
+    }
+
+    impl SpanRing {
+        const fn new() -> SpanRing {
+            SpanRing { buf: Vec::new(), next: 0, dropped: 0 }
+        }
+
+        fn push(&mut self, rec: SpanRecord) {
+            if self.buf.len() < SPAN_RING_CAPACITY {
+                self.buf.push(rec);
+            } else {
+                self.buf[self.next] = rec;
+                self.next = (self.next + 1) % SPAN_RING_CAPACITY;
+                self.dropped += 1;
+            }
+        }
+
+        /// Drains in oldest-first order and resets.
+        fn take(&mut self) -> Vec<SpanRecord> {
+            let mut out = std::mem::take(&mut self.buf);
+            out.rotate_left(self.next);
+            self.next = 0;
+            out
+        }
+    }
+
     static COUNTERS: CounterSet = CounterSet::new();
-    static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+    static SPANS: Mutex<SpanRing> = Mutex::new(SpanRing::new());
     static EVENTS: Mutex<Vec<ObsEventRecord>> = Mutex::new(Vec::new());
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -380,15 +446,23 @@ mod live {
         }
     }
 
+    /// Spans overwritten by the ring buffer since the last [`reset`]
+    /// (not cleared by [`take_spans`], so the manifest can report it
+    /// after draining).
+    pub fn spans_dropped() -> u64 {
+        SPANS.lock().unwrap().dropped
+    }
+
     /// The current thread's open span path (for handing to
     /// [`PhaseSpan::enter_under`] on spawned workers).
     pub fn current_path() -> Vec<String> {
         PATH.with(|p| p.borrow().clone())
     }
 
-    /// Drains and returns all finished spans recorded so far.
+    /// Drains and returns all retained spans, oldest first. If the ring
+    /// overflowed, the oldest spans are gone — check [`spans_dropped`].
     pub fn take_spans() -> Vec<SpanRecord> {
-        std::mem::take(&mut SPANS.lock().unwrap())
+        SPANS.lock().unwrap().take()
     }
 
     /// Records a point event.
@@ -401,12 +475,13 @@ mod live {
         std::mem::take(&mut EVENTS.lock().unwrap())
     }
 
-    /// Clears counters, spans, and events (test isolation and
-    /// run-to-run separation in long-lived processes).
+    /// Clears counters, spans, events, and histograms (test isolation
+    /// and run-to-run separation in long-lived processes).
     pub fn reset() {
         COUNTERS.reset();
-        SPANS.lock().unwrap().clear();
+        *SPANS.lock().unwrap() = SpanRing::new();
         EVENTS.lock().unwrap().clear();
+        crate::hist::reset_hists();
     }
 }
 
@@ -488,6 +563,12 @@ mod live {
         Vec::new()
     }
 
+    /// Always zero in uninstrumented builds.
+    #[inline(always)]
+    pub fn spans_dropped() -> u64 {
+        0
+    }
+
     /// No-op.
     #[inline(always)]
     pub fn record_event(_kind: &str, _detail: String) {}
@@ -504,7 +585,8 @@ mod live {
 }
 
 pub use live::{
-    counters, current_path, record_event, reset, take_events, take_spans, CounterSet, PhaseSpan,
+    counters, current_path, record_event, reset, spans_dropped, take_events, take_spans,
+    CounterSet, PhaseSpan,
 };
 
 /// Bumps a [`Counter`] by `n`. Compiles to nothing (arguments
@@ -544,6 +626,22 @@ macro_rules! obs_event {
 macro_rules! obs_span {
     ($name:expr) => {
         $crate::PhaseSpan::enter($name)
+    };
+}
+
+/// Records one sample into a [`Hist`]. Compiles to nothing (arguments
+/// unevaluated) when the `enabled` feature is off. For durations,
+/// prefer [`HistTimer::start`].
+///
+/// ```
+/// tlc_obs::obs_hist!(tlc_obs::Hist::RunnerWorkerItems, 12);
+/// ```
+#[macro_export]
+macro_rules! obs_hist {
+    ($h:expr, $v:expr) => {
+        if $crate::ENABLED {
+            $crate::hist::record($h, $v);
+        }
     };
 }
 
@@ -659,6 +757,27 @@ mod tests {
             }
             // Distinct threads got distinct ids.
             assert_ne!(workers[0].thread, workers[1].thread);
+        }
+
+        #[test]
+        fn span_ring_overwrites_oldest_and_counts_drops() {
+            let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            reset();
+            let extra = 5usize;
+            for i in 0..SPAN_RING_CAPACITY + extra {
+                let _s = PhaseSpan::enter_with("s", || i.to_string());
+            }
+            assert_eq!(spans_dropped(), extra as u64);
+            let spans = take_spans();
+            assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+            // Oldest `extra` spans were overwritten; order is preserved.
+            assert_eq!(spans[0].path, [format!("s[{extra}]")]);
+            assert_eq!(
+                spans.last().unwrap().path,
+                [format!("s[{}]", SPAN_RING_CAPACITY + extra - 1)]
+            );
+            reset();
+            assert_eq!(spans_dropped(), 0);
         }
     }
 }

@@ -1,17 +1,28 @@
-//! The `tlc-run-manifest/1` document: a versioned JSON record of one
+//! The `tlc-run-manifest/2` document: a versioned JSON record of one
 //! pipeline run (sweep or repro) carrying engine/thread metadata, a
 //! config-space hash, counter totals, a nested per-phase span tree,
-//! and any point events (fallbacks, worker errors).
+//! latency histogram summaries, a memory-accounting section, and any
+//! point events (fallbacks, worker errors).
+//!
+//! Schema history: `/1` had counters + spans + events; `/2` adds
+//! `histograms` (log-linear latency distributions with
+//! p50/p90/p99/max), `memory` (peak/current RSS plus arena and
+//! event-buffer bytes), and `spans_dropped` (ring-buffer overflow
+//! count). The new fields deserialize with defaults, so `/1` documents
+//! still parse — but [`RunManifest::validate`] only accepts `/2`.
 //!
 //! This module is compiled regardless of the `enabled` feature so
 //! `--metrics` always produces a document; uninstrumented builds mark
-//! it `"instrumentation": false` and carry empty counters/spans.
+//! it `"instrumentation": false` and carry empty counters/spans (the
+//! `memory` RSS fields are real either way — they come from procfs,
+//! not from probes).
 
+use crate::hist::{HistBucket, HistSnapshot};
 use crate::{Counter, ObsEventRecord, SpanRecord};
 use serde::{Deserialize, Serialize};
 
 /// Schema identifier stamped into every manifest.
-pub const SCHEMA: &str = "tlc-run-manifest/1";
+pub const SCHEMA: &str = "tlc-run-manifest/2";
 
 /// One counter total, by dotted name ([`Counter::name`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +55,97 @@ pub struct SpanNode {
     pub items: u64,
     /// Child phases, ordered by first start time.
     pub children: Vec<SpanNode>,
+}
+
+/// Summary of one latency histogram: exact count/sum/max, the
+/// headline quantiles, and the sparse bucket array for consumers that
+/// want other quantiles or full distribution plots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Dotted histogram name, e.g. `"replay.family_chunk_ns"`.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (exact; `sum / count` is the mean).
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Median (within one log-linear bucket width of exact).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistogramSummary {
+    fn from_snapshot(s: &HistSnapshot) -> HistogramSummary {
+        HistogramSummary {
+            name: s.name.clone(),
+            count: s.count,
+            sum: s.sum,
+            max: s.max,
+            p50: s.quantile(0.50),
+            p90: s.quantile(0.90),
+            p99: s.quantile(0.99),
+            buckets: s.buckets.clone(),
+        }
+    }
+}
+
+/// Memory accounting for the run. RSS figures come from
+/// `/proc/self/status` at manifest-collection time (0 where procfs is
+/// unavailable); the byte totals come from counters and are 0 in
+/// uninstrumented builds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemorySection {
+    /// Process peak resident set size in bytes (`VmHWM`).
+    pub peak_rss_bytes: u64,
+    /// Resident set size in bytes when the manifest was collected
+    /// (`VmRSS`).
+    pub current_rss_bytes: u64,
+    /// Bytes of packed SoA trace arena storage allocated
+    /// (`trace.bytes_packed`).
+    pub arena_bytes: u64,
+    /// Bytes of encoded L1 miss events accumulated in filter event
+    /// buffers (`filter.event_bytes`).
+    pub event_buffer_bytes: u64,
+}
+
+impl MemorySection {
+    /// Collects RSS from procfs and byte totals from the given counter
+    /// list.
+    fn collect(counters: &[CounterTotal]) -> MemorySection {
+        let get =
+            |name: &str| counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0);
+        let (peak, current) = read_rss_bytes();
+        MemorySection {
+            peak_rss_bytes: peak,
+            current_rss_bytes: current,
+            arena_bytes: get("trace.bytes_packed"),
+            event_buffer_bytes: get("filter.event_bytes"),
+        }
+    }
+}
+
+/// (`VmHWM`, `VmRSS`) in bytes from `/proc/self/status`; zeros where
+/// procfs is unavailable or the fields are missing.
+fn read_rss_bytes() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|kb| kb * 1024)
+            .unwrap_or(0)
+    };
+    (field("VmHWM:"), field("VmRSS:"))
 }
 
 /// Run metadata supplied by the caller (everything the instrumentation
@@ -94,6 +196,16 @@ pub struct RunManifest {
     pub spans: Vec<SpanNode>,
     /// Point events in record order (fallbacks, errors).
     pub events: Vec<ObsEventRecord>,
+    /// Latency histogram summaries, one per `Hist`, in `Hist::ALL`
+    /// order (empty when uninstrumented; absent in `/1` documents).
+    #[serde(default = "Vec::new")]
+    pub histograms: Vec<HistogramSummary>,
+    /// Memory accounting (all-zero in `/1` documents).
+    #[serde(default = "Default::default")]
+    pub memory: MemorySection,
+    /// Spans lost to ring-buffer overflow before collection.
+    #[serde(default = "Default::default")]
+    pub spans_dropped: u64,
 }
 
 impl RunManifest {
@@ -117,11 +229,12 @@ impl RunManifest {
         events: Vec<ObsEventRecord>,
         snapshot: [u64; Counter::COUNT],
     ) -> RunManifest {
-        let counters = Counter::ALL
+        let counters: Vec<CounterTotal> = Counter::ALL
             .iter()
             .zip(snapshot)
             .map(|(c, value)| CounterTotal { name: c.name().to_string(), value })
             .collect();
+        let memory = MemorySection::collect(&counters);
         RunManifest {
             schema: SCHEMA.to_string(),
             command: meta.command,
@@ -135,7 +248,18 @@ impl RunManifest {
             counters,
             spans: build_span_tree(spans),
             events,
+            histograms: crate::hist::snapshot_all()
+                .iter()
+                .map(HistogramSummary::from_snapshot)
+                .collect(),
+            memory,
+            spans_dropped: crate::spans_dropped(),
         }
+    }
+
+    /// Looks up a histogram summary by dotted name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 
     /// Looks up a counter total by dotted name.
@@ -152,10 +276,39 @@ impl RunManifest {
     ///   `runner.configs_completed` == `configs` (times the phase count
     ///   for sampled sweeps);
     /// * when phase-sampled (`sample.phases` > 0):
-    ///   `sample.phases + sample.intervals_skipped == sample.intervals`.
+    ///   `sample.phases + sample.intervals_skipped == sample.intervals`;
+    /// * per histogram: bucket counts sum to `count` and quantiles are
+    ///   monotone (`p50 <= p90 <= p99 <= max`);
+    /// * `memory.peak_rss_bytes >= memory.current_rss_bytes` when both
+    ///   were measured.
     pub fn validate(&self) -> Result<(), String> {
         if self.schema != SCHEMA {
             return Err(format!("schema {:?}, expected {SCHEMA:?}", self.schema));
+        }
+        for h in &self.histograms {
+            let bucket_sum: u64 = h.buckets.iter().map(|b| b.count).sum();
+            if bucket_sum != h.count {
+                return Err(format!(
+                    "histogram {}: bucket counts sum to {bucket_sum}, count is {}",
+                    h.name, h.count
+                ));
+            }
+            if h.count > 0 && !(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max) {
+                return Err(format!(
+                    "histogram {}: quantiles not monotone (p50 {} p90 {} p99 {} max {})",
+                    h.name, h.p50, h.p90, h.p99, h.max
+                ));
+            }
+        }
+        let mem = &self.memory;
+        if mem.peak_rss_bytes > 0
+            && mem.current_rss_bytes > 0
+            && mem.peak_rss_bytes < mem.current_rss_bytes
+        {
+            return Err(format!(
+                "memory: peak_rss_bytes {} < current_rss_bytes {}",
+                mem.peak_rss_bytes, mem.current_rss_bytes
+            ));
         }
         if !self.instrumentation {
             return Ok(()); // counters are all zero by construction
@@ -231,6 +384,32 @@ impl RunManifest {
             if c.value != 0 {
                 out.push_str(&format!("# counter {} = {}\n", c.name, c.value));
             }
+        }
+        for h in &self.histograms {
+            if h.count != 0 {
+                out.push_str(&format!(
+                    "# hist {}: n={} mean={} p50={} p90={} p99={} max={}\n",
+                    h.name,
+                    h.count,
+                    h.sum / h.count,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                ));
+            }
+        }
+        if self.memory.peak_rss_bytes != 0 {
+            out.push_str(&format!(
+                "# memory peak_rss={}K current_rss={}K arena={}K event_buffers={}K\n",
+                self.memory.peak_rss_bytes / 1024,
+                self.memory.current_rss_bytes / 1024,
+                self.memory.arena_bytes / 1024,
+                self.memory.event_buffer_bytes / 1024
+            ));
+        }
+        if self.spans_dropped != 0 {
+            out.push_str(&format!("# spans dropped (ring overflow): {}\n", self.spans_dropped));
         }
         for node in &self.spans {
             render_node(&mut out, node, 0);
@@ -465,6 +644,96 @@ mod tests {
         assert!(m.validate().unwrap_err().contains("configs_completed"));
         m.configs = 1;
         assert!(m.validate().is_ok());
+    }
+
+    fn hist(name: &str, count: u64, quantiles: (u64, u64, u64, u64)) -> HistogramSummary {
+        let (p50, p90, p99, max) = quantiles;
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum: count * p50,
+            max,
+            p50,
+            p90,
+            p99,
+            buckets: if count > 0 {
+                vec![HistBucket { index: crate::hist::bucket_of(p50) as u32, floor: 0, count }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[test]
+    fn validate_checks_histogram_and_memory_invariants() {
+        let mut m = RunManifest::from_parts(meta(), Vec::new(), Vec::new(), [0; Counter::COUNT]);
+        m.histograms = vec![hist("replay.family_chunk_ns", 10, (5, 8, 9, 12))];
+        m.memory = MemorySection {
+            peak_rss_bytes: 2048,
+            current_rss_bytes: 1024,
+            arena_bytes: 0,
+            event_buffer_bytes: 0,
+        };
+        assert!(m.validate().is_ok());
+        // Non-monotone quantiles are rejected.
+        m.histograms[0].p90 = 4;
+        assert!(m.validate().unwrap_err().contains("not monotone"));
+        m.histograms[0].p90 = 8;
+        // Bucket counts must sum to the recorded count.
+        m.histograms[0].buckets[0].count = 9;
+        assert!(m.validate().unwrap_err().contains("bucket counts"));
+        m.histograms[0].buckets[0].count = 10;
+        // Peak RSS below current RSS is impossible.
+        m.memory.current_rss_bytes = 4096;
+        assert!(m.validate().unwrap_err().contains("peak_rss_bytes"));
+    }
+
+    #[test]
+    fn memory_section_is_collected_from_procfs_and_counters() {
+        let mut snapshot = [0u64; Counter::COUNT];
+        let idx = |c: Counter| Counter::ALL.iter().position(|&x| x == c).unwrap();
+        snapshot[idx(Counter::TraceBytesPacked)] = 777;
+        snapshot[idx(Counter::FilterEventBytes)] = 42;
+        let m = RunManifest::from_parts(meta(), Vec::new(), Vec::new(), snapshot);
+        assert_eq!(m.memory.arena_bytes, 777);
+        assert_eq!(m.memory.event_buffer_bytes, 42);
+        // On Linux, procfs gives real RSS figures.
+        if cfg!(target_os = "linux") {
+            assert!(m.memory.peak_rss_bytes > 0);
+            assert!(m.memory.peak_rss_bytes >= m.memory.current_rss_bytes);
+        }
+    }
+
+    #[test]
+    fn v1_documents_parse_with_defaulted_v2_fields() {
+        // A /1 document has no histograms/memory/spans_dropped keys;
+        // deserialization must fill defaults (validate then rejects the
+        // old schema string with a clear message).
+        let mut m = RunManifest::from_parts(meta(), Vec::new(), Vec::new(), [0; Counter::COUNT]);
+        m.schema = "tlc-run-manifest/1".to_string();
+        let mut v: serde_json::Value = serde_json::from_str(&m.to_json()).unwrap();
+        let serde_json::Value::Object(ref mut entries) = v else {
+            panic!("manifest serializes as an object");
+        };
+        entries.retain(|(k, _)| !matches!(k.as_str(), "histograms" | "memory" | "spans_dropped"));
+        let back = RunManifest::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert!(back.histograms.is_empty());
+        assert_eq!(back.memory, MemorySection::default());
+        assert_eq!(back.spans_dropped, 0);
+        let err = back.validate().unwrap_err();
+        assert!(err.contains("tlc-run-manifest/2"), "clear schema message, got: {err}");
+    }
+
+    #[test]
+    fn manifest_carries_histograms_in_hist_all_order() {
+        let m = RunManifest::from_parts(meta(), Vec::new(), Vec::new(), [0; Counter::COUNT]);
+        if crate::ENABLED {
+            let names: Vec<_> = m.histograms.iter().map(|h| h.name.as_str()).collect();
+            let expected: Vec<_> = crate::Hist::ALL.iter().map(|h| h.name()).collect();
+            assert_eq!(names, expected);
+        } else {
+            assert!(m.histograms.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! The run registry: persisted manifests plus run-over-run diffing.
+//!
+//! A sweep campaign is only trustworthy if drift between runs is
+//! visible, so `tlc runs add` files each `--metrics` manifest
+//! under `.tlc/runs/`, content-addressed by the identity triple
+//! (config-space hash, workload, engine) plus a digest of the full
+//! document. Identical re-runs of the same space land at distinct ids
+//! (the digest covers timings), while the id *prefix* groups runs of
+//! the same experiment — exactly the cache key / resume token shape
+//! ROADMAP item 3 needs.
+//!
+//! [`diff_manifests`] compares two manifests — wall time, counter
+//! totals, histogram quantiles, memory — against configurable relative
+//! tolerances. Only *increases* count as regressions: this is a
+//! performance ratchet, not an equality check, so getting faster or
+//! doing less work never fails a build.
+
+use crate::manifest::RunManifest;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default registry directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = ".tlc/runs";
+
+/// A directory of persisted run manifests, one JSON file per run.
+pub struct RunRegistry {
+    dir: PathBuf,
+}
+
+/// One registry entry: the id is the file stem, loadable via
+/// [`RunRegistry::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEntry {
+    /// Registry id (`<space-hash>-<benchmark>-<engine>-<digest>`).
+    pub id: String,
+    /// Workload name recorded in the manifest.
+    pub benchmark: String,
+    /// Engine recorded in the manifest.
+    pub engine: String,
+    /// Config-space hash recorded in the manifest.
+    pub config_space_hash: String,
+    /// Wall time recorded in the manifest.
+    pub wall_s: f64,
+}
+
+impl RunRegistry {
+    /// Opens (creating if needed) a registry rooted at `dir`.
+    pub fn open(dir: &Path) -> Result<RunRegistry, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create registry dir {}: {e}", dir.display()))?;
+        Ok(RunRegistry { dir: dir.to_path_buf() })
+    }
+
+    /// The registry's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists a manifest, returning its registry id. Re-adding a
+    /// byte-identical manifest is idempotent (same id, same file).
+    pub fn add(&self, manifest: &RunManifest) -> Result<String, String> {
+        let json = manifest.to_json();
+        let id = run_id(manifest, &json);
+        let path = self.dir.join(format!("{id}.json"));
+        fs::write(&path, &json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(id)
+    }
+
+    /// All entries, sorted by id.
+    pub fn list(&self) -> Result<Vec<RunEntry>, String> {
+        let rd = fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot read registry dir {}: {e}", self.dir.display()))?;
+        let mut out = Vec::new();
+        for ent in rd {
+            let path = ent.map_err(|e| format!("registry read error: {e}"))?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                continue;
+            };
+            let m = load_manifest_file(&path)?;
+            out.push(RunEntry {
+                id,
+                benchmark: m.benchmark,
+                engine: m.engine,
+                config_space_hash: m.config_space_hash,
+                wall_s: m.wall_s,
+            });
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(out)
+    }
+
+    /// Loads a manifest by exact id or unique id prefix.
+    pub fn load(&self, id_or_prefix: &str) -> Result<RunManifest, String> {
+        let exact = self.dir.join(format!("{id_or_prefix}.json"));
+        if exact.is_file() {
+            return load_manifest_file(&exact);
+        }
+        let matches: Vec<RunEntry> =
+            self.list()?.into_iter().filter(|e| e.id.starts_with(id_or_prefix)).collect();
+        match matches.len() {
+            0 => Err(format!("no run matching {id_or_prefix:?} in {}", self.dir.display())),
+            1 => load_manifest_file(&self.dir.join(format!("{}.json", matches[0].id))),
+            n => Err(format!(
+                "{id_or_prefix:?} is ambiguous: {n} runs match ({}, ...)",
+                matches[0].id
+            )),
+        }
+    }
+}
+
+/// Reads and parses one manifest file (any schema that deserializes;
+/// the diff warns rather than fails on schema skew).
+pub fn load_manifest_file(path: &Path) -> Result<RunManifest, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    RunManifest::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Registry id: the identity triple, human-readable, then a digest of
+/// the whole document so repeated runs of the same space stay distinct.
+fn run_id(m: &RunManifest, json: &str) -> String {
+    let digest = crate::manifest::fnv1a64(json.as_bytes());
+    format!(
+        "{}-{}-{}-{:08x}",
+        m.config_space_hash,
+        sanitize(&m.benchmark),
+        sanitize(&m.engine),
+        // Fold to 32 bits: 8 hex chars is plenty for per-triple
+        // disambiguation and keeps ids terminal-friendly.
+        (digest ^ (digest >> 32)) as u32
+    )
+}
+
+/// File-name-safe slug: alphanumerics kept, everything else `_`.
+fn sanitize(s: &str) -> String {
+    let slug: String = s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    if slug.is_empty() {
+        "unnamed".to_string()
+    } else {
+        slug
+    }
+}
+
+/// Relative tolerances for [`diff_manifests`]. A candidate value `c`
+/// regresses against baseline `b` iff `b > 0` and
+/// `c > b * (1 + tolerance)`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffTolerances {
+    /// Wall-time tolerance (fraction, e.g. 0.25 = +25%).
+    pub wall_frac: f64,
+    /// Counter-total tolerance.
+    pub counter_frac: f64,
+    /// Histogram-quantile tolerance.
+    pub quantile_frac: f64,
+    /// Memory-bytes tolerance.
+    pub memory_frac: f64,
+}
+
+impl Default for DiffTolerances {
+    /// Generous defaults sized for CI neighbours-and-noise: shared
+    /// runners jitter wall time and tail quantiles wildly, so only
+    /// multiple-× blowups should fail a build by default.
+    fn default() -> DiffTolerances {
+        DiffTolerances { wall_frac: 0.5, counter_frac: 0.1, quantile_frac: 1.0, memory_frac: 0.5 }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Metric name, e.g. `"wall_s"`, `"counter l2.probes"`,
+    /// `"hist replay.family_chunk_ns p99"`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Tolerance applied (fraction).
+    pub tolerance: f64,
+    /// Whether the candidate exceeds baseline beyond tolerance.
+    pub regressed: bool,
+}
+
+impl DiffLine {
+    fn compare(metric: String, baseline: f64, candidate: f64, tolerance: f64) -> DiffLine {
+        let regressed = baseline > 0.0 && candidate > baseline * (1.0 + tolerance);
+        DiffLine { metric, baseline, candidate, tolerance, regressed }
+    }
+}
+
+/// Outcome of diffing two manifests.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every compared metric, in comparison order.
+    pub lines: Vec<DiffLine>,
+    /// Identity mismatches (different space/workload/engine/schema) —
+    /// the diff still runs, but the comparison may not be meaningful.
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// The metrics that regressed.
+    pub fn regressions(&self) -> Vec<&DiffLine> {
+        self.lines.iter().filter(|l| l.regressed).collect()
+    }
+
+    /// Multi-line human-readable rendering (warnings, regressions,
+    /// then in-tolerance changes).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for l in &self.lines {
+            let delta = if l.baseline > 0.0 {
+                format!("{:+.1}%", (l.candidate / l.baseline - 1.0) * 100.0)
+            } else if l.candidate > 0.0 {
+                "new".to_string()
+            } else {
+                "=".to_string()
+            };
+            let verdict = if l.regressed { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "{verdict:>9}  {}: {} -> {} ({delta}, tol +{:.0}%)\n",
+                l.metric,
+                fmt_val(l.baseline),
+                fmt_val(l.candidate),
+                l.tolerance * 100.0
+            ));
+        }
+        let regs = self.regressions().len();
+        out.push_str(&format!(
+            "{} metrics compared, {regs} regression{}\n",
+            self.lines.len(),
+            if regs == 1 { "" } else { "s" }
+        ));
+        out
+    }
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Compares `candidate` against `baseline`: wall time, every counter
+/// present in the baseline, per-histogram p50/p90/p99/max, and the
+/// memory section. Upward drift beyond tolerance marks the line
+/// regressed; identity mismatches become warnings.
+pub fn diff_manifests(
+    baseline: &RunManifest,
+    candidate: &RunManifest,
+    tol: DiffTolerances,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (what, b, c) in [
+        ("schema", &baseline.schema, &candidate.schema),
+        ("config_space_hash", &baseline.config_space_hash, &candidate.config_space_hash),
+        ("benchmark", &baseline.benchmark, &candidate.benchmark),
+        ("engine", &baseline.engine, &candidate.engine),
+    ] {
+        if b != c {
+            report.warnings.push(format!("{what} differs: baseline {b:?}, candidate {c:?}"));
+        }
+    }
+    if baseline.instrumentation != candidate.instrumentation {
+        report.warnings.push(format!(
+            "instrumentation differs: baseline {}, candidate {} (counter and histogram \
+             comparisons are vacuous)",
+            baseline.instrumentation, candidate.instrumentation
+        ));
+    }
+
+    report.lines.push(DiffLine::compare(
+        "wall_s".to_string(),
+        baseline.wall_s,
+        candidate.wall_s,
+        tol.wall_frac,
+    ));
+    for bc in &baseline.counters {
+        let cc = candidate.counter(&bc.name).unwrap_or(0);
+        report.lines.push(DiffLine::compare(
+            format!("counter {}", bc.name),
+            bc.value as f64,
+            cc as f64,
+            tol.counter_frac,
+        ));
+    }
+    for bh in &baseline.histograms {
+        let ch = candidate.histogram(&bh.name);
+        for (q, bv) in [("p50", bh.p50), ("p90", bh.p90), ("p99", bh.p99), ("max", bh.max)] {
+            let cv = ch
+                .map(|h| match q {
+                    "p50" => h.p50,
+                    "p90" => h.p90,
+                    "p99" => h.p99,
+                    _ => h.max,
+                })
+                .unwrap_or(0);
+            report.lines.push(DiffLine::compare(
+                format!("hist {} {q}", bh.name),
+                bv as f64,
+                cv as f64,
+                tol.quantile_frac,
+            ));
+        }
+    }
+    let mems = [
+        ("memory peak_rss_bytes", baseline.memory.peak_rss_bytes, candidate.memory.peak_rss_bytes),
+        ("memory arena_bytes", baseline.memory.arena_bytes, candidate.memory.arena_bytes),
+        (
+            "memory event_buffer_bytes",
+            baseline.memory.event_buffer_bytes,
+            candidate.memory.event_buffer_bytes,
+        ),
+    ];
+    for (name, b, c) in mems {
+        report.lines.push(DiffLine::compare(name.to_string(), b as f64, c as f64, tol.memory_frac));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{HistogramSummary, MemorySection, RunMeta};
+    use crate::Counter;
+
+    fn manifest(bench: &str, wall_s: f64) -> RunManifest {
+        let mut m = RunManifest::from_parts(
+            RunMeta {
+                command: "sweep".to_string(),
+                benchmark: bench.to_string(),
+                engine: "family".to_string(),
+                threads: 2,
+                configs: 90,
+                config_space_hash: "00000000deadbeef".to_string(),
+                wall_s,
+            },
+            Vec::new(),
+            Vec::new(),
+            [5; Counter::COUNT],
+        );
+        m.histograms = vec![HistogramSummary {
+            name: "replay.family_chunk_ns".to_string(),
+            count: 4,
+            sum: 40,
+            max: 16,
+            p50: 10,
+            p90: 12,
+            p99: 15,
+            buckets: Vec::new(),
+        }];
+        m.memory = MemorySection {
+            peak_rss_bytes: 1 << 20,
+            current_rss_bytes: 1 << 19,
+            arena_bytes: 4096,
+            event_buffer_bytes: 1024,
+        };
+        m
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tlc-registry-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn registry_add_list_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let reg = RunRegistry::open(&dir).unwrap();
+        let m = manifest("paper", 1.5);
+        let id = reg.add(&m).unwrap();
+        assert!(id.starts_with("00000000deadbeef-paper-family-"), "id shape: {id}");
+        // Idempotent re-add.
+        assert_eq!(reg.add(&m).unwrap(), id);
+        // A different run of the same triple gets a distinct id with
+        // the same prefix.
+        let id2 = reg.add(&manifest("paper", 9.9)).unwrap();
+        assert_ne!(id, id2);
+        assert_eq!(
+            id.rsplit_once('-').unwrap().0,
+            id2.rsplit_once('-').unwrap().0,
+            "same experiment, same id prefix"
+        );
+        let entries = reg.list().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.id == id && e.benchmark == "paper"));
+        // Exact-id load and unique-prefix load.
+        let back = reg.load(&id).unwrap();
+        assert_eq!(back.wall_s, 1.5);
+        let err = reg.load("00000000deadbeef-paper").unwrap_err();
+        assert!(err.contains("ambiguous"), "2 matches must be ambiguous: {err}");
+        let unique = &id[..id.len() - 1];
+        // A 1-char-short prefix is almost surely unique between the two
+        // digests; fall back to exact id if not.
+        if reg.load(unique).is_err() {
+            assert_eq!(reg.load(&id).unwrap().wall_s, 1.5);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_unknown_ids() {
+        let dir = tmpdir("unknown");
+        let reg = RunRegistry::open(&dir).unwrap();
+        assert!(reg.load("nope").unwrap_err().contains("no run matching"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_flags_wall_time_regression_and_only_upward_drift() {
+        let base = manifest("paper", 1.0);
+        // 2x wall time with default (generous) tolerances regresses.
+        let slow = manifest("paper", 2.0);
+        let report = diff_manifests(&base, &slow, DiffTolerances::default());
+        assert!(report.warnings.is_empty());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_s");
+        assert!(report.render_text().contains("REGRESSED"));
+        // Getting *faster* is never a regression.
+        let fast = manifest("paper", 0.1);
+        assert!(diff_manifests(&base, &fast, DiffTolerances::default()).regressions().is_empty());
+    }
+
+    #[test]
+    fn diff_covers_counters_quantiles_and_memory() {
+        let base = manifest("paper", 1.0);
+        let mut cand = manifest("paper", 1.0);
+        cand.counters.iter_mut().find(|c| c.name == "l2.probes").unwrap().value = 50; // 10x
+        cand.histograms[0].p99 = 1_000; // way past 2x
+        cand.memory.peak_rss_bytes = 1 << 24; // 16x
+        let report = diff_manifests(&base, &cand, DiffTolerances::default());
+        let names: Vec<_> = report.regressions().iter().map(|l| l.metric.clone()).collect();
+        assert!(names.contains(&"counter l2.probes".to_string()), "{names:?}");
+        assert!(names.contains(&"hist replay.family_chunk_ns p99".to_string()), "{names:?}");
+        assert!(names.contains(&"memory peak_rss_bytes".to_string()), "{names:?}");
+        // Tightening a tolerance flips a previously-ok line.
+        let tight = DiffTolerances { wall_frac: 0.0, ..DiffTolerances::default() };
+        let mut slow = manifest("paper", 1.0);
+        slow.wall_s = 1.01;
+        assert_eq!(diff_manifests(&base, &slow, tight).regressions().len(), 1);
+    }
+
+    #[test]
+    fn diff_warns_on_identity_mismatch() {
+        let base = manifest("paper", 1.0);
+        let mut other = manifest("other", 1.0);
+        other.engine = "predict".to_string();
+        other.config_space_hash = "1111111111111111".to_string();
+        let report = diff_manifests(&base, &other, DiffTolerances::default());
+        assert_eq!(report.warnings.len(), 3, "{:?}", report.warnings);
+        assert!(report.render_text().contains("warning:"));
+    }
+
+    #[test]
+    fn sanitize_keeps_ids_file_safe() {
+        assert_eq!(sanitize("paper/trace v2"), "paper_trace_v2");
+        assert_eq!(sanitize(""), "unnamed");
+    }
+}

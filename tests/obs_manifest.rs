@@ -5,7 +5,8 @@
 //! change them; (b) nest worker spans under the spawning phase across
 //! thread boundaries; (c) propagate worker panics as structured
 //! [`SweepError`]s naming the failing unit; and (d) roll up into a
-//! `tlc-run-manifest/1` document whose arithmetic invariants hold.
+//! `tlc-run-manifest/2` document whose arithmetic invariants hold,
+//! including the v2 latency histograms and memory section.
 //!
 //! The obs state is process-global, so every test takes `SERIAL`.
 
@@ -239,4 +240,63 @@ fn collected_manifest_validates_and_round_trips() {
     assert_eq!(back.schema, manifest.schema);
     assert_eq!(back.counters.len(), manifest.counters.len());
     back.validate().expect("round-tripped manifest still validates");
+}
+
+/// Acceptance for the v2 distributions: a plain family sweep populates
+/// at least three latency histograms (chunk replay, L1 group capture,
+/// worker queue share) with monotone quantiles bounded by the recorded
+/// max, and the memory section carries a real peak-RSS reading.
+#[test]
+fn family_sweep_manifest_carries_distributions_and_memory() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    let configs = mixed_space();
+    let arena = capture();
+    tlc_obs::reset();
+    try_sweep_family_arena_threads(&configs, &arena, BUDGET, &tm, &am, 2)
+        .expect("family sweep succeeds");
+    let manifest = RunManifest::collect(RunMeta {
+        command: "sweep".to_string(),
+        benchmark: SpecBenchmark::Li.name().to_string(),
+        engine: "family".to_string(),
+        threads: 2,
+        configs: configs.len() as u64,
+        config_space_hash: "deadbeefdeadbeef".to_string(),
+        wall_s: 0.0,
+    });
+    manifest.validate().expect("manifest invariants hold");
+    // The memory section reads procfs regardless of the probe feature.
+    assert!(manifest.memory.peak_rss_bytes > 0, "peak RSS must be read from /proc/self/status");
+    assert!(manifest.memory.current_rss_bytes <= manifest.memory.peak_rss_bytes);
+    if !tlc_obs::ENABLED {
+        assert!(manifest.histograms.iter().all(|h| h.count == 0));
+        return;
+    }
+    let populated: Vec<&str> =
+        manifest.histograms.iter().filter(|h| h.count > 0).map(|h| h.name.as_str()).collect();
+    assert!(populated.len() >= 3, "want >= 3 populated histograms, got {populated:?}");
+    for name in ["replay.family_chunk_ns", "capture.l1_group_ns", "runner.worker_items"] {
+        assert!(populated.contains(&name), "{name} must be populated by a family sweep");
+    }
+    for h in manifest.histograms.iter().filter(|h| h.count > 0) {
+        assert!(
+            h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max,
+            "{}: quantiles not monotone",
+            h.name
+        );
+        assert!(h.sum / h.count <= h.max, "{}: mean above max", h.name);
+    }
+    // The worker-share histogram is the queue-imbalance measure: one
+    // sample per worker per fan-out (capture and sweep phases both fan
+    // out here), so two workers yield at least two samples.
+    let workers = manifest.histogram("runner.worker_items").expect("worker histogram");
+    assert!(workers.count >= 2, "one sample per worker per fan-out, got {}", workers.count);
+    assert!(workers.sum > 0, "workers must claim units");
+    // Event-buffer accounting flows from the filter flush counter.
+    assert_eq!(
+        Some(manifest.memory.event_buffer_bytes),
+        manifest.counter("filter.event_bytes"),
+        "event-buffer bytes mirror the filter.event_bytes counter"
+    );
 }

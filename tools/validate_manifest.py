@@ -4,9 +4,12 @@
 Independent (non-Rust) check used by CI after the manifest and audit
 smoke runs: verifies field presence, types, and the arithmetic
 invariants the producer guarantees. Dispatches on the document's
-``schema`` field — ``tlc-run-manifest/1`` (sweep instrumentation
+``schema`` field — ``tlc-run-manifest/2`` (sweep instrumentation
 manifests) and ``tlc-audit-report/1`` (differential-audit reports) are
-understood. Exits non-zero with a message on the first violation.
+understood — plus Chrome trace-event documents (a top-level
+``traceEvents`` array, as written by ``tlc sweep --trace-out``).
+Anything else is rejected with a clear message naming the schemas this
+validator speaks. Exits non-zero on the first violation.
 
 Usage: validate_manifest.py <report.json>
 """
@@ -14,7 +17,7 @@ Usage: validate_manifest.py <report.json>
 import json
 import sys
 
-SCHEMA = "tlc-run-manifest/1"
+SCHEMA = "tlc-run-manifest/2"
 AUDIT_SCHEMA = "tlc-audit-report/1"
 
 AUDIT_FIELDS = {
@@ -39,6 +42,9 @@ TOP_FIELDS = {
     "wall_s": (int, float),
     "instrumentation": bool,
     "counters": list,
+    "histograms": list,
+    "memory": dict,
+    "spans_dropped": int,
     "spans": list,
     "events": list,
 }
@@ -53,28 +59,110 @@ SPAN_FIELDS = {
     "children": list,
 }
 
+HIST_FIELDS = {
+    "name": str,
+    "count": int,
+    "sum": int,
+    "max": int,
+    "p50": int,
+    "p90": int,
+    "p99": int,
+    "buckets": list,
+}
+
+MEMORY_FIELDS = {
+    "peak_rss_bytes": int,
+    "current_rss_bytes": int,
+    "arena_bytes": int,
+    "event_buffer_bytes": int,
+}
+
 
 def fail(msg):
     print(f"validate_manifest: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_fields(doc, fields, what):
+    for field, ty in fields.items():
+        if field not in doc:
+            fail(f"{what}: missing field {field!r}")
+        if not isinstance(doc[field], ty):
+            fail(f"{what}.{field}: expected {ty}, got {type(doc[field])}")
+
+
 def check_span(node, path):
-    for field, ty in SPAN_FIELDS.items():
-        if field not in node:
-            fail(f"span {path}: missing field {field!r}")
-        if not isinstance(node[field], ty):
-            fail(f"span {path}.{field}: expected {ty}, got {type(node[field])}")
+    check_fields(node, SPAN_FIELDS, f"span {path}")
     for child in node["children"]:
         check_span(child, f"{path}/{child.get('name', '?')}")
 
 
+def check_histogram(h):
+    name = h.get("name", "?")
+    check_fields(h, HIST_FIELDS, f"histogram {name}")
+    bucket_total = 0
+    for b in h["buckets"]:
+        for field in ("index", "floor", "count"):
+            if not isinstance(b.get(field), int):
+                fail(f"histogram {name}: malformed bucket {b!r}")
+        bucket_total += b["count"]
+    if bucket_total != h["count"]:
+        fail(
+            f"histogram {name}: bucket counts sum to {bucket_total}, "
+            f"recorded count is {h['count']}"
+        )
+    if h["count"] > 0:
+        if not h["p50"] <= h["p90"] <= h["p99"] <= h["max"]:
+            fail(
+                f"histogram {name}: quantiles not monotone "
+                f"(p50={h['p50']} p90={h['p90']} p99={h['p99']} max={h['max']})"
+            )
+        if h["sum"] < h["max"]:
+            fail(f"histogram {name}: sum ({h['sum']}) < max ({h['max']})")
+
+
+def check_chrome_trace(doc):
+    """Well-formedness of a ``--trace-out`` Chrome trace-event document:
+    the subset Perfetto/chrome://tracing needs to render the timeline."""
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"traceEvents: expected list, got {type(events)}")
+    complete, metadata = 0, 0
+    tids_named = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"traceEvents[{i}]: expected object, got {type(e)}")
+        ph = e.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"traceEvents[{i}]: unknown phase {ph!r} (want 'X' or 'M')")
+        if not isinstance(e.get("pid"), int) or not isinstance(e.get("tid"), int):
+            fail(f"traceEvents[{i}]: pid/tid must be integers: {e!r}")
+        if not isinstance(e.get("name"), str):
+            fail(f"traceEvents[{i}]: missing string name: {e!r}")
+        if ph == "M":
+            metadata += 1
+            if e["name"] != "thread_name":
+                fail(f"traceEvents[{i}]: unexpected metadata record {e['name']!r}")
+            tids_named.add(e["tid"])
+        else:
+            complete += 1
+            for field in ("ts", "dur"):
+                if not isinstance(e.get(field), (int, float)):
+                    fail(f"traceEvents[{i}].{field}: expected number: {e!r}")
+            if e["dur"] < 0 or e["ts"] < 0:
+                fail(f"traceEvents[{i}]: negative ts/dur: {e!r}")
+            if not isinstance(e.get("cat"), str):
+                fail(f"traceEvents[{i}]: missing category: {e!r}")
+            if e["tid"] not in tids_named:
+                fail(f"traceEvents[{i}]: tid {e['tid']} has no thread_name metadata")
+    print(
+        f"validate_manifest: OK (chrome trace, {complete} spans on "
+        f"{len(tids_named)} named threads, {metadata} metadata records)"
+    )
+
+
 def check_audit_report(doc):
-    for field, ty in AUDIT_FIELDS.items():
-        if field not in doc:
-            fail(f"missing field {field!r}")
-        if not isinstance(doc[field], ty):
-            fail(f"field {field!r}: expected {ty}, got {type(doc[field])}")
+    check_fields(doc, AUDIT_FIELDS, "audit report")
     if doc["cases"] < 1:
         fail("audit ran zero cases")
     if doc["elapsed_seconds"] < 0:
@@ -118,23 +206,8 @@ def check_audit_report(doc):
     )
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: validate_manifest.py <report.json>")
-    with open(sys.argv[1]) as f:
-        doc = json.load(f)
-
-    if doc.get("schema") == AUDIT_SCHEMA:
-        check_audit_report(doc)
-        return
-
-    for field, ty in TOP_FIELDS.items():
-        if field not in doc:
-            fail(f"missing field {field!r}")
-        if not isinstance(doc[field], ty):
-            fail(f"field {field!r}: expected {ty}, got {type(doc[field])}")
-    if doc["schema"] != SCHEMA:
-        fail(f"schema {doc['schema']!r}, expected {SCHEMA!r}")
+def check_manifest(doc):
+    check_fields(doc, TOP_FIELDS, "manifest")
 
     counters = {}
     for c in doc["counters"]:
@@ -143,6 +216,25 @@ def main():
         if c["name"] in counters:
             fail(f"duplicate counter {c['name']!r}")
         counters[c["name"]] = c["value"]
+
+    hist_names = set()
+    populated_hists = 0
+    for h in doc["histograms"]:
+        check_histogram(h)
+        if h["name"] in hist_names:
+            fail(f"duplicate histogram {h['name']!r}")
+        hist_names.add(h["name"])
+        if h["count"] > 0:
+            populated_hists += 1
+
+    memory = doc["memory"]
+    check_fields(memory, MEMORY_FIELDS, "memory")
+    peak, current = memory["peak_rss_bytes"], memory["current_rss_bytes"]
+    if peak > 0 and current > 0 and peak < current:
+        fail(f"memory: peak_rss_bytes ({peak}) < current_rss_bytes ({current})")
+
+    if doc["spans_dropped"] < 0:
+        fail("negative spans_dropped")
 
     for node in doc["spans"]:
         check_span(node, node.get("name", "?"))
@@ -199,6 +291,8 @@ def main():
             )
         if counter("trace.instructions") == 0:
             fail("instrumented sweep captured no trace instructions")
+        if memory["peak_rss_bytes"] == 0:
+            fail("instrumented sweep recorded no peak RSS")
         if doc["engine"] == "predict":
             # Every design point is either answered analytically or
             # replayed through a fallback — nothing may fall through.
@@ -222,8 +316,37 @@ def main():
     print(
         f"validate_manifest: OK ({doc['command']} {doc['benchmark']}, "
         f"engine={doc['engine']}, {doc['configs']} configs, "
-        f"{decoded} events decoded, {probes} L2 probes{sampled})"
+        f"{decoded} events decoded, {probes} L2 probes, "
+        f"{populated_hists} populated histograms{sampled})"
     )
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_manifest.py <report.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail(f"expected a JSON object, got {type(doc)}")
+
+    # A --trace-out timeline has no schema tag of its own; the
+    # traceEvents array is the Chrome trace-event format's signature.
+    if "schema" not in doc and "traceEvents" in doc:
+        check_chrome_trace(doc)
+        return
+
+    schema = doc.get("schema")
+    if schema == AUDIT_SCHEMA:
+        check_audit_report(doc)
+    elif schema == SCHEMA:
+        check_manifest(doc)
+    else:
+        fail(
+            f"unknown schema {schema!r}: this validator understands "
+            f"{SCHEMA!r}, {AUDIT_SCHEMA!r}, and Chrome trace-event "
+            f"documents (a top-level 'traceEvents' array)"
+        )
 
 
 if __name__ == "__main__":

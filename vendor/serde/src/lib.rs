@@ -128,6 +128,38 @@ pub mod __private {
             self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
 
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as f64, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(n.as_f64()),
+                _ => None,
+            }
+        }
+
+        /// The number as u64, if this is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => n.as_u64(),
+                _ => None,
+            }
+        }
+
         /// One-word description of the value's shape, for error messages.
         pub fn kind(&self) -> &'static str {
             match self {
@@ -177,6 +209,21 @@ pub mod __private {
 }
 
 use __private::{Error, Number, Value};
+
+// Identity impls: parsing into `Value` keeps the raw JSON shape, for
+// callers that inspect documents structurally (schema dispatch, tests
+// over hand-built JSON like trace-event exports).
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
 
 macro_rules! impl_serde_uint {
     ($($t:ty),*) => {$(
