@@ -8,7 +8,7 @@
 //! implement the swap of the paper's §8.
 
 use crate::config::CacheConfig;
-use crate::replacement::Lfsr16;
+use crate::replacement::{Lfsr16, SRRIP_LONG_RRPV, SRRIP_MAX_RRPV};
 use crate::stats::CacheStats;
 use tlc_trace::LineAddr;
 
@@ -50,17 +50,19 @@ struct Way {
 /// [`ReplState`](crate::replacement::ReplState): same stamp sequences,
 /// same LFSR consumption, same PLRU bit layout.
 #[derive(Debug)]
-enum ReplBank {
+pub(crate) enum ReplBank {
     /// LRU / FIFO: per-way stamps and a per-set clock.
     Stamped { stamps: Vec<u32>, clock: Vec<u32>, refresh_on_touch: bool },
     /// Pseudo-random: stateless, victims come from the cache-global LFSR.
     Random,
     /// Tree-PLRU: one bit-packed tree per set.
     Tree { bits: Vec<u64> },
+    /// SRRIP-HP: one 2-bit RRPV per way, flat like the stamp array.
+    Srrip { rrpv: Vec<u8> },
 }
 
 impl ReplBank {
-    fn new(kind: crate::config::ReplacementKind, num_sets: usize, ways: usize) -> Self {
+    pub(crate) fn new(kind: crate::config::ReplacementKind, num_sets: usize, ways: usize) -> Self {
         use crate::config::ReplacementKind;
         match kind {
             ReplacementKind::Lru => ReplBank::Stamped {
@@ -75,12 +77,17 @@ impl ReplBank {
             },
             ReplacementKind::PseudoRandom => ReplBank::Random,
             ReplacementKind::TreePlru => ReplBank::Tree { bits: vec![0; num_sets] },
+            // Initial RRPVs are never observed: fills overwrite them, and
+            // victims are only chosen from full sets.
+            ReplacementKind::Srrip => {
+                ReplBank::Srrip { rrpv: vec![SRRIP_MAX_RRPV; num_sets * ways] }
+            }
         }
     }
 
     /// Notifies the bank that `way` of `set` was referenced (hit).
     #[inline]
-    fn touch(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
+    pub(crate) fn touch(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
         match self {
             ReplBank::Stamped { stamps, clock, refresh_on_touch } => {
                 if *refresh_on_touch {
@@ -90,12 +97,13 @@ impl ReplBank {
             }
             ReplBank::Random => {}
             ReplBank::Tree { bits } => tree_point_away(&mut bits[set], ways, way),
+            ReplBank::Srrip { rrpv } => rrpv[set * stride + way as usize] = 0,
         }
     }
 
     /// Notifies the bank that `way` of `set` was just filled.
     #[inline]
-    fn filled(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
+    pub(crate) fn filled(&mut self, set: usize, stride: usize, way: u32, ways: u32) {
         match self {
             ReplBank::Stamped { stamps, clock, .. } => {
                 clock[set] += 1;
@@ -103,12 +111,20 @@ impl ReplBank {
             }
             ReplBank::Random => {}
             ReplBank::Tree { bits } => tree_point_away(&mut bits[set], ways, way),
+            ReplBank::Srrip { rrpv } => rrpv[set * stride + way as usize] = SRRIP_LONG_RRPV,
         }
     }
 
-    /// Chooses a victim way in `set`.
+    /// Chooses a victim way in `set`. Mutable because SRRIP ages the
+    /// set's RRPVs until one reaches the eviction value.
     #[inline]
-    fn victim(&self, set: usize, stride: usize, ways: u32, lfsr: &mut Lfsr16) -> u32 {
+    pub(crate) fn victim(
+        &mut self,
+        set: usize,
+        stride: usize,
+        ways: u32,
+        lfsr: &mut Lfsr16,
+    ) -> u32 {
         match self {
             ReplBank::Stamped { stamps, .. } => {
                 let mut best = 0u32;
@@ -139,6 +155,95 @@ impl ReplBank {
                 }
                 node - ways
             }
+            ReplBank::Srrip { rrpv } => {
+                let set_rrpv = &mut rrpv[set * stride..set * stride + stride];
+                loop {
+                    if let Some(i) = set_rrpv.iter().position(|&r| r == SRRIP_MAX_RRPV) {
+                        return i as u32;
+                    }
+                    for r in set_rrpv.iter_mut() {
+                        *r += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-fill block-liveness statistics: how many L2 fill generations died
+/// without a single demand hit (dead-on-arrival) versus saw two or more
+/// (multi-hit). A *generation* runs from a fill to the moment the line
+/// departs (eviction, extraction, or overwrite); generations still
+/// resident at snapshot time are classified by their hits so far, so
+/// `fills == dead_on_arrival + live_fills` holds exactly.
+///
+/// Only demand hits ([`Cache::access`]) count as re-references; dirty
+/// write-back merges refresh replacement state but are not reuse.
+/// Tallies are lifetime (warm-up included), like
+/// [`Cache::lfsr_draws`] — and all-zero in uninstrumented builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Liveness {
+    /// Fill generations started.
+    pub fills: u64,
+    /// Generations that ended (or stand, for residents) with zero hits.
+    pub dead_on_arrival: u64,
+    /// `fills - dead_on_arrival`.
+    pub live_fills: u64,
+    /// Generations with two or more hits.
+    pub multi_hit: u64,
+}
+
+impl Liveness {
+    /// Component-wise sum (for family engines that aggregate members).
+    pub fn merge(&mut self, other: Liveness) {
+        self.fills += other.fills;
+        self.dead_on_arrival += other.dead_on_arrival;
+        self.live_fills += other.live_fills;
+        self.multi_hit += other.multi_hit;
+    }
+}
+
+/// Running tallies behind [`Liveness`]: departed generations only; the
+/// still-resident ones are folded in by [`LiveTally::snapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LiveTally {
+    fills: u64,
+    dead: u64,
+    multi: u64,
+}
+
+impl LiveTally {
+    /// Starts a generation.
+    #[inline]
+    pub(crate) fn fill(&mut self) {
+        if tlc_obs::ENABLED {
+            self.fills += 1;
+        }
+    }
+
+    /// Ends a generation that saw `hits` demand hits.
+    #[inline]
+    pub(crate) fn retire(&mut self, hits: u8) {
+        if tlc_obs::ENABLED {
+            if hits == 0 {
+                self.dead += 1;
+            } else if hits >= 2 {
+                self.multi += 1;
+            }
+        }
+    }
+
+    /// Classifies the still-resident generations' hit counts and returns
+    /// the closed totals.
+    pub(crate) fn snapshot(mut self, resident: impl Iterator<Item = u8>) -> Liveness {
+        for h in resident {
+            self.retire(h);
+        }
+        Liveness {
+            fills: self.fills,
+            dead_on_arrival: self.dead,
+            live_fills: self.fills - self.dead,
+            multi_hit: self.multi,
         }
     }
 }
@@ -195,6 +300,12 @@ pub struct Cache {
     /// stays 0 otherwise). Never reset — the LFSR itself never is, so
     /// warm-up draws are part of the count.
     lfsr_draws: u64,
+    /// Per-line demand-hit counts since the line's last fill, saturating
+    /// at 255 (instrumented builds only; empty otherwise). Indexed like
+    /// `ways`.
+    hit_counts: Vec<u8>,
+    /// Departed-generation liveness tallies (see [`Liveness`]).
+    live: LiveTally,
 }
 
 impl Cache {
@@ -212,6 +323,12 @@ impl Cache {
             lfsr: Lfsr16::default(),
             stats: CacheStats::default(),
             lfsr_draws: 0,
+            hit_counts: if tlc_obs::ENABLED {
+                vec![0; num_sets as usize * stride]
+            } else {
+                Vec::new()
+            },
+            live: LiveTally::default(),
         }
     }
 
@@ -229,6 +346,15 @@ impl Cache {
     /// builds, and for non-random replacement).
     pub fn lfsr_draws(&self) -> u64 {
         self.lfsr_draws
+    }
+
+    /// Lifetime block-liveness statistics, classifying still-resident
+    /// lines by their hits so far (see [`Liveness`]; all-zero in
+    /// uninstrumented builds).
+    pub fn liveness(&self) -> Liveness {
+        self.live.snapshot(
+            self.ways.iter().zip(&self.hit_counts).filter(|(w, _)| w.valid).map(|(_, &h)| h),
+        )
     }
 
     /// Clears the statistics (contents are preserved — used to discard
@@ -292,6 +418,10 @@ impl Cache {
             if w.valid && w.tag == tag {
                 w.dirty |= is_write;
                 self.stats.hits += 1;
+                if tlc_obs::ENABLED {
+                    let c = &mut self.hit_counts[set as usize];
+                    *c = c.saturating_add(1);
+                }
                 return true;
             }
             return false;
@@ -309,6 +439,10 @@ impl Cache {
         if let Some(way) = hit {
             self.repl.touch(set as usize, self.stride, way, self.cfg.ways());
             self.stats.hits += 1;
+            if tlc_obs::ENABLED {
+                let c = &mut self.hit_counts[base + way as usize];
+                *c = c.saturating_add(1);
+            }
             return true;
         }
         false
@@ -356,6 +490,13 @@ impl Cache {
             let w = &mut self.ways[set as usize];
             let old = *w;
             *w = Way { tag, valid: true, dirty };
+            if tlc_obs::ENABLED {
+                self.live.fill();
+                if old.valid {
+                    self.live.retire(self.hit_counts[set as usize]);
+                }
+                self.hit_counts[set as usize] = 0;
+            }
             if old.valid {
                 self.stats.evictions += 1;
                 if old.dirty {
@@ -371,6 +512,10 @@ impl Cache {
         if let Some(i) = (0..self.stride).find(|&i| !self.ways[base + i].valid) {
             self.ways[base + i] = Way { tag, valid: true, dirty };
             self.repl.filled(set as usize, self.stride, i as u32, ways);
+            if tlc_obs::ENABLED {
+                self.live.fill();
+                self.hit_counts[base + i] = 0;
+            }
             return None;
         }
         if tlc_obs::ENABLED && matches!(self.repl, ReplBank::Random) {
@@ -380,6 +525,11 @@ impl Cache {
         let v = self.ways[base + victim_way as usize];
         self.ways[base + victim_way as usize] = Way { tag, valid: true, dirty };
         self.repl.filled(set as usize, self.stride, victim_way, ways);
+        if tlc_obs::ENABLED {
+            self.live.fill();
+            self.live.retire(self.hit_counts[base + victim_way as usize]);
+            self.hit_counts[base + victim_way as usize] = 0;
+        }
         self.stats.evictions += 1;
         if v.dirty {
             self.stats.dirty_evictions += 1;
@@ -449,6 +599,13 @@ impl Cache {
         let old = self.ways[base + slot.way as usize];
         self.ways[base + slot.way as usize] = Way { tag, valid: true, dirty };
         self.repl.filled(set as usize, self.stride, slot.way, self.cfg.ways());
+        if tlc_obs::ENABLED {
+            self.live.fill();
+            if old.valid {
+                self.live.retire(self.hit_counts[base + slot.way as usize]);
+            }
+            self.hit_counts[base + slot.way as usize] = 0;
+        }
         if old.valid && old.tag != tag {
             self.stats.evictions += 1;
             if old.dirty {
@@ -470,6 +627,10 @@ impl Cache {
             if w.valid && w.tag == tag {
                 let dirty = w.dirty;
                 *w = Way::default();
+                if tlc_obs::ENABLED {
+                    self.live.retire(self.hit_counts[base + i]);
+                    self.hit_counts[base + i] = 0;
+                }
                 return Some((dirty, Slot { set, way: i as u32 }));
             }
         }
@@ -481,8 +642,17 @@ impl Cache {
         self.extract(line).is_some()
     }
 
-    /// Drops all contents (statistics are preserved).
+    /// Drops all contents (statistics are preserved; resident lines'
+    /// liveness generations end here).
     pub fn flush(&mut self) {
+        if tlc_obs::ENABLED {
+            for (w, c) in self.ways.iter().zip(self.hit_counts.iter_mut()) {
+                if w.valid {
+                    self.live.retire(*c);
+                }
+                *c = 0;
+            }
+        }
         for w in &mut self.ways {
             *w = Way::default();
         }
@@ -674,6 +844,56 @@ mod tests {
         assert_eq!(c.resident_lines(), 16);
         let ev = c.fill(line(999_424), false).unwrap();
         assert_eq!(ev.line, line(0), "FA LRU should evict the oldest line");
+    }
+
+    #[test]
+    fn srrip_cache_keeps_reused_line() {
+        let mut c = sa_cache(32, 2, ReplacementKind::Srrip);
+        // 16 sets; lines 0, 16, 32 share set 0.
+        c.fill(line(0), false);
+        c.fill(line(16), false);
+        assert!(c.access(line(0), false)); // promote line 0 to RRPV 0
+                                           // Line 16 sits at "long" (2), line 0 at 0: ageing reaches 16 first.
+        let ev = c.fill(line(32), false).unwrap();
+        assert_eq!(ev.line, line(16), "SRRIP must evict the never-reused way");
+        assert!(c.contains(line(0)));
+    }
+
+    #[test]
+    fn liveness_classifies_generations() {
+        if !tlc_obs::ENABLED {
+            return;
+        }
+        let mut c = dm_cache(16);
+        c.fill(line(1), false);
+        c.access(line(1), false);
+        c.access(line(1), false); // generation A: 2 hits
+        c.fill(line(1 + 16), false); // evicts A; generation B: 0 hits, resident
+        let lv = c.liveness();
+        assert_eq!(lv.fills, 2);
+        assert_eq!(lv.dead_on_arrival, 1, "the resident untouched line counts as dead");
+        assert_eq!(lv.live_fills, 1);
+        assert_eq!(lv.multi_hit, 1);
+    }
+
+    #[test]
+    fn liveness_invariant_across_extract_and_fill_at() {
+        if !tlc_obs::ENABLED {
+            return;
+        }
+        let mut c = sa_cache(32, 2, ReplacementKind::Lru);
+        c.fill(line(0), false);
+        c.access(line(0), false);
+        let (_, slot) = c.extract(line(0)).unwrap(); // retire: 1 hit, live
+        c.fill_at(line(16), false, slot); // new generation
+        c.fill(line(32), false); // free way, third generation
+        let lv = c.liveness();
+        assert_eq!(lv.fills, 3);
+        assert_eq!(lv.fills, lv.dead_on_arrival + lv.live_fills);
+        assert_eq!(lv.dead_on_arrival, 2, "the two untouched residents are dead so far");
+        assert_eq!(lv.multi_hit, 0);
+        c.flush();
+        assert_eq!(c.liveness(), lv, "flush retires residents without changing the tallies");
     }
 
     #[test]

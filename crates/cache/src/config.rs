@@ -39,6 +39,24 @@ pub enum ReplacementKind {
     PseudoRandom,
     /// Tree-based pseudo-LRU (ways must be a power of two ≤ 64).
     TreePlru,
+    /// Static re-reference interval prediction (SRRIP-HP): a 2-bit RRPV
+    /// per way. Fills predict a *long* re-reference interval (RRPV 2),
+    /// hits promote to *near-immediate* (RRPV 0), and the victim is the
+    /// lowest-indexed way at the maximum RRPV (3), ageing every way until
+    /// one reaches it.
+    Srrip,
+}
+
+impl ReplacementKind {
+    /// Every variant, in declaration order — the policy axis for sweeps
+    /// and samplers.
+    pub const ALL: [ReplacementKind; 5] = [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::PseudoRandom,
+        ReplacementKind::TreePlru,
+        ReplacementKind::Srrip,
+    ];
 }
 
 impl fmt::Display for ReplacementKind {
@@ -48,6 +66,7 @@ impl fmt::Display for ReplacementKind {
             ReplacementKind::Fifo => "FIFO",
             ReplacementKind::PseudoRandom => "pseudo-random",
             ReplacementKind::TreePlru => "tree-PLRU",
+            ReplacementKind::Srrip => "SRRIP",
         })
     }
 }

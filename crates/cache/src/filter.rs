@@ -32,7 +32,7 @@
 //! suite in `tests/arena_equivalence.rs` pins all three back-ends to the
 //! arena engine across every benchmark.
 
-use crate::cache::Cache;
+use crate::cache::{Cache, Liveness};
 use crate::config::CacheConfig;
 use crate::hierarchy::{MemorySystem, ServiceLevel};
 use crate::stats::HierarchyStats;
@@ -390,10 +390,17 @@ fn replay_on<B: BackEnd>(back: &mut B, stream: &MissStream) -> HierarchyStats {
 
 /// Flushes one replay pass's L2-side totals to the global counters.
 /// `stats` carries the measured-window hit/miss/writeback counts;
-/// `draws`/`swaps` are lifetime totals (warm-up included — the LFSR
-/// and the swap path are never reset), matching the family engines so
-/// the two report identical sums on identical configs.
-pub(crate) fn flush_l2_counters(events: u64, stats: &HierarchyStats, draws: u64, swaps: u64) {
+/// `draws`/`swaps`/`live` are lifetime totals (warm-up included — the
+/// LFSR, the swap path, and the fill-generation tallies are never
+/// reset), matching the family engines so the two report identical sums
+/// on identical configs.
+pub(crate) fn flush_l2_counters(
+    events: u64,
+    stats: &HierarchyStats,
+    draws: u64,
+    swaps: u64,
+    live: Liveness,
+) {
     tlc_obs::obs_count!(tlc_obs::Counter::L2EventsReplayed, events);
     tlc_obs::obs_count!(tlc_obs::Counter::L2Hits, stats.l2_hits);
     tlc_obs::obs_count!(tlc_obs::Counter::L2Misses, stats.l2_misses);
@@ -401,6 +408,10 @@ pub(crate) fn flush_l2_counters(events: u64, stats: &HierarchyStats, draws: u64,
     tlc_obs::obs_count!(tlc_obs::Counter::L2Writebacks, stats.offchip_writebacks);
     tlc_obs::obs_count!(tlc_obs::Counter::L2LfsrDraws, draws);
     tlc_obs::obs_count!(tlc_obs::Counter::L2ExclusiveSwaps, swaps);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2Fills, live.fills);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2DeadOnArrival, live.dead_on_arrival);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2LiveFills, live.live_fills);
+    tlc_obs::obs_count!(tlc_obs::Counter::L2MultiHit, live.multi_hit);
 }
 
 /// The replay inner loop: slice iteration over one chunk's packed
@@ -628,7 +639,7 @@ pub fn replay_conventional(l2_cfg: CacheConfig, stream: &MissStream) -> Hierarch
         offchip_writebacks: 0,
     };
     let stats = replay_on(&mut back, stream);
-    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), 0);
+    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), 0, back.l2.liveness());
     stats
 }
 
@@ -653,7 +664,7 @@ pub fn replay_exclusive(l2_cfg: CacheConfig, stream: &MissStream) -> HierarchySt
         swaps: 0,
     };
     let stats = replay_on(&mut back, stream);
-    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), back.swaps);
+    flush_l2_counters(stream.len(), &stats, back.l2.lfsr_draws(), back.swaps, back.l2.liveness());
     stats
 }
 

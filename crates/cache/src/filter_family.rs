@@ -3,29 +3,34 @@
 //!
 //! The design spaces of the paper vary, for a fixed L1, only the L2
 //! *capacity* (§2.1: L2 from 2×L1 up to 256KB, same 16B lines, same
-//! associativity, same policy). The scalar back-ends in
-//! [`filter`](crate::filter) already replay only the L1 miss events, but
-//! they still decode the packed 17-byte events once per configuration.
-//! Here one decode of each event fans into N structure-of-arrays L2
-//! states — per-configuration slot arrays, counters, and crucially a
-//! **per-configuration [`Lfsr16`]**, so pseudo-random replacement draws
-//! happen in exactly the order the standalone back-end would make them
-//! and every statistic stays bit-identical.
+//! associativity). The scalar back-ends in [`filter`](crate::filter)
+//! already replay only the L1 miss events, but they still decode the
+//! packed 17-byte events once per configuration. Here one decode of each
+//! event fans into N structure-of-arrays L2 states — per-configuration
+//! slot arrays, counters, a per-member replacement bank
+//! ([`ReplBank`](crate::cache)) holding the policy words (LRU/FIFO
+//! stamps, PLRU tree bits, SRRIP RRPVs) alongside the `(line<<1)|dirty`
+//! slot words, and crucially a **per-configuration [`Lfsr16`]**, so
+//! pseudo-random replacement draws happen in exactly the order the
+//! standalone back-end would make them and every statistic stays
+//! bit-identical.
 //!
 //! ## Why batching preserves the bit-exact contract
 //!
 //! Each member's L2 observes the same event sequence it would see alone:
 //! the batched loop applies one event to every member before moving on,
-//! and members never share mutable state. The only stateful randomness is
-//! the replacement LFSR, which [`Cache`](crate::Cache) consults
-//! *only* when a set-associative fill finds no free way — a condition
-//! each member evaluates against its own slots. Giving each member its
-//! own LFSR (same seed as a fresh [`Cache`](crate::Cache)) therefore reproduces the
-//! standalone draw sequence exactly. The exclusive policy's per-L1-set
-//! fill-dirty mirror must also be per member — its entries come out of
-//! the member's own L2 extracts, whose dirty bits depend on L2 capacity —
-//! so it is carried per configuration, not once per family (see
-//! `docs/models.md`).
+//! and members never share mutable state. Replacement state is a replica
+//! of the scalar [`Cache`](crate::Cache)'s: the same `ReplBank` state
+//! machines, driven by the same touch/fill/victim call sequence — so
+//! stamp clocks, tree bits, and RRPVs evolve identically, and the only
+//! stateful randomness (the pseudo-random LFSR, consulted *only* when a
+//! set-associative fill finds no free way) is carried per member with the
+//! same seed as a fresh `Cache`. Members may even mix replacement
+//! policies: each bank is built from its own member's configuration. The
+//! exclusive policy's per-L1-set fill-dirty mirror must also be per
+//! member — its entries come out of the member's own L2 extracts, whose
+//! dirty bits depend on L2 capacity — so it is carried per configuration,
+//! not once per family (see `docs/models.md`).
 //!
 //! ## The direct-mapped fast path
 //!
@@ -35,12 +40,27 @@
 //! at size S ⇒ resident at 2S), so one "smallest hitting size" threshold
 //! per access answers the whole family. Hits and victim writebacks then
 //! accumulate into per-threshold histograms instead of per-member
-//! counters — see `DmConventionalFamily` for the invariant.
+//! counters — see `DmConventionalFamily` for the invariant. Replacement
+//! policy is irrelevant at one way per set, so the fast path serves every
+//! [`ReplacementKind`].
+//!
+//! ## Errors instead of panics
+//!
+//! An unsupported family shape surfaces as a typed [`FamilyError`] from
+//! the `try_replay_*` entry points; the plain `replay_*` wrappers keep
+//! the old panicking contract for callers that validate up front. Sweep
+//! workers use the `try_` forms and fall back to scalar filtered replay,
+//! so no configuration can panic a worker thread.
 
-use crate::config::{CacheConfig, ReplacementKind};
+use crate::cache::{Liveness, ReplBank};
+use crate::config::CacheConfig;
+#[cfg(test)]
+use crate::config::ReplacementKind;
 use crate::filter::{replay_single, walk_events, EventSink, MissStream};
 use crate::replacement::Lfsr16;
 use crate::stats::HierarchyStats;
+use std::error::Error;
+use std::fmt;
 use tlc_trace::LineAddr;
 
 /// Slot encoding: `(line << 1) | dirty`, with `u64::MAX` as the invalid
@@ -49,40 +69,98 @@ use tlc_trace::LineAddr;
 /// a single shifted compare tests "valid and tag matches".
 const INVALID: u64 = u64::MAX;
 
-/// One member's L2 array plus its private counters and LFSR.
+/// Why a configuration family cannot be batch-replayed.
+///
+/// Returned by the `try_replay_*` entry points; the panicking `replay_*`
+/// wrappers turn these into messages. Callers (the sweep runner) treat an
+/// error as "replay each member through the scalar back-end instead" —
+/// the statistics are identical either way, only the batching is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyError {
+    /// A member's line size differs from the stream's; the events would
+    /// be misinterpreted.
+    LineSize {
+        /// The member's line size in bytes.
+        member: u64,
+        /// The stream's line size in bytes.
+        stream: u64,
+    },
+    /// Members disagree on associativity; the batched set scans
+    /// monomorphise on a single way count.
+    MixedWays {
+        /// The first member's way count.
+        first: u32,
+        /// The disagreeing member's way count.
+        other: u32,
+    },
+}
+
+impl fmt::Display for FamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamilyError::LineSize { member, stream } => write!(
+                f,
+                "family member line size {member}B differs from the stream's {stream}B \
+                 (L1 and L2 must share a line size)"
+            ),
+            FamilyError::MixedWays { first, other } => {
+                write!(f, "family members disagree on associativity ({first} vs {other} ways)")
+            }
+        }
+    }
+}
+
+impl Error for FamilyError {}
+
+/// One member's L2 array plus its private replacement bank, counters,
+/// liveness tallies, and LFSR.
 ///
 /// Slots are set-major (`slots[set * ways + way]`), matching
-/// [`Cache`](crate::Cache)'s layout, but hold one packed `u64` per way instead of a
-/// 16-byte `Way` struct: half the memory touched per probe, and no
-/// statistics or replacement-policy dispatch on the hot path.
+/// [`Cache`](crate::Cache)'s layout, but hold one packed `u64` per way
+/// instead of a 16-byte `Way` struct: half the memory touched per probe.
+/// The policy words live in the member's [`ReplBank`] — the same state
+/// machines the scalar cache uses, so bit-compatibility holds by
+/// construction.
 #[derive(Debug)]
 struct L2State {
     slots: Vec<u64>,
     set_mask: u64,
+    repl: ReplBank,
     lfsr: Lfsr16,
     hits: u64,
     misses: u64,
     writebacks: u64,
-    /// Lifetime LFSR victim draws (instrumented builds only). Not
-    /// touched by [`L2State::reset_counters`] — the LFSR itself is
-    /// never reset, matching the scalar [`Cache`](crate::Cache) count.
+    /// Lifetime LFSR victim draws (instrumented builds only; only
+    /// pseudo-random members ever draw). Not touched by
+    /// [`L2State::reset_counters`] — the LFSR itself is never reset,
+    /// matching the scalar [`Cache`](crate::Cache) count.
     lfsr_draws: u64,
     /// Lifetime fig-21a swaps (instrumented exclusive families only;
     /// lifetime for the same reason as `lfsr_draws`).
     swaps: u64,
+    /// Per-slot demand-hit counts since the slot's last fill, saturating
+    /// at 255 (instrumented builds only; empty otherwise).
+    hit_counts: Vec<u8>,
+    /// Departed fill-generation tallies (see
+    /// [`Liveness`](crate::Liveness)); lifetime, like `lfsr_draws`.
+    live: crate::cache::LiveTally,
 }
 
 impl L2State {
     fn new(cfg: &CacheConfig) -> Self {
+        let lines = cfg.lines() as usize;
         L2State {
-            slots: vec![INVALID; cfg.lines() as usize],
+            slots: vec![INVALID; lines],
             set_mask: cfg.num_sets() - 1,
+            repl: ReplBank::new(cfg.replacement(), cfg.num_sets() as usize, cfg.ways() as usize),
             lfsr: Lfsr16::default(),
             hits: 0,
             misses: 0,
             writebacks: 0,
             lfsr_draws: 0,
             swaps: 0,
+            hit_counts: if tlc_obs::ENABLED { vec![0; lines] } else { Vec::new() },
+            live: crate::cache::LiveTally::default(),
         }
     }
 
@@ -92,40 +170,75 @@ impl L2State {
         self.writebacks = 0;
     }
 
-    /// Replica of [`Cache::fill_after_miss`](crate::Cache::fill_after_miss) for the pseudo-random
-    /// policy: free way first (no draw), else one LFSR draw — exactly
-    /// the scalar back-end's call order. Counts a dirty eviction as an
-    /// off-chip writeback.
+    /// Counts a demand hit on the slot at `idx` (no-op uninstrumented).
     #[inline]
-    fn fill_after_miss(&mut self, ways: usize, ways_pow2: bool, line: u64, dirty: bool) {
-        let base = (line & self.set_mask) as usize * ways;
+    fn note_hit(&mut self, idx: usize) {
+        if tlc_obs::ENABLED {
+            let c = &mut self.hit_counts[idx];
+            *c = c.saturating_add(1);
+        }
+    }
+
+    /// Lifetime liveness, classifying still-resident slots by their hits
+    /// so far — the member-level analogue of
+    /// [`Cache::liveness`](crate::Cache::liveness).
+    fn liveness(&self) -> Liveness {
+        self.live.snapshot(
+            self.slots.iter().zip(&self.hit_counts).filter(|(&s, _)| s != INVALID).map(|(_, &h)| h),
+        )
+    }
+
+    /// Replica of
+    /// [`Cache::fill_after_miss`](crate::Cache::fill_after_miss) for any
+    /// policy: a 1-way set fills its only way with no replacement
+    /// bookkeeping; otherwise a free way is taken first (no draw), else
+    /// the bank picks a victim (one LFSR draw for pseudo-random members)
+    /// — exactly the scalar call order, so stamp clocks and RRPVs match.
+    /// Counts a dirty eviction as an off-chip writeback.
+    #[inline]
+    fn fill_after_miss(&mut self, ways: usize, line: u64, dirty: bool) {
+        let set = (line & self.set_mask) as usize;
+        let base = set * ways;
         let way = if ways == 1 {
             0
         } else if let Some(i) = (0..ways).find(|&i| self.slots[base + i] == INVALID) {
+            self.repl.filled(set, ways, i as u32, ways as u32);
             i
         } else {
-            if tlc_obs::ENABLED {
+            if tlc_obs::ENABLED && matches!(self.repl, ReplBank::Random) {
                 self.lfsr_draws += 1;
             }
-            let r = self.lfsr.next() as u32;
-            (if ways_pow2 { r & (ways as u32 - 1) } else { r % ways as u32 }) as usize
+            let w = self.repl.victim(set, ways, ways as u32, &mut self.lfsr);
+            self.repl.filled(set, ways, w, ways as u32);
+            w as usize
         };
         let old = self.slots[base + way];
+        if tlc_obs::ENABLED {
+            self.live.fill();
+            if old != INVALID {
+                self.live.retire(self.hit_counts[base + way]);
+            }
+            self.hit_counts[base + way] = 0;
+        }
         if old != INVALID && old & 1 == 1 {
             self.writebacks += 1;
         }
         self.slots[base + way] = (line << 1) | dirty as u64;
     }
 
-    /// Replica of [`Cache::merge_if_present`](crate::Cache::merge_if_present): merge the dirty bit into
-    /// a resident copy, reporting whether one was found (replacement
-    /// touch is a no-op under pseudo-random).
+    /// Replica of
+    /// [`Cache::merge_if_present`](crate::Cache::merge_if_present):
+    /// merge the dirty bit into a resident copy and refresh its
+    /// replacement state, reporting whether one was found. A write-back
+    /// merge is not a demand hit, so the liveness tallies don't move.
     #[inline]
     fn merge_if_present(&mut self, ways: usize, line: u64, dirty: bool) -> bool {
-        let base = (line & self.set_mask) as usize * ways;
-        for w in &mut self.slots[base..base + ways] {
-            if *w >> 1 == line {
-                *w |= dirty as u64;
+        let set = (line & self.set_mask) as usize;
+        let base = set * ways;
+        for i in 0..ways {
+            if self.slots[base + i] >> 1 == line {
+                self.slots[base + i] |= dirty as u64;
+                self.repl.touch(set, ways, i as u32, ways as u32);
                 return true;
             }
         }
@@ -133,30 +246,31 @@ impl L2State {
     }
 }
 
-/// Shared geometry of a family: associativity (identical across members
-/// by the public API's contract) plus its derived power-of-two flag.
+/// Shared geometry of a family: the associativity every member agrees on
+/// (validated by [`FamilyWays::try_of`]).
 #[derive(Debug, Clone, Copy)]
 struct FamilyWays {
     ways: usize,
-    pow2: bool,
 }
 
 impl FamilyWays {
-    /// Validates that every member shares the stream's line size, the
-    /// pseudo-random policy (the only one whose replacement state the
-    /// batched arrays model), and one associativity.
-    fn of(l2_cfgs: &[CacheConfig], stream: &MissStream) -> FamilyWays {
+    /// Validates that every member shares the stream's line size and one
+    /// associativity. Replacement policies may differ per member — each
+    /// member carries its own [`ReplBank`].
+    fn try_of(l2_cfgs: &[CacheConfig], stream: &MissStream) -> Result<FamilyWays, FamilyError> {
         let ways = l2_cfgs[0].ways();
         for cfg in l2_cfgs {
-            assert_eq!(cfg.line_bytes(), stream.line_bytes(), "L1 and L2 must share a line size");
-            assert_eq!(
-                cfg.replacement(),
-                ReplacementKind::PseudoRandom,
-                "family-batched replay models pseudo-random replacement only"
-            );
-            assert_eq!(cfg.ways(), ways, "a family shares one L2 associativity");
+            if cfg.line_bytes() != stream.line_bytes() {
+                return Err(FamilyError::LineSize {
+                    member: cfg.line_bytes(),
+                    stream: stream.line_bytes(),
+                });
+            }
+            if cfg.ways() != ways {
+                return Err(FamilyError::MixedWays { first: ways, other: cfg.ways() });
+            }
         }
-        FamilyWays { ways: ways as usize, pow2: ways.is_power_of_two() }
+        Ok(FamilyWays { ways: ways as usize })
     }
 }
 
@@ -177,17 +291,22 @@ impl<const W: usize> EventSink for ConventionalFamily<W> {
     fn consume(&mut self, _fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
         let l = line.0;
         let ways = if W == 0 { self.fw.ways } else { W };
-        let pow2 = if W == 0 { self.fw.pow2 } else { true };
         for st in &mut self.states {
-            let base = (l & st.set_mask) as usize * ways;
-            let hit = st.slots[base..base + ways].iter().any(|&s| s >> 1 == l);
-            if hit {
-                // `access(line, false)`: dirty-merge of `false` and the
-                // pseudo-random touch are both no-ops.
+            let set = (l & st.set_mask) as usize;
+            let base = set * ways;
+            let hit = (0..ways).find(|&i| st.slots[base + i] >> 1 == l);
+            if let Some(hw) = hit {
+                // `access(line, false)`: the dirty-merge of `false` is a
+                // no-op, but the policy touch is not (LRU/PLRU/SRRIP all
+                // promote on hits).
                 st.hits += 1;
+                if ways > 1 {
+                    st.repl.touch(set, ways, hw as u32, ways as u32);
+                }
+                st.note_hit(base + hw);
             } else {
                 st.misses += 1;
-                st.fill_after_miss(ways, pow2, l, false);
+                st.fill_after_miss(ways, l, false);
             }
             if let Some((vline, written)) = victim {
                 if written && !st.merge_if_present(ways, vline.0, true) {
@@ -230,7 +349,6 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
     fn consume(&mut self, fetch: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
         let l = line.0;
         let ways = if W == 0 { self.fw.ways } else { W };
-        let pow2 = if W == 0 { self.fw.pow2 } else { true };
         let set = (l & self.l1_set_mask) as usize;
         for m in &mut self.members {
             let mirror = if fetch { &mut m.mirror_i } else { &mut m.mirror_d };
@@ -238,13 +356,25 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
             // overwrites the set's mirror entry.
             let victim = victim.map(|(vline, written)| (vline.0, written || mirror[set]));
             let st = &mut m.l2;
-            let base = (l & st.set_mask) as usize * ways;
+            let l2_set = (l & st.set_mask) as usize;
+            let base = l2_set * ways;
             let hit_way = (0..ways).find(|&w| st.slots[base + w] >> 1 == l);
             if let Some(hw) = hit_way {
+                // `access`: count the hit, touch, bump the hit count...
                 st.hits += 1;
-                // `extract`: read the dirty bit and free the slot.
+                if ways > 1 {
+                    st.repl.touch(l2_set, ways, hw as u32, ways as u32);
+                }
+                st.note_hit(base + hw);
+                // ...then `extract`: read the dirty bit, end the slot's
+                // fill generation (its hits include the one just
+                // counted), and free the slot.
                 let dirty = st.slots[base + hw] & 1;
                 st.slots[base + hw] = INVALID;
+                if tlc_obs::ENABLED {
+                    st.live.retire(st.hit_counts[base + hw]);
+                    st.hit_counts[base + hw] = 0;
+                }
                 mirror[set] = dirty == 1;
                 match victim {
                     Some((vl, vdirty)) => {
@@ -252,20 +382,32 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
                             && !st.slots[base..base + ways].iter().any(|&s| s >> 1 == vl)
                         {
                             // Figure 21-a swap: the victim takes the
-                            // requested line's way.
+                            // requested line's way (`fill_at(vline)`).
                             if tlc_obs::ENABLED {
                                 st.swaps += 1;
+                                st.live.fill();
                             }
                             st.slots[base + hw] = (vl << 1) | vdirty as u64;
+                            st.repl.filled(l2_set, ways, hw as u32, ways as u32);
                         } else {
+                            // `fill_at(line)` back into its freed way,
+                            // then send the victim separately.
+                            if tlc_obs::ENABLED {
+                                st.live.fill();
+                            }
                             st.slots[base + hw] = (l << 1) | dirty;
+                            st.repl.filled(l2_set, ways, hw as u32, ways as u32);
                             if !st.merge_if_present(ways, vl, vdirty) {
-                                st.fill_after_miss(ways, pow2, vl, vdirty);
+                                st.fill_after_miss(ways, vl, vdirty);
                             }
                         }
                     }
                     None => {
+                        if tlc_obs::ENABLED {
+                            st.live.fill();
+                        }
                         st.slots[base + hw] = (l << 1) | dirty;
+                        st.repl.filled(l2_set, ways, hw as u32, ways as u32);
                     }
                 }
             } else {
@@ -274,7 +416,7 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
                 mirror[set] = false;
                 if let Some((vl, vdirty)) = victim {
                     if !st.merge_if_present(ways, vl, vdirty) {
-                        st.fill_after_miss(ways, pow2, vl, vdirty);
+                        st.fill_after_miss(ways, vl, vdirty);
                     }
                 }
             }
@@ -304,7 +446,8 @@ impl<const W: usize> EventSink for ExclusiveFamily<W> {
 ///
 /// Dirty bits are *not* inclusive (an install at a small size clears the
 /// bit a larger size preserves), so they live in the per-size slot
-/// arrays as usual.
+/// arrays as usual — and so do the per-set hit counts behind the
+/// liveness tallies, which follow each member's own fill generations.
 #[derive(Debug)]
 struct DmConventionalFamily {
     /// Per size (ascending): one slot per set.
@@ -316,6 +459,11 @@ struct DmConventionalFamily {
     vic_hist: Vec<u64>,
     /// Dirty evictions on install, per size.
     evict_wb: Vec<u64>,
+    /// Per size: per-set demand-hit counts since the slot's last install
+    /// (instrumented builds only; empty otherwise).
+    hit_counts: Vec<Vec<u8>>,
+    /// Per size: departed fill-generation tallies.
+    live: Vec<crate::cache::LiveTally>,
 }
 
 impl DmConventionalFamily {
@@ -327,6 +475,12 @@ impl DmConventionalFamily {
             hit_hist: vec![0; k + 1],
             vic_hist: vec![0; k + 1],
             evict_wb: vec![0; k],
+            hit_counts: if tlc_obs::ENABLED {
+                cfgs_ascending.iter().map(|c| vec![0; c.num_sets() as usize]).collect()
+            } else {
+                Vec::new()
+            },
+            live: vec![crate::cache::LiveTally::default(); k],
         }
     }
 
@@ -356,6 +510,27 @@ impl DmConventionalFamily {
             })
             .collect()
     }
+
+    /// Family-total liveness: each member's tallies snapshotted over its
+    /// residents, then summed (the obs counters aggregate members).
+    fn liveness_total(&self) -> Liveness {
+        if !tlc_obs::ENABLED {
+            return Liveness::default();
+        }
+        let mut total = Liveness::default();
+        for (k, live) in self.live.iter().enumerate() {
+            total.merge(
+                live.snapshot(
+                    self.slots[k]
+                        .iter()
+                        .zip(&self.hit_counts[k])
+                        .filter(|(&s, _)| s != INVALID)
+                        .map(|(_, &h)| h),
+                ),
+            );
+        }
+        total
+    }
 }
 
 impl EventSink for DmConventionalFamily {
@@ -364,18 +539,36 @@ impl EventSink for DmConventionalFamily {
         let l = line.0;
         let t = self.threshold(l);
         self.hit_hist[t] += 1;
+        if tlc_obs::ENABLED {
+            // Sizes at or above the threshold hit: a demand hit on each
+            // member's resident generation.
+            for k in t..self.set_masks.len() {
+                let c = &mut self.hit_counts[k][(l & self.set_masks[k]) as usize];
+                *c = c.saturating_add(1);
+            }
+        }
         for k in 0..t {
-            let slot = &mut self.slots[k][(l & self.set_masks[k]) as usize];
-            if *slot != INVALID && *slot & 1 == 1 {
+            let idx = (l & self.set_masks[k]) as usize;
+            let slot = self.slots[k][idx];
+            if slot != INVALID && slot & 1 == 1 {
                 self.evict_wb[k] += 1;
             }
-            *slot = l << 1;
+            if tlc_obs::ENABLED {
+                self.live[k].fill();
+                if slot != INVALID {
+                    self.live[k].retire(self.hit_counts[k][idx]);
+                }
+                self.hit_counts[k][idx] = 0;
+            }
+            self.slots[k][idx] = l << 1;
         }
         if let Some((vline, written)) = victim {
             if written {
                 let vl = vline.0;
                 let tv = self.threshold(vl);
                 self.vic_hist[tv] += 1;
+                // Write-back merges refresh the dirty bit only — not a
+                // demand hit, so the hit counts stay put.
                 for k in tv..self.set_masks.len() {
                     self.slots[k][(vl & self.set_masks[k]) as usize] |= 1;
                 }
@@ -401,10 +594,17 @@ fn assemble(
 
 /// Flushes one family pass's totals: the stream was decoded once
 /// (`l2.events_replayed` counts passes × events, exposing the family
-/// engine's fan-in), while probes/hits/misses/writebacks sum over the
-/// members — matching the scalar filtered engine's totals on the same
-/// configurations, since the per-member statistics are bit-identical.
-fn flush_family(stream: &MissStream, out: &[HierarchyStats], draws: u64, swaps: u64) {
+/// engine's fan-in), while probes/hits/misses/writebacks/liveness sum
+/// over the members — matching the scalar filtered engine's totals on
+/// the same configurations, since the per-member statistics are
+/// bit-identical.
+fn flush_family(
+    stream: &MissStream,
+    out: &[HierarchyStats],
+    draws: u64,
+    swaps: u64,
+    live: Liveness,
+) {
     if !tlc_obs::ENABLED {
         return;
     }
@@ -414,7 +614,7 @@ fn flush_family(stream: &MissStream, out: &[HierarchyStats], draws: u64, swaps: 
         offchip_writebacks: out.iter().map(|s| s.offchip_writebacks).sum(),
         ..HierarchyStats::default()
     };
-    crate::filter::flush_l2_counters(stream.len(), &totals, draws, swaps);
+    crate::filter::flush_l2_counters(stream.len(), &totals, draws, swaps, live);
 }
 
 /// Replays `stream` once through a whole family of conventional L2s,
@@ -425,21 +625,21 @@ fn flush_family(stream: &MissStream, out: &[HierarchyStats], draws: u64, swaps: 
 ///
 /// A family of direct-mapped members takes the threshold/histogram fast
 /// path (`DmConventionalFamily`); any other associativity takes the
-/// generic batched loop.
+/// generic batched loop. Every [`ReplacementKind`] is supported, and
+/// members may mix policies.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any member's line size differs from the stream's, if any
-/// member uses a replacement policy other than pseudo-random, or if
-/// members disagree on associativity.
-pub fn replay_conventional_family(
+/// [`FamilyError`] if any member's line size differs from the stream's
+/// or members disagree on associativity.
+pub fn try_replay_conventional_family(
     l2_cfgs: &[CacheConfig],
     stream: &MissStream,
-) -> Vec<HierarchyStats> {
+) -> Result<Vec<HierarchyStats>, FamilyError> {
     if l2_cfgs.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let fw = FamilyWays::of(l2_cfgs, stream);
+    let fw = FamilyWays::try_of(l2_cfgs, stream)?;
     if fw.ways == 1 {
         // Sort members by capacity (stably, so duplicates keep their
         // relative order) and scatter the ascending-order counters back.
@@ -454,8 +654,8 @@ pub fn replay_conventional_family(
             out[i] = assemble(stream, counters[k]);
         }
         // Direct-mapped members have no replacement choice: no draws.
-        flush_family(stream, &out, 0, 0);
-        return out;
+        flush_family(stream, &out, 0, 0, fam.liveness_total());
+        return Ok(out);
     }
     fn run<const W: usize>(
         l2_cfgs: &[CacheConfig],
@@ -470,35 +670,53 @@ pub fn replay_conventional_family(
             .iter()
             .map(|st| assemble(stream, (st.hits, st.misses, st.writebacks)))
             .collect();
-        flush_family(stream, &out, fam.states.iter().map(|st| st.lfsr_draws).sum(), 0);
+        let mut live = Liveness::default();
+        for st in &fam.states {
+            live.merge(st.liveness());
+        }
+        flush_family(stream, &out, fam.states.iter().map(|st| st.lfsr_draws).sum(), 0, live);
         out
     }
     // Monomorphise the common associativities so the set scans unroll.
-    match fw.ways {
+    Ok(match fw.ways {
         2 => run::<2>(l2_cfgs, stream, fw),
         4 => run::<4>(l2_cfgs, stream, fw),
         8 => run::<8>(l2_cfgs, stream, fw),
         _ => run::<0>(l2_cfgs, stream, fw),
-    }
+    })
+}
+
+/// Panicking wrapper around [`try_replay_conventional_family`] for
+/// callers that validate the family shape up front.
+///
+/// # Panics
+///
+/// Panics with the [`FamilyError`] message if the family is rejected.
+pub fn replay_conventional_family(
+    l2_cfgs: &[CacheConfig],
+    stream: &MissStream,
+) -> Vec<HierarchyStats> {
+    try_replay_conventional_family(l2_cfgs, stream).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Replays `stream` once through a whole family of exclusive
 /// (victim-swap) L2s, returning one [`HierarchyStats`] per member of
 /// `l2_cfgs`, in input order — each bit-identical to
 /// [`replay_exclusive`](crate::filter::replay_exclusive) on the same
-/// configuration.
+/// configuration. Every [`ReplacementKind`] is supported, and members
+/// may mix policies.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`replay_conventional_family`].
-pub fn replay_exclusive_family(
+/// As [`try_replay_conventional_family`].
+pub fn try_replay_exclusive_family(
     l2_cfgs: &[CacheConfig],
     stream: &MissStream,
-) -> Vec<HierarchyStats> {
+) -> Result<Vec<HierarchyStats>, FamilyError> {
     if l2_cfgs.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let fw = FamilyWays::of(l2_cfgs, stream);
+    let fw = FamilyWays::try_of(l2_cfgs, stream)?;
     fn run<const W: usize>(
         l2_cfgs: &[CacheConfig],
         stream: &MissStream,
@@ -523,22 +741,39 @@ pub fn replay_exclusive_family(
             .iter()
             .map(|m| assemble(stream, (m.l2.hits, m.l2.misses, m.l2.writebacks)))
             .collect();
+        let mut live = Liveness::default();
+        for m in &fam.members {
+            live.merge(m.l2.liveness());
+        }
         flush_family(
             stream,
             &out,
             fam.members.iter().map(|m| m.l2.lfsr_draws).sum(),
             fam.members.iter().map(|m| m.l2.swaps).sum(),
+            live,
         );
         out
     }
     // Monomorphise the common associativities so the set scans unroll.
-    match fw.ways {
+    Ok(match fw.ways {
         1 => run::<1>(l2_cfgs, stream, fw),
         2 => run::<2>(l2_cfgs, stream, fw),
         4 => run::<4>(l2_cfgs, stream, fw),
         8 => run::<8>(l2_cfgs, stream, fw),
         _ => run::<0>(l2_cfgs, stream, fw),
-    }
+    })
+}
+
+/// Panicking wrapper around [`try_replay_exclusive_family`].
+///
+/// # Panics
+///
+/// Panics with the [`FamilyError`] message if the family is rejected.
+pub fn replay_exclusive_family(
+    l2_cfgs: &[CacheConfig],
+    stream: &MissStream,
+) -> Vec<HierarchyStats> {
+    try_replay_exclusive_family(l2_cfgs, stream).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The single-level "family": every member shares the L1-only statistics,
@@ -565,6 +800,7 @@ fn flush_family_segments(
     out: &[Vec<HierarchyStats>],
     draws: u64,
     swaps: u64,
+    live: Liveness,
 ) {
     if !tlc_obs::ENABLED {
         return;
@@ -576,35 +812,38 @@ fn flush_family_segments(
         ..HierarchyStats::default()
     };
     let events: u64 = segments.iter().map(|s| s.len()).sum();
-    crate::filter::flush_l2_counters(events, &totals, draws, swaps);
+    crate::filter::flush_l2_counters(events, &totals, draws, swaps, live);
 }
 
 /// Replays a *stitched* sequence of segments through one family of
 /// conventional L2s, returning per-segment, per-member statistics
 /// (`out[segment][member]`, members in `l2_cfgs` input order).
 ///
-/// The family state — slot arrays, dirty bits, per-member LFSRs — is
-/// built **once** and persists across segments: segment `k` starts from
-/// the (stale) contents segment `k-1` left behind, each segment's
+/// The family state — slot arrays, replacement banks, per-member LFSRs —
+/// is built **once** and persists across segments: segment `k` starts
+/// from the (stale) contents segment `k-1` left behind, each segment's
 /// warm-up prefix then refreshes that state before the counters reset
 /// at the segment's own warm-up boundary. This is the L2 half of
 /// stitched warming for sampled sweeps; a lone segment reproduces
 /// [`replay_conventional_family`] bit-for-bit.
 ///
+/// # Errors
+///
+/// As [`try_replay_conventional_family`].
+///
 /// # Panics
 ///
-/// As [`replay_conventional_family`], plus if segments disagree on L1
-/// geometry or `segments` is empty.
-pub fn replay_conventional_family_segments(
+/// Panics if segments disagree on L1 geometry or `segments` is empty.
+pub fn try_replay_conventional_family_segments(
     l2_cfgs: &[CacheConfig],
     segments: &[MissStream],
-) -> Vec<Vec<HierarchyStats>> {
+) -> Result<Vec<Vec<HierarchyStats>>, FamilyError> {
     assert!(!segments.is_empty(), "need at least one segment");
     assert_segments_stitchable(segments);
     if l2_cfgs.is_empty() {
-        return vec![Vec::new(); segments.len()];
+        return Ok(vec![Vec::new(); segments.len()]);
     }
-    let fw = FamilyWays::of(l2_cfgs, &segments[0]);
+    let fw = FamilyWays::try_of(l2_cfgs, &segments[0])?;
     if fw.ways == 1 {
         let mut order: Vec<usize> = (0..l2_cfgs.len()).collect();
         order.sort_by_key(|&i| l2_cfgs[i].size_bytes());
@@ -624,8 +863,8 @@ pub fn replay_conventional_family_segments(
             }
             out.push(row);
         }
-        flush_family_segments(segments, &out, 0, 0);
-        return out;
+        flush_family_segments(segments, &out, 0, 0, fam.liveness_total());
+        return Ok(out);
     }
     fn run<const W: usize>(
         l2_cfgs: &[CacheConfig],
@@ -648,35 +887,63 @@ pub fn replay_conventional_family_segments(
                     .collect(),
             );
         }
-        flush_family_segments(segments, &out, fam.states.iter().map(|st| st.lfsr_draws).sum(), 0);
+        let mut live = Liveness::default();
+        for st in &fam.states {
+            live.merge(st.liveness());
+        }
+        flush_family_segments(
+            segments,
+            &out,
+            fam.states.iter().map(|st| st.lfsr_draws).sum(),
+            0,
+            live,
+        );
         out
     }
-    match fw.ways {
+    Ok(match fw.ways {
         2 => run::<2>(l2_cfgs, segments, fw),
         4 => run::<4>(l2_cfgs, segments, fw),
         8 => run::<8>(l2_cfgs, segments, fw),
         _ => run::<0>(l2_cfgs, segments, fw),
-    }
+    })
 }
 
-/// As [`replay_conventional_family_segments`] for a family of exclusive
-/// (victim-swap) L2s: persistent slot arrays, per-member fill-dirty
-/// mirrors, and LFSRs stitch across segments; a lone segment reproduces
-/// [`replay_exclusive_family`] bit-for-bit.
+/// Panicking wrapper around [`try_replay_conventional_family_segments`].
 ///
 /// # Panics
 ///
-/// As [`replay_conventional_family_segments`].
-pub fn replay_exclusive_family_segments(
+/// As [`try_replay_conventional_family_segments`], plus with the
+/// [`FamilyError`] message if the family is rejected.
+pub fn replay_conventional_family_segments(
     l2_cfgs: &[CacheConfig],
     segments: &[MissStream],
 ) -> Vec<Vec<HierarchyStats>> {
+    try_replay_conventional_family_segments(l2_cfgs, segments).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`try_replay_conventional_family_segments`] for a family of
+/// exclusive (victim-swap) L2s: persistent slot arrays, replacement
+/// banks, per-member fill-dirty mirrors, and LFSRs stitch across
+/// segments; a lone segment reproduces [`replay_exclusive_family`]
+/// bit-for-bit.
+///
+/// # Errors
+///
+/// As [`try_replay_conventional_family`].
+///
+/// # Panics
+///
+/// As [`try_replay_conventional_family_segments`].
+pub fn try_replay_exclusive_family_segments(
+    l2_cfgs: &[CacheConfig],
+    segments: &[MissStream],
+) -> Result<Vec<Vec<HierarchyStats>>, FamilyError> {
     assert!(!segments.is_empty(), "need at least one segment");
     assert_segments_stitchable(segments);
     if l2_cfgs.is_empty() {
-        return vec![Vec::new(); segments.len()];
+        return Ok(vec![Vec::new(); segments.len()]);
     }
-    let fw = FamilyWays::of(l2_cfgs, &segments[0]);
+    let fw = FamilyWays::try_of(l2_cfgs, &segments[0])?;
     fn run<const W: usize>(
         l2_cfgs: &[CacheConfig],
         segments: &[MissStream],
@@ -709,21 +976,39 @@ pub fn replay_exclusive_family_segments(
                     .collect(),
             );
         }
+        let mut live = Liveness::default();
+        for m in &fam.members {
+            live.merge(m.l2.liveness());
+        }
         flush_family_segments(
             segments,
             &out,
             fam.members.iter().map(|m| m.l2.lfsr_draws).sum(),
             fam.members.iter().map(|m| m.l2.swaps).sum(),
+            live,
         );
         out
     }
-    match fw.ways {
+    Ok(match fw.ways {
         1 => run::<1>(l2_cfgs, segments, fw),
         2 => run::<2>(l2_cfgs, segments, fw),
         4 => run::<4>(l2_cfgs, segments, fw),
         8 => run::<8>(l2_cfgs, segments, fw),
         _ => run::<0>(l2_cfgs, segments, fw),
-    }
+    })
+}
+
+/// Panicking wrapper around [`try_replay_exclusive_family_segments`].
+///
+/// # Panics
+///
+/// As [`try_replay_conventional_family_segments`], plus with the
+/// [`FamilyError`] message if the family is rejected.
+pub fn replay_exclusive_family_segments(
+    l2_cfgs: &[CacheConfig],
+    segments: &[MissStream],
+) -> Vec<Vec<HierarchyStats>> {
+    try_replay_exclusive_family_segments(l2_cfgs, segments).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Per-segment single-level statistics: there is no L2 state to stitch,
@@ -744,6 +1029,7 @@ pub fn replay_single_family_segments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::Cache;
     use crate::config::Associativity;
     use crate::filter::{replay_conventional, replay_exclusive, L1FrontEnd};
     use crate::hierarchy::MemorySystem;
@@ -755,8 +1041,12 @@ mod tests {
     }
 
     fn l2_cfg(bytes: u64, ways: u32) -> CacheConfig {
+        l2_policy_cfg(bytes, ways, ReplacementKind::PseudoRandom)
+    }
+
+    fn l2_policy_cfg(bytes: u64, ways: u32, repl: ReplacementKind) -> CacheConfig {
         let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
-        CacheConfig::new(bytes, 16, assoc, ReplacementKind::PseudoRandom).unwrap()
+        CacheConfig::new(bytes, 16, assoc, repl).unwrap()
     }
 
     fn capture(b: SpecBenchmark, l1_bytes: u64, warm: u64, n: u64) -> MissStream {
@@ -795,6 +1085,40 @@ mod tests {
             for (cfg, got) in cfgs.iter().zip(&batched) {
                 assert_eq!(*got, replay_exclusive(*cfg, &stream), "ways={ways} {cfg}");
             }
+        }
+    }
+
+    #[test]
+    fn family_matches_scalar_for_every_policy() {
+        let conv_stream = capture(SpecBenchmark::Gcc1, 1024, 2_000, 8_000);
+        let excl_stream = capture(SpecBenchmark::Li, 1024, 2_000, 8_000);
+        for repl in ReplacementKind::ALL {
+            for ways in [2u32, 4] {
+                let cfgs: Vec<CacheConfig> =
+                    [2048u64, 8192, 32768].map(|b| l2_policy_cfg(b, ways, repl)).to_vec();
+                let conv = replay_conventional_family(&cfgs, &conv_stream);
+                let excl = replay_exclusive_family(&cfgs, &excl_stream);
+                for (cfg, (c, e)) in cfgs.iter().zip(conv.iter().zip(&excl)) {
+                    assert_eq!(*c, replay_conventional(*cfg, &conv_stream), "{repl} {cfg}");
+                    assert_eq!(*e, replay_exclusive(*cfg, &excl_stream), "{repl} {cfg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_policy_family_matches_scalar() {
+        // Members carry their own replacement banks, so one family can
+        // mix policies freely.
+        let stream = capture(SpecBenchmark::Espresso, 1024, 1_000, 6_000);
+        let cfgs: Vec<CacheConfig> = ReplacementKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| l2_policy_cfg(2048 << i, 4, r))
+            .collect();
+        let batched = replay_conventional_family(&cfgs, &stream);
+        for (cfg, got) in cfgs.iter().zip(&batched) {
+            assert_eq!(*got, replay_conventional(*cfg, &stream), "{cfg}");
         }
     }
 
@@ -856,11 +1180,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pseudo-random")]
-    fn rejects_non_random_replacement() {
+    fn try_variants_return_typed_errors_instead_of_panicking() {
         let stream = capture(SpecBenchmark::Li, 1024, 500, 500);
-        let cfg =
-            CacheConfig::new(4096, 16, Associativity::SetAssoc(4), ReplacementKind::Lru).unwrap();
-        let _ = replay_conventional_family(&[cfg], &stream);
+        let mixed = [l2_cfg(4096, 4), l2_cfg(8192, 2)];
+        assert_eq!(
+            try_replay_conventional_family(&mixed, &stream),
+            Err(FamilyError::MixedWays { first: 4, other: 2 })
+        );
+        assert_eq!(
+            try_replay_exclusive_family(&mixed, &stream),
+            Err(FamilyError::MixedWays { first: 4, other: 2 })
+        );
+        let wide_line =
+            CacheConfig::new(4096, 32, Associativity::SetAssoc(4), ReplacementKind::Lru).unwrap();
+        assert_eq!(
+            try_replay_conventional_family(&[wide_line], &stream),
+            Err(FamilyError::LineSize { member: 32, stream: 16 })
+        );
+    }
+
+    /// Drives a plain [`Cache`] with the conventional back-end's exact
+    /// call order — the reference for the family's liveness tallies.
+    struct ScalarConvSink {
+        l2: Cache,
+    }
+
+    impl EventSink for ScalarConvSink {
+        fn consume(&mut self, _f: bool, line: LineAddr, victim: Option<(LineAddr, bool)>) {
+            if !self.l2.access(line, false) {
+                self.l2.fill_after_miss(line, false);
+            }
+            if let Some((vl, written)) = victim {
+                if written {
+                    self.l2.merge_if_present(vl, true);
+                }
+            }
+        }
+
+        fn reset_counters(&mut self) {}
+    }
+
+    #[test]
+    fn family_liveness_matches_scalar_cache() {
+        if !tlc_obs::ENABLED {
+            return;
+        }
+        let stream = capture(SpecBenchmark::Gcc1, 1024, 2_000, 8_000);
+        for repl in ReplacementKind::ALL {
+            let cfgs = [l2_policy_cfg(4096, 4, repl), l2_policy_cfg(16384, 4, repl)];
+            let fw = FamilyWays::try_of(&cfgs, &stream).unwrap();
+            let mut fam =
+                ConventionalFamily::<4> { states: cfgs.iter().map(L2State::new).collect(), fw };
+            walk_events(&mut fam, &stream);
+            for (cfg, st) in cfgs.iter().zip(&fam.states) {
+                let mut scalar = ScalarConvSink { l2: Cache::new(*cfg) };
+                walk_events(&mut scalar, &stream);
+                let got = st.liveness();
+                assert_eq!(got, scalar.l2.liveness(), "{repl} {cfg}");
+                assert_eq!(got.fills, got.dead_on_arrival + got.live_fills, "{repl} {cfg}");
+                assert!(got.multi_hit <= got.live_fills, "{repl} {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn dm_family_liveness_matches_scalar_caches() {
+        if !tlc_obs::ENABLED {
+            return;
+        }
+        let stream = capture(SpecBenchmark::Tomcatv, 1024, 1_000, 8_000);
+        let cfgs = [l2_cfg(2048, 1), l2_cfg(8192, 1)];
+        let ascending: Vec<&CacheConfig> = cfgs.iter().collect();
+        let mut fam = DmConventionalFamily::new(&ascending);
+        walk_events(&mut fam, &stream);
+        let mut expected = Liveness::default();
+        for cfg in &cfgs {
+            let mut scalar = ScalarConvSink { l2: Cache::new(*cfg) };
+            walk_events(&mut scalar, &stream);
+            expected.merge(scalar.l2.liveness());
+        }
+        assert_eq!(fam.liveness_total(), expected);
     }
 }

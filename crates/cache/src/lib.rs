@@ -13,9 +13,10 @@
 //! * [`VictimCacheSystem`] — the degenerate `y < x` case, a shared
 //!   fully-associative victim buffer (Jouppi 1990, referenced in §8);
 //!
-//! plus replacement policies (LRU, FIFO, the paper's pseudo-random, and
-//! tree-PLRU), 3C miss classification ([`MissClassifier`]), and content
-//! auditing ([`DuplicationReport`]).
+//! plus replacement policies (LRU, FIFO, the paper's pseudo-random,
+//! tree-PLRU, and SRRIP), per-fill block-liveness statistics
+//! ([`Liveness`]), 3C miss classification ([`MissClassifier`]), and
+//! content auditing ([`DuplicationReport`]).
 //!
 //! ## Quick start
 //!
@@ -65,7 +66,7 @@ mod victim;
 
 pub use audit::DuplicationReport;
 pub use board::{effective_offchip_ns, BoardCache, BoardOutcome};
-pub use cache::{Cache, Evicted, Slot};
+pub use cache::{Cache, Evicted, Liveness, Slot};
 pub use classify::{MissBreakdown, MissClass, MissClassifier};
 pub use config::{Associativity, CacheConfig, ConfigError, ReplacementKind};
 pub use exclusive::ExclusiveTwoLevel;

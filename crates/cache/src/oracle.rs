@@ -15,10 +15,10 @@
 //!   [`MemorySystem`] trait, driven on the raw instruction stream. It
 //!   reproduces the exact modelled semantics — the same-line fetch
 //!   filter, store-only dirty fills, the Figure 21-a swap condition, and
-//!   the pseudo-random replacement discipline (one LFSR draw exactly
-//!   when a set-associative fill finds no free way; direct-mapped fills
-//!   never draw) — so its [`HierarchyStats`] must be bit-identical to
-//!   every engine's.
+//!   every [`ReplacementKind`]'s call discipline (for pseudo-random, one
+//!   LFSR draw exactly when a set-associative fill finds no free way;
+//!   direct-mapped fills never draw) — so its [`HierarchyStats`] must be
+//!   bit-identical to every engine's.
 //! * [`naive_replay_single`] / [`naive_replay_conventional`] /
 //!   [`naive_replay_exclusive`] — event-level oracles for the
 //!   miss-stream back-ends in [`filter`](crate::filter) and
@@ -28,26 +28,32 @@
 //!   the ground truth for the Mattson stack-distance profiler
 //!   ([`StackDistanceProfiler`](crate::StackDistanceProfiler)).
 
+use crate::config::ReplacementKind;
 use crate::filter::{walk_events, EventSink, MissStream};
 use crate::hierarchy::{MemorySystem, ServiceLevel};
-use crate::replacement::Lfsr16;
+use crate::replacement::{Lfsr16, ReplState};
 use crate::stats::HierarchyStats;
 use tlc_trace::{AccessKind, LineAddr, MemRef};
 
 /// A cache as a vector of sets, each a vector of `Option<(line, dirty)>`
-/// ways scanned linearly. Replacement is pseudo-random with the same
-/// 16-bit LFSR (and the same draw discipline) as
-/// [`Cache`](crate::Cache); no other policy is modelled.
+/// ways scanned linearly. Replacement is one simple per-set
+/// [`ReplState`] machine per set — every [`ReplacementKind`] is
+/// modelled, with the same call discipline as [`Cache`](crate::Cache):
+/// touches on set-associative hits and write-back merges, fills on
+/// installs, and (for pseudo-random) one LFSR draw exactly when a
+/// set-associative fill finds no free way. Direct-mapped sets keep no
+/// replacement state at all.
 #[derive(Debug)]
 struct NaiveCache {
     sets: Vec<Vec<Option<(u64, bool)>>>,
+    repl: Vec<ReplState>,
     set_mask: u64,
     ways: u32,
     lfsr: Lfsr16,
 }
 
 impl NaiveCache {
-    fn new(size_bytes: u64, line_bytes: u64, ways: u32) -> Self {
+    fn new(size_bytes: u64, line_bytes: u64, ways: u32, repl: ReplacementKind) -> Self {
         assert!(size_bytes.is_power_of_two(), "size must be a power of two");
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(ways.is_power_of_two(), "ways must be a power of two");
@@ -56,6 +62,7 @@ impl NaiveCache {
         let num_sets = lines / ways as u64;
         NaiveCache {
             sets: vec![vec![None; ways as usize]; num_sets as usize],
+            repl: (0..num_sets).map(|_| ReplState::new(repl, ways)).collect(),
             set_mask: num_sets - 1,
             ways,
             lfsr: Lfsr16::default(),
@@ -72,15 +79,21 @@ impl NaiveCache {
             .any(|w| matches!(w, Some((l, _)) if *l == line))
     }
 
-    /// Demand access: on a hit merges the dirty bit and returns `true`;
-    /// on a miss leaves the cache unchanged (pseudo-random replacement
-    /// has no state to touch on hits).
+    /// Demand access: on a hit merges the dirty bit, touches the
+    /// replacement state (set-associative sets only, matching
+    /// [`Cache::access`](crate::Cache::access)'s direct-mapped fast
+    /// path), and returns `true`; on a miss leaves the cache unchanged.
     fn access(&mut self, line: u64, is_write: bool) -> bool {
         let set = self.set_index(line) as usize;
-        for (l, dirty) in self.sets[set].iter_mut().flatten() {
-            if *l == line {
-                *dirty |= is_write;
-                return true;
+        for (i, w) in self.sets[set].iter_mut().enumerate() {
+            if let Some((l, dirty)) = w {
+                if *l == line {
+                    *dirty |= is_write;
+                    if self.ways > 1 {
+                        self.repl[set].touch(i as u32);
+                    }
+                    return true;
+                }
             }
         }
         false
@@ -89,29 +102,38 @@ impl NaiveCache {
     /// Installs an absent line, returning the evicted `(line, dirty)` if
     /// a valid one was displaced. Victim choice replicates
     /// [`Cache::fill_after_miss`](crate::Cache::fill_after_miss): way 0
-    /// when direct-mapped (no draw), else the lowest free way (no draw),
-    /// else one LFSR draw masked to the way count.
+    /// when direct-mapped (no replacement bookkeeping at all), else the
+    /// lowest free way (no draw), else the policy's victim — one LFSR
+    /// draw for pseudo-random, a stamp/tree/RRPV scan otherwise.
     fn fill_after_miss(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
         let set = self.set_index(line) as usize;
         let way = if self.ways == 1 {
             0
         } else if let Some(free) = self.sets[set].iter().position(|w| w.is_none()) {
+            self.repl[set].filled(free as u32);
             free
         } else {
-            (self.lfsr.next() as u32 & (self.ways - 1)) as usize
+            let v = self.repl[set].victim(self.ways, &mut self.lfsr);
+            self.repl[set].filled(v);
+            v as usize
         };
         let old = self.sets[set][way];
         self.sets[set][way] = Some((line, dirty));
         old
     }
 
-    /// Merges `dirty` into a resident copy, reporting whether one exists.
+    /// Merges `dirty` into a resident copy and refreshes its replacement
+    /// state (as [`Cache::merge_if_present`](crate::Cache::merge_if_present)
+    /// does), reporting whether one exists.
     fn merge_if_present(&mut self, line: u64, dirty: bool) -> bool {
         let set = self.set_index(line) as usize;
-        for (l, d) in self.sets[set].iter_mut().flatten() {
-            if *l == line {
-                *d |= dirty;
-                return true;
+        for (i, w) in self.sets[set].iter_mut().enumerate() {
+            if let Some((l, d)) = w {
+                if *l == line {
+                    *d |= dirty;
+                    self.repl[set].touch(i as u32);
+                    return true;
+                }
             }
         }
         false
@@ -133,10 +155,12 @@ impl NaiveCache {
     }
 
     /// Installs a line into a specific way of its set (the exclusive
-    /// swap target).
+    /// swap target), notifying the replacement state of the fill as
+    /// [`Cache::fill_at`](crate::Cache::fill_at) does.
     fn fill_slot(&mut self, line: u64, dirty: bool, way: usize) {
         let set = self.set_index(line) as usize;
         self.sets[set][way] = Some((line, dirty));
+        self.repl[set].filled(way as u32);
     }
 
     /// All resident lines, sorted (content comparison against the
@@ -174,8 +198,8 @@ impl NaiveSystem {
     /// A single-level system: split direct-mapped L1s, no L2.
     pub fn single(l1_size_bytes: u64, line_bytes: u64) -> Self {
         NaiveSystem {
-            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1),
-            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1),
+            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
+            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
             l2: None,
             policy: NaivePolicy::Single,
             line_bytes,
@@ -184,17 +208,19 @@ impl NaiveSystem {
         }
     }
 
-    /// A conventional two-level system.
+    /// A conventional two-level system with the given L2 replacement
+    /// policy.
     pub fn conventional(
         l1_size_bytes: u64,
         line_bytes: u64,
         l2_size_bytes: u64,
         ways: u32,
+        repl: ReplacementKind,
     ) -> Self {
         NaiveSystem {
-            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1),
-            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1),
-            l2: Some(NaiveCache::new(l2_size_bytes, line_bytes, ways)),
+            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
+            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
+            l2: Some(NaiveCache::new(l2_size_bytes, line_bytes, ways, repl)),
             policy: NaivePolicy::Conventional,
             line_bytes,
             stats: HierarchyStats::default(),
@@ -202,12 +228,19 @@ impl NaiveSystem {
         }
     }
 
-    /// An exclusive (victim-swap) two-level system.
-    pub fn exclusive(l1_size_bytes: u64, line_bytes: u64, l2_size_bytes: u64, ways: u32) -> Self {
+    /// An exclusive (victim-swap) two-level system with the given L2
+    /// replacement policy.
+    pub fn exclusive(
+        l1_size_bytes: u64,
+        line_bytes: u64,
+        l2_size_bytes: u64,
+        ways: u32,
+        repl: ReplacementKind,
+    ) -> Self {
         NaiveSystem {
-            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1),
-            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1),
-            l2: Some(NaiveCache::new(l2_size_bytes, line_bytes, ways)),
+            l1i: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
+            l1d: NaiveCache::new(l1_size_bytes, line_bytes, 1, ReplacementKind::PseudoRandom),
+            l2: Some(NaiveCache::new(l2_size_bytes, line_bytes, ways, repl)),
             policy: NaivePolicy::Exclusive,
             line_bytes,
             stats: HierarchyStats::default(),
@@ -401,6 +434,7 @@ pub fn naive_replay_single(stream: &MissStream) -> HierarchyStats {
 pub fn naive_replay_conventional(
     l2_size_bytes: u64,
     l2_ways: u32,
+    l2_repl: ReplacementKind,
     stream: &MissStream,
 ) -> HierarchyStats {
     struct Sink {
@@ -434,7 +468,7 @@ pub fn naive_replay_conventional(
         }
     }
     let mut s = Sink {
-        l2: NaiveCache::new(l2_size_bytes, stream.line_bytes(), l2_ways),
+        l2: NaiveCache::new(l2_size_bytes, stream.line_bytes(), l2_ways, l2_repl),
         hits: 0,
         misses: 0,
         writebacks: 0,
@@ -455,6 +489,7 @@ pub fn naive_replay_conventional(
 pub fn naive_replay_exclusive(
     l2_size_bytes: u64,
     l2_ways: u32,
+    l2_repl: ReplacementKind,
     stream: &MissStream,
 ) -> HierarchyStats {
     struct Sink {
@@ -520,7 +555,7 @@ pub fn naive_replay_exclusive(
     }
     let sets = (stream.l1_size_bytes() / stream.line_bytes()) as usize;
     let mut s = Sink {
-        l2: NaiveCache::new(l2_size_bytes, stream.line_bytes(), l2_ways),
+        l2: NaiveCache::new(l2_size_bytes, stream.line_bytes(), l2_ways, l2_repl),
         mirror_i: vec![false; sets],
         mirror_d: vec![false; sets],
         l1_set_mask: sets as u64 - 1,
@@ -571,9 +606,13 @@ mod tests {
     use crate::twolevel::ConventionalTwoLevel;
     use tlc_trace::Addr;
 
-    fn cfg(bytes: u64, ways: u32) -> CacheConfig {
+    fn cfg(bytes: u64, ways: u32, repl: ReplacementKind) -> CacheConfig {
         let assoc = if ways == 1 { Associativity::Direct } else { Associativity::SetAssoc(ways) };
-        CacheConfig::new(bytes, 16, assoc, ReplacementKind::PseudoRandom).unwrap()
+        CacheConfig::new(bytes, 16, assoc, repl).unwrap()
+    }
+
+    fn dm(bytes: u64) -> CacheConfig {
+        cfg(bytes, 1, ReplacementKind::PseudoRandom)
     }
 
     /// A deterministic mixed fetch/load/store stream with enough conflict
@@ -595,7 +634,7 @@ mod tests {
 
     #[test]
     fn naive_single_matches_monolithic() {
-        let mut real = SingleLevel::new(cfg(1024, 1));
+        let mut real = SingleLevel::new(dm(1024));
         let mut naive = NaiveSystem::single(1024, 16);
         for r in stream(30_000, 64 * 1024) {
             real.access(r);
@@ -606,34 +645,38 @@ mod tests {
 
     #[test]
     fn naive_conventional_matches_monolithic() {
-        for ways in [1u32, 2, 4] {
-            let mut real = ConventionalTwoLevel::new(cfg(1024, 1), cfg(8192, ways));
-            let mut naive = NaiveSystem::conventional(1024, 16, 8192, ways);
-            for r in stream(30_000, 64 * 1024) {
-                real.access(r);
-                naive.access(r);
+        for repl in ReplacementKind::ALL {
+            for ways in [1u32, 2, 4] {
+                let mut real = ConventionalTwoLevel::new(dm(1024), cfg(8192, ways, repl));
+                let mut naive = NaiveSystem::conventional(1024, 16, 8192, ways, repl);
+                for r in stream(30_000, 64 * 1024) {
+                    real.access(r);
+                    naive.access(r);
+                }
+                assert_eq!(real.stats(), naive.stats(), "{repl} {ways}-way");
             }
-            assert_eq!(real.stats(), naive.stats(), "{ways}-way");
         }
     }
 
     #[test]
     fn naive_exclusive_matches_monolithic() {
-        for ways in [1u32, 2, 4] {
-            let mut real = ExclusiveTwoLevel::new(cfg(1024, 1), cfg(8192, ways));
-            let mut naive = NaiveSystem::exclusive(1024, 16, 8192, ways);
-            for r in stream(30_000, 64 * 1024) {
-                real.access(r);
-                naive.access(r);
+        for repl in ReplacementKind::ALL {
+            for ways in [1u32, 2, 4] {
+                let mut real = ExclusiveTwoLevel::new(dm(1024), cfg(8192, ways, repl));
+                let mut naive = NaiveSystem::exclusive(1024, 16, 8192, ways, repl);
+                for r in stream(30_000, 64 * 1024) {
+                    real.access(r);
+                    naive.access(r);
+                }
+                assert_eq!(real.stats(), naive.stats(), "{repl} {ways}-way");
             }
-            assert_eq!(real.stats(), naive.stats(), "{ways}-way");
         }
     }
 
     #[test]
     fn naive_event_oracles_match_scalar_backends() {
         use crate::filter::{replay_conventional, replay_exclusive, replay_single, L1FrontEnd};
-        let mut fe = L1FrontEnd::new(cfg(1024, 1));
+        let mut fe = L1FrontEnd::new(dm(1024));
         let refs = stream(40_000, 64 * 1024);
         for r in &refs[..10_000] {
             fe.access(*r);
@@ -644,17 +687,19 @@ mod tests {
         }
         let s = fe.finish("oracle-test");
         assert_eq!(naive_replay_single(&s), replay_single(&s));
-        for ways in [1u32, 2, 8] {
-            assert_eq!(
-                naive_replay_conventional(4096, ways, &s),
-                replay_conventional(cfg(4096, ways), &s),
-                "conventional {ways}-way"
-            );
-            assert_eq!(
-                naive_replay_exclusive(4096, ways, &s),
-                replay_exclusive(cfg(4096, ways), &s),
-                "exclusive {ways}-way"
-            );
+        for repl in ReplacementKind::ALL {
+            for ways in [1u32, 2, 8] {
+                assert_eq!(
+                    naive_replay_conventional(4096, ways, repl, &s),
+                    replay_conventional(cfg(4096, ways, repl), &s),
+                    "conventional {repl} {ways}-way"
+                );
+                assert_eq!(
+                    naive_replay_exclusive(4096, ways, repl, &s),
+                    replay_exclusive(cfg(4096, ways, repl), &s),
+                    "exclusive {repl} {ways}-way"
+                );
+            }
         }
     }
 

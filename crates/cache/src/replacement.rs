@@ -8,6 +8,13 @@
 
 use crate::config::ReplacementKind;
 
+/// Maximum 2-bit re-reference prediction value: "re-referenced in the
+/// distant future" — the value SRRIP evicts at.
+pub(crate) const SRRIP_MAX_RRPV: u8 = 3;
+/// RRPV given to a freshly filled line: "long" (distant − 1), so a new
+/// line survives one round of ageing but loses to never-touched ways.
+pub(crate) const SRRIP_LONG_RRPV: u8 = 2;
+
 /// A 16-bit maximal-length Fibonacci LFSR (taps 16, 15, 13, 4) used for
 /// pseudo-random way selection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +70,11 @@ pub enum ReplState {
         /// Number of ways (power of two).
         ways: u32,
     },
+    /// SRRIP-HP: one 2-bit re-reference prediction value per way.
+    Srrip {
+        /// Per-way RRPV (0 = near-immediate, [`SRRIP_MAX_RRPV`] = distant).
+        rrpv: Box<[u8]>,
+    },
 }
 
 impl ReplState {
@@ -84,6 +96,12 @@ impl ReplState {
                 debug_assert!(ways.is_power_of_two() && ways <= 64);
                 ReplState::Tree { bits: 0, ways }
             }
+            ReplacementKind::Srrip => ReplState::Srrip {
+                // Empty ways start "distant"; fills overwrite this, and a
+                // victim is only ever chosen from a full set, so the
+                // initial value is never observable.
+                rrpv: vec![SRRIP_MAX_RRPV; ways as usize].into_boxed_slice(),
+            },
         }
     }
 
@@ -101,6 +119,7 @@ impl ReplState {
             ReplState::Tree { bits, ways } => {
                 Self::tree_point_away(bits, *ways, way);
             }
+            ReplState::Srrip { rrpv } => rrpv[way as usize] = 0,
         }
     }
 
@@ -116,13 +135,15 @@ impl ReplState {
             ReplState::Tree { bits, ways } => {
                 Self::tree_point_away(bits, *ways, way);
             }
+            ReplState::Srrip { rrpv } => rrpv[way as usize] = SRRIP_LONG_RRPV,
         }
     }
 
     /// Chooses a victim way among `ways` ways. `lfsr` supplies entropy for
-    /// pseudo-random replacement.
+    /// pseudo-random replacement. Mutable because SRRIP ages every way's
+    /// RRPV until one reaches the eviction value.
     #[inline]
-    pub fn victim(&self, ways: u32, lfsr: &mut Lfsr16) -> u32 {
+    pub fn victim(&mut self, ways: u32, lfsr: &mut Lfsr16) -> u32 {
         match self {
             ReplState::Stamped { stamps, .. } => {
                 let mut best = 0u32;
@@ -149,11 +170,22 @@ impl ReplState {
                 let mut node = 1u32; // heap-indexed tree, root at 1
                 let levels = ways.trailing_zeros();
                 for _ in 0..levels {
-                    let right = (bits >> node) & 1 == 1;
+                    let right = (*bits >> node) & 1 == 1;
                     node = node * 2 + right as u32;
                 }
                 node - ways
             }
+            ReplState::Srrip { rrpv } => loop {
+                // Lowest-indexed way already at the maximum RRPV wins;
+                // otherwise age the whole set and rescan.
+                if let Some(i) = rrpv.iter().take(ways as usize).position(|&r| r == SRRIP_MAX_RRPV)
+                {
+                    return i as u32;
+                }
+                for r in rrpv.iter_mut().take(ways as usize) {
+                    *r += 1;
+                }
+            },
         }
     }
 
@@ -223,7 +255,7 @@ mod tests {
 
     #[test]
     fn random_covers_all_ways() {
-        let s = ReplState::new(ReplacementKind::PseudoRandom, 4);
+        let mut s = ReplState::new(ReplacementKind::PseudoRandom, 4);
         let mut lfsr = Lfsr16::default();
         let mut hit = [false; 4];
         for _ in 0..200 {
@@ -254,6 +286,45 @@ mod tests {
         assert_eq!(s.victim(2, &mut lfsr), 1);
         s.touch(1);
         assert_eq!(s.victim(2, &mut lfsr), 0);
+    }
+
+    #[test]
+    fn srrip_fill_predicts_long_and_hit_promotes() {
+        let mut s = ReplState::new(ReplacementKind::Srrip, 4);
+        let mut lfsr = Lfsr16::default();
+        for w in 0..4 {
+            s.filled(w); // every way at RRPV 2 ("long")
+        }
+        s.touch(2); // way 2 promoted to RRPV 0
+                    // No way is at RRPV 3: one ageing round lifts ways 0,1,3 to 3 and
+                    // the lowest index wins.
+        assert_eq!(s.victim(4, &mut lfsr), 0);
+        // The promoted way needs three ageing rounds before it's evictable:
+        // after the round above it sits at 1, the others at 3.
+        s.filled(0);
+        assert_eq!(s.victim(4, &mut lfsr), 1, "way 1 already aged to the maximum");
+    }
+
+    #[test]
+    fn srrip_victim_is_lowest_index_at_max_rrpv() {
+        let mut s = ReplState::new(ReplacementKind::Srrip, 4);
+        let mut lfsr = Lfsr16::default();
+        for w in 0..4 {
+            s.filled(w);
+        }
+        s.touch(0);
+        s.touch(1); // RRPVs now [0, 0, 2, 2]
+        assert_eq!(s.victim(4, &mut lfsr), 2, "ties at the maximum break to the lowest index");
+    }
+
+    #[test]
+    fn srrip_never_evicts_just_touched_way_in_small_sets() {
+        let mut s = ReplState::new(ReplacementKind::Srrip, 2);
+        let mut lfsr = Lfsr16::default();
+        s.filled(0);
+        s.filled(1);
+        s.touch(1);
+        assert_eq!(s.victim(2, &mut lfsr), 0, "the untouched way must age out first");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::args::{ArgError, ArgMap};
 use std::fmt::Write as _;
 use tlc_area::{AreaModel, CacheGeometry, CellKind};
-use tlc_cache::StackDistanceProfiler;
+use tlc_cache::{ReplacementKind, StackDistanceProfiler};
 use tlc_core::audit::{run_audit, AuditOptions};
 use tlc_core::configspace::{full_space, SpaceOptions};
 use tlc_core::experiment::capture_benchmark;
@@ -35,9 +35,11 @@ pub fn usage() -> String {
      commands:\n\
      \u{20} evaluate   evaluate one configuration on one workload\n\
      \u{20}            --workload gcc1 --l1 8 [--l2 64 --ways 4 --policy conventional|exclusive]\n\
-     \u{20}            [--offchip 50] [--instr N] [--warmup N]\n\
+     \u{20}            [--l2-repl lru|fifo|pseudo-random|tree-plru|srrip] [--offchip 50]\n\
+     \u{20}            [--instr N] [--warmup N]\n\
      \u{20} sweep      sweep the paper's configuration space on one workload\n\
      \u{20}            --workload gcc1 [--offchip 50] [--ways 4] [--policy ...] [--csv] [--instr N]\n\
+     \u{20}            [--l2-repl lru|fifo|pseudo-random|tree-plru|srrip]  L2 replacement policy\n\
      \u{20}            [--engine auto|streaming|arena|filtered|family|predict] [--threads N]\n\
      \u{20}            [--metrics out.json]  write a tlc-run-manifest/2 document\n\
      \u{20}            [--trace-out t.json]  Chrome trace-event timeline (open in ui.perfetto.dev)\n\
@@ -86,6 +88,23 @@ fn parse_workload(args: &ArgMap) -> Result<SpecBenchmark, ArgError> {
     })
 }
 
+/// `--l2-repl`: the L2 replacement policy, defaulting to the paper's
+/// pseudo-random baseline. Unknown names are a typed [`ArgError`], never
+/// a silent fallback.
+fn parse_l2_repl(args: &ArgMap) -> Result<ReplacementKind, ArgError> {
+    match args.get("l2-repl").unwrap_or("pseudo-random") {
+        "lru" => Ok(ReplacementKind::Lru),
+        "fifo" => Ok(ReplacementKind::Fifo),
+        "pseudo-random" => Ok(ReplacementKind::PseudoRandom),
+        "tree-plru" => Ok(ReplacementKind::TreePlru),
+        "srrip" => Ok(ReplacementKind::Srrip),
+        other => Err(ArgError(format!(
+            "unknown replacement policy {other:?}; choose lru, fifo, pseudo-random, tree-plru \
+             or srrip"
+        ))),
+    }
+}
+
 fn parse_machine(args: &ArgMap) -> Result<MachineConfig, ArgError> {
     let l1: u64 = args.get_or("l1", 8)?;
     let offchip: f64 = args.get_or("offchip", 50.0)?;
@@ -96,11 +115,15 @@ fn parse_machine(args: &ArgMap) -> Result<MachineConfig, ArgError> {
         "exclusive" => L2Policy::Exclusive,
         other => return Err(ArgError(format!("unknown policy {other:?}"))),
     };
+    let repl = parse_l2_repl(args)?;
     let mut cfg = if l2 == 0 {
         MachineConfig::single_level(l1, offchip)
     } else {
         MachineConfig::two_level(l1, l2, ways, policy, offchip)
     };
+    if let Some(spec) = cfg.l2.as_mut() {
+        spec.repl = repl;
+    }
     if args.flag("dual") {
         cfg = cfg.with_l1_cell(CellKind::DualPorted);
     }
@@ -201,9 +224,15 @@ pub fn cmd_sweep(args: &ArgMap) -> Result<String, ArgError> {
         "exclusive" => L2Policy::Exclusive,
         other => return Err(ArgError(format!("unknown policy {other:?}"))),
     };
+    let repl = parse_l2_repl(args)?;
     let cell = if args.flag("dual") { CellKind::DualPorted } else { CellKind::SinglePorted };
-    let opts =
-        SpaceOptions { offchip_ns: offchip, l2_ways: ways, l2_policy: policy, l1_cell: cell };
+    let opts = SpaceOptions {
+        offchip_ns: offchip,
+        l2_ways: ways,
+        l2_policy: policy,
+        l2_repl: repl,
+        l1_cell: cell,
+    };
     let timing = TimingModel::paper();
     let area = AreaModel::new();
     let threads: usize = args.get_or("threads", default_threads())?;
@@ -1192,6 +1221,43 @@ mod tests {
         .expect("evaluate");
         assert!(out.contains("TPI"));
         assert!(out.contains("exclusive"));
+    }
+
+    #[test]
+    fn evaluate_accepts_l2_repl() {
+        let out = run(&[
+            "evaluate",
+            "--workload",
+            "espresso",
+            "--l1",
+            "4",
+            "--l2",
+            "32",
+            "--l2-repl",
+            "srrip",
+            "--instr",
+            "20000",
+        ])
+        .expect("evaluate with srrip L2");
+        assert!(out.contains("TPI"));
+    }
+
+    #[test]
+    fn unknown_l2_repl_is_a_typed_error() {
+        let e = run(&[
+            "evaluate",
+            "--workload",
+            "espresso",
+            "--l1",
+            "4",
+            "--l2",
+            "32",
+            "--l2-repl",
+            "clairvoyant",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("clairvoyant"));
+        assert!(e.to_string().contains("srrip"));
     }
 
     #[test]

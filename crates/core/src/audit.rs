@@ -21,7 +21,8 @@
 //! tolerance contract instead (`predict-vs-family`,
 //! [`PREDICT_AUDIT_EPSILON`]).
 //!
-//! [`run_audit`] samples (workload, L1/L2 geometry, policy, warm-up
+//! [`run_audit`] samples (workload, L1/L2 geometry, fill policy,
+//! replacement policy — every [`ReplacementKind`] variant — warm-up
 //! split, chunk size, thread count) tuples from a seeded RNG, replays
 //! each through every engine, and compares full [`HierarchyStats`]
 //! bit-for-bit. On an event-level divergence it *shrinks* the witness to
@@ -45,7 +46,7 @@ use tlc_cache::oracle::{
     lru_misses, naive_replay_conventional, naive_replay_exclusive, naive_replay_single,
 };
 use tlc_cache::{
-    DuplicationReport, HierarchyStats, MissStream, NaiveSystem, NestedDmProfiler,
+    DuplicationReport, HierarchyStats, MissStream, NaiveSystem, NestedDmProfiler, ReplacementKind,
     StackDistanceProfiler, SystemKind,
 };
 use tlc_timing::TimingModel;
@@ -225,6 +226,7 @@ fn sample_case(rng: &mut StdRng) -> SampledCase {
             size_bytes: l1_size_bytes * [2u64, 4, 8, 16][rng.gen_range(0..4usize)],
             ways: [1u32, 2, 4, 8][rng.gen_range(0..4usize)],
             policy: if rng.gen_bool(0.5) { L2Policy::Conventional } else { L2Policy::Exclusive },
+            repl: ReplacementKind::ALL[rng.gen_range(0..ReplacementKind::ALL.len())],
         })
     };
     let cfg = MachineConfig {
@@ -359,8 +361,12 @@ fn engine_vs_naive_on_stream(cfg: &MachineConfig, stream: &MissStream) -> Option
     let naive = match cfg.l2 {
         None => naive_replay_single(stream),
         Some(spec) => match spec.policy {
-            L2Policy::Conventional => naive_replay_conventional(spec.size_bytes, spec.ways, stream),
-            L2Policy::Exclusive => naive_replay_exclusive(spec.size_bytes, spec.ways, stream),
+            L2Policy::Conventional => {
+                naive_replay_conventional(spec.size_bytes, spec.ways, spec.repl, stream)
+            }
+            L2Policy::Exclusive => {
+                naive_replay_exclusive(spec.size_bytes, spec.ways, spec.repl, stream)
+            }
         },
     };
     (engine != naive).then(|| format!("engine {engine:?} != naive {naive:?}"))
@@ -446,12 +452,20 @@ fn run_case(case: &SampledCase, case_index: u64, opts: &AuditOptions, ledger: &m
     let mut naive = match cfg.l2 {
         None => NaiveSystem::single(cfg.l1_size_bytes, cfg.line_bytes),
         Some(s) => match s.policy {
-            L2Policy::Conventional => {
-                NaiveSystem::conventional(cfg.l1_size_bytes, cfg.line_bytes, s.size_bytes, s.ways)
-            }
-            L2Policy::Exclusive => {
-                NaiveSystem::exclusive(cfg.l1_size_bytes, cfg.line_bytes, s.size_bytes, s.ways)
-            }
+            L2Policy::Conventional => NaiveSystem::conventional(
+                cfg.l1_size_bytes,
+                cfg.line_bytes,
+                s.size_bytes,
+                s.ways,
+                s.repl,
+            ),
+            L2Policy::Exclusive => NaiveSystem::exclusive(
+                cfg.l1_size_bytes,
+                cfg.line_bytes,
+                s.size_bytes,
+                s.ways,
+                s.repl,
+            ),
         },
     };
     let oracle = simulate_source_on(&mut naive, &mut replay_source(case, &records), budget);
@@ -552,16 +566,17 @@ fn run_case(case: &SampledCase, case_index: u64, opts: &AuditOptions, ledger: &m
     ledger.tally("family-vs-filtered", family_diverged);
 
     // The analytical predictor against the family-replayed ground truth
-    // it advertises a tolerance contract for. Exclusive samples are
-    // outside the model (the predict engine replays them instead), so
-    // the check covers single-level and conventional cases: single-level
-    // members must be exact, direct-mapped hit/miss counts must be
-    // exact, and set-associative members must keep the local miss ratio
-    // within [`PREDICT_AUDIT_EPSILON`] plus the [`PREDICT_AUDIT_NOISE`]
+    // it advertises a tolerance contract for. Exclusive samples and
+    // set-associative FIFO/tree-PLRU/SRRIP samples are outside the model
+    // (the predict engine replays them instead), so the check covers the
+    // predictable cases: single-level members must be exact,
+    // direct-mapped hit/miss counts must be exact, and set-associative
+    // LRU/pseudo-random members must keep the local miss ratio within
+    // [`PREDICT_AUDIT_EPSILON`] plus the [`PREDICT_AUDIT_NOISE`]
     // small-sample slack. Divergence witnesses carry the
     // measured error (tolerance breaches are not event-shrinkable: the
     // predictor has no per-event ground truth to bisect against).
-    if cfg.l2.map(|s| s.policy) != Some(L2Policy::Exclusive) {
+    if crate::experiment::config_is_predictable(cfg) {
         let predicted = crate::experiment::simulate_predicted(&siblings, &stream);
         let mut predict_diverged = false;
         for ((member, got), want) in siblings.iter().zip(&predicted).zip(&family) {
@@ -809,7 +824,12 @@ fn run_config_edge_case(rng: &mut StdRng, ledger: &mut Ledger) {
         _ => MachineConfig {
             l1_size_bytes: 1024,
             l1_cell: tlc_area::CellKind::SinglePorted,
-            l2: Some(L2Spec { size_bytes: 64, ways: 8, policy: L2Policy::Conventional }),
+            l2: Some(L2Spec {
+                size_bytes: 64,
+                ways: 8,
+                policy: L2Policy::Conventional,
+                repl: ReplacementKind::PseudoRandom,
+            }),
             offchip_ns: 50.0,
             line_bytes: 16,
         },
@@ -904,6 +924,7 @@ mod tests {
         let mut excl = false;
         let mut single = false;
         let mut starved = false;
+        let mut repls = std::collections::HashSet::new();
         for _ in 0..200 {
             let c = sample_case(&mut rng);
             match c.cfg.l2 {
@@ -911,10 +932,18 @@ mod tests {
                 Some(s) if s.policy == L2Policy::Conventional => conv = true,
                 Some(_) => excl = true,
             }
+            if let Some(s) = c.cfg.l2 {
+                repls.insert(s.repl);
+            }
             if c.records < c.budget.warmup_instructions + c.budget.instructions {
                 starved = true;
             }
         }
         assert!(conv && excl && single && starved, "sampler misses a region");
+        assert_eq!(
+            repls.len(),
+            ReplacementKind::ALL.len(),
+            "sampler must reach every replacement policy, got {repls:?}"
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::machine::{L2Policy, L2Spec, MachineConfig};
 use tlc_area::CellKind;
+use tlc_cache::ReplacementKind;
 
 /// The paper's L1 sizes in KB (per side).
 pub const L1_SIZES_KB: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
@@ -24,18 +25,21 @@ pub struct SpaceOptions {
     pub l2_ways: u32,
     /// L2 fill policy.
     pub l2_policy: L2Policy,
+    /// L2 replacement policy (irrelevant when `l2_ways == 1`).
+    pub l2_repl: ReplacementKind,
     /// L1 RAM cell kind.
     pub l1_cell: CellKind,
 }
 
 impl SpaceOptions {
-    /// The §4 baseline: 50ns off-chip, 4-way conventional L2,
-    /// single-ported L1s.
+    /// The §4 baseline: 50ns off-chip, 4-way conventional
+    /// pseudo-random-replacement L2, single-ported L1s.
     pub fn baseline() -> Self {
         SpaceOptions {
             offchip_ns: 50.0,
             l2_ways: 4,
             l2_policy: L2Policy::Conventional,
+            l2_repl: ReplacementKind::PseudoRandom,
             l1_cell: CellKind::SinglePorted,
         }
     }
@@ -64,6 +68,7 @@ pub fn two_level_configs(opts: &SpaceOptions) -> Vec<MachineConfig> {
                         size_bytes: l2 * 1024,
                         ways: opts.l2_ways,
                         policy: opts.l2_policy,
+                        repl: opts.l2_repl,
                     }),
                     offchip_ns: opts.offchip_ns,
                     line_bytes: 16,
@@ -193,6 +198,10 @@ mod tests {
                 l2: Some(L2Spec { policy: L2Policy::Exclusive, ..base.l2.unwrap() }),
                 ..base
             },
+            MachineConfig {
+                l2: Some(L2Spec { repl: ReplacementKind::Srrip, ..base.l2.unwrap() }),
+                ..base
+            },
             MachineConfig { offchip_ns: 51.0, ..base },
             MachineConfig { line_bytes: 32, ..base },
         ];
@@ -216,6 +225,7 @@ mod tests {
             offchip_ns: 200.0,
             l2_ways: 1,
             l2_policy: L2Policy::Exclusive,
+            l2_repl: ReplacementKind::TreePlru,
             l1_cell: CellKind::DualPorted,
         };
         for c in full_space(&opts) {
@@ -224,6 +234,7 @@ mod tests {
             if let Some(l2) = c.l2 {
                 assert_eq!(l2.ways, 1);
                 assert_eq!(l2.policy, L2Policy::Exclusive);
+                assert_eq!(l2.repl, ReplacementKind::TreePlru);
             }
         }
     }

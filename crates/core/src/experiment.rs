@@ -103,7 +103,7 @@ pub fn l1_config(cfg: &MachineConfig) -> Result<tlc_cache::CacheConfig, tlc_cach
 pub fn l2_config(
     cfg: &MachineConfig,
 ) -> Result<Option<tlc_cache::CacheConfig>, tlc_cache::ConfigError> {
-    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    use tlc_cache::{Associativity, CacheConfig};
     match cfg.l2 {
         None => Ok(None),
         Some(spec) => {
@@ -112,8 +112,7 @@ pub fn l2_config(
             } else {
                 Associativity::SetAssoc(spec.ways)
             };
-            CacheConfig::new(spec.size_bytes, cfg.line_bytes, assoc, ReplacementKind::PseudoRandom)
-                .map(Some)
+            CacheConfig::new(spec.size_bytes, cfg.line_bytes, assoc, spec.repl).map(Some)
         }
     }
 }
@@ -564,7 +563,7 @@ pub fn simulate_family(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<Hiera
     use tlc_cache::filter_family::{
         replay_conventional_family, replay_exclusive_family, replay_single_family,
     };
-    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    use tlc_cache::{Associativity, CacheConfig};
     if cfgs.is_empty() {
         return Vec::new();
     }
@@ -576,12 +575,12 @@ pub fn simulate_family(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<Hiera
             "stream captured for a different line size"
         );
     }
-    let family = cfgs[0].l2.map(|s| (s.policy, s.ways));
+    let family = cfgs[0].l2.map(|s| (s.policy, s.ways, s.repl));
     assert!(
-        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways)) == family),
-        "a family shares one L2 policy and associativity"
+        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways, s.repl)) == family),
+        "a family shares one L2 policy, associativity, and replacement"
     );
-    let Some((policy, ways)) = family else {
+    let Some((policy, ways, repl)) = family else {
         return replay_single_family(stream, cfgs.len());
     };
     // Deduplicate by L2 capacity; duplicate sizes share one simulation.
@@ -599,8 +598,7 @@ pub fn simulate_family(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<Hiera
     let l2_cfgs: Vec<CacheConfig> = sizes
         .iter()
         .map(|&sz| {
-            CacheConfig::new(sz, stream.line_bytes(), assoc, ReplacementKind::PseudoRandom)
-                .expect("valid L2 configuration")
+            CacheConfig::new(sz, stream.line_bytes(), assoc, repl).expect("valid L2 configuration")
         })
         .collect();
     let per_size = match policy {
@@ -649,7 +647,7 @@ pub fn simulate_family_segments(
         replay_conventional_family_segments, replay_exclusive_family_segments,
         replay_single_family_segments,
     };
-    use tlc_cache::{Associativity, CacheConfig, ReplacementKind};
+    use tlc_cache::{Associativity, CacheConfig};
     assert!(!segments.is_empty(), "need at least one segment");
     if cfgs.is_empty() {
         return vec![Vec::new(); segments.len()];
@@ -666,12 +664,12 @@ pub fn simulate_family_segments(
             "segments captured for a different line size"
         );
     }
-    let family = cfgs[0].l2.map(|s| (s.policy, s.ways));
+    let family = cfgs[0].l2.map(|s| (s.policy, s.ways, s.repl));
     assert!(
-        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways)) == family),
-        "a family shares one L2 policy and associativity"
+        cfgs.iter().all(|c| c.l2.map(|s| (s.policy, s.ways, s.repl)) == family),
+        "a family shares one L2 policy, associativity, and replacement"
     );
-    let Some((policy, ways)) = family else {
+    let Some((policy, ways, repl)) = family else {
         return replay_single_family_segments(segments, cfgs.len());
     };
     // Deduplicate by L2 capacity; duplicate sizes share one simulation.
@@ -689,7 +687,7 @@ pub fn simulate_family_segments(
     let l2_cfgs: Vec<CacheConfig> = sizes
         .iter()
         .map(|&sz| {
-            CacheConfig::new(sz, segments[0].line_bytes(), assoc, ReplacementKind::PseudoRandom)
+            CacheConfig::new(sz, segments[0].line_bytes(), assoc, repl)
                 .expect("valid L2 configuration")
         })
         .collect();
@@ -698,6 +696,25 @@ pub fn simulate_family_segments(
         L2Policy::Exclusive => replay_exclusive_family_segments(&l2_cfgs, segments),
     };
     per_size.into_iter().map(|row| size_of.iter().map(|&k| row[k]).collect()).collect()
+}
+
+/// Whether the analytical predictor's ε contract covers `cfg`:
+/// single-level and direct-mapped members are always in (their counts
+/// are exact), and set-associative conventional L2s are in only under
+/// LRU or pseudo-random replacement — the reuse-distance model has no
+/// closed form for FIFO, tree-PLRU, or SRRIP, and exclusive hierarchies
+/// are outside it entirely. The sweep runner routes uncovered
+/// configurations to the bit-exact family engine instead.
+pub fn config_is_predictable(cfg: &MachineConfig) -> bool {
+    use tlc_cache::ReplacementKind;
+    match cfg.l2 {
+        None => true,
+        Some(s) => {
+            s.policy == L2Policy::Conventional
+                && (s.ways == 1
+                    || matches!(s.repl, ReplacementKind::Lru | ReplacementKind::PseudoRandom))
+        }
+    }
 }
 
 /// As [`simulate_family`] with the replay removed: one reuse-distance
@@ -714,10 +731,16 @@ pub fn simulate_family_segments(
 /// ([`tlc_cache::MISS_RATIO_EPSILON`]) against [`simulate_family`]
 /// ground truth.
 ///
+/// The ε contract covers LRU and pseudo-random set-associative members
+/// only (see [`config_is_predictable`]); FIFO, tree-PLRU, and SRRIP
+/// points are outside the reuse-distance model and must be replayed
+/// exactly (the sweep runner routes them to the family engine).
+///
 /// # Panics
 ///
-/// Panics if any member's L1 geometry differs from the stream's or uses
-/// the exclusive L2 policy.
+/// Panics if any member's L1 geometry differs from the stream's, uses
+/// the exclusive L2 policy, or uses a set-associative replacement policy
+/// outside the model.
 pub fn simulate_predicted(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<HierarchyStats> {
     use tlc_cache::ReuseProfile;
     if cfgs.is_empty() {
@@ -730,10 +753,19 @@ pub fn simulate_predicted(cfgs: &[MachineConfig], stream: &MissStream) -> Vec<Hi
             stream.line_bytes(),
             "stream captured for a different line size"
         );
-        assert_ne!(
-            cfg.l2.map(|s| s.policy),
-            Some(L2Policy::Exclusive),
-            "exclusive hierarchies are outside the prediction model"
+        assert!(
+            config_is_predictable(cfg),
+            "{} hierarchies are outside the prediction model",
+            cfg.l2.map_or_else(
+                || "these".to_string(),
+                |s| {
+                    if s.policy == L2Policy::Exclusive {
+                        "exclusive".to_string()
+                    } else {
+                        format!("{} set-associative", s.repl)
+                    }
+                }
+            )
         );
     }
     // Direct-mapped members get exact nested tag-array counts: name

@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tlc_area::{AreaModel, CacheGeometry, CellKind};
+use tlc_cache::ReplacementKind;
 use tlc_timing::TimingModel;
 
 /// Fill policy of the second level.
@@ -42,6 +43,16 @@ pub struct L2Spec {
     pub ways: u32,
     /// Fill policy.
     pub policy: L2Policy,
+    /// Replacement policy of the set-associative L2 (the paper's
+    /// baseline is pseudo-random, §2.2; irrelevant when `ways == 1`).
+    /// Manifests written before this field existed deserialize to the
+    /// baseline.
+    #[serde(default = "default_repl")]
+    pub repl: ReplacementKind,
+}
+
+fn default_repl() -> ReplacementKind {
+    ReplacementKind::PseudoRandom
 }
 
 /// One point of the design space.
@@ -78,7 +89,12 @@ impl MachineConfig {
         MachineConfig {
             l1_size_bytes: l1_kb * 1024,
             l1_cell: CellKind::SinglePorted,
-            l2: Some(L2Spec { size_bytes: l2_kb * 1024, ways, policy }),
+            l2: Some(L2Spec {
+                size_bytes: l2_kb * 1024,
+                ways,
+                policy,
+                repl: ReplacementKind::PseudoRandom,
+            }),
             offchip_ns,
             line_bytes: 16,
         }

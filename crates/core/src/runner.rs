@@ -456,10 +456,10 @@ pub fn try_sweep_family_arena_threads(
     for (g, (_, idxs)) in groups.iter().enumerate() {
         match streams[g].as_ref() {
             Some(stream) => {
-                type FamilyKey = Option<(L2Policy, u32)>;
+                type FamilyKey = Option<(L2Policy, u32, tlc_cache::ReplacementKind)>;
                 let mut fams: Vec<(FamilyKey, Vec<usize>)> = Vec::new();
                 for &i in idxs {
-                    let key = configs[i].l2.map(|s| (s.policy, s.ways));
+                    let key = configs[i].l2.map(|s| (s.policy, s.ways, s.repl));
                     match fams.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, v)) => v.push(i),
                         None => fams.push((key, vec![i])),
@@ -626,10 +626,10 @@ pub fn try_sweep_sampled_threads(
     for (g, (_, idxs)) in groups.iter().enumerate() {
         match captured[g].as_deref() {
             Some(segments) => {
-                type FamilyKey = Option<(L2Policy, u32)>;
+                type FamilyKey = Option<(L2Policy, u32, tlc_cache::ReplacementKind)>;
                 let mut fams: Vec<(FamilyKey, Vec<usize>)> = Vec::new();
                 for &i in idxs {
-                    let key = configs[i].l2.map(|s| (s.policy, s.ways));
+                    let key = configs[i].l2.map(|s| (s.policy, s.ways, s.repl));
                     match fams.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, v)) => v.push(i),
                         None => fams.push((key, vec![i])),
@@ -773,9 +773,11 @@ enum PredictUnit<'a> {
 /// ratio versus family-replayed ground truth; single-level members are
 /// exact and direct-mapped members have exact hit/miss counts (see
 /// [`tlc_cache::predict`]). Members the model cannot cover stay on
-/// replay and remain bit-identical: exclusive hierarchies go through
-/// the family engine, and singleton or byte-limited L1 groups fall back
-/// to plain arena replay. The `predict.configs_predicted` /
+/// replay and remain bit-identical: exclusive hierarchies and
+/// set-associative members with FIFO, tree-PLRU, or SRRIP replacement
+/// (see [`config_is_predictable`](crate::config_is_predictable)) go
+/// through the family engine, and singleton or byte-limited L1 groups
+/// fall back to plain arena replay. The `predict.configs_predicted` /
 /// `predict.configs_replayed` counters record the split. Results are
 /// returned in input order.
 ///
@@ -813,26 +815,29 @@ pub fn try_sweep_predict_arena_threads(
     // Phase A: one L1 capture per group that will amortise it.
     let streams = try_capture_group_streams(&groups, arena, budget, threads)?;
     // Partition each captured group: everything inside the prediction
-    // model (single-level and conventional members, any mix of sizes
-    // and ways) forms one predict unit sharing one profiling pass;
-    // exclusive members stay on family-batched replay.
+    // model (single-level, direct-mapped, and LRU/pseudo-random
+    // conventional members, any mix of sizes and ways) forms one predict
+    // unit sharing one profiling pass; exclusive members and policies
+    // without a closed form stay on family-batched replay.
     let mut units: Vec<PredictUnit> = Vec::new();
     let mut replay_members = 0usize;
     for (g, (_, idxs)) in groups.iter().enumerate() {
         match streams[g].as_ref() {
             Some(stream) => {
-                let (predictable, exclusive): (Vec<usize>, Vec<usize>) = idxs
+                let (predictable, replayed): (Vec<usize>, Vec<usize>) = idxs
                     .iter()
-                    .partition(|&&i| configs[i].l2.map(|s| s.policy) != Some(L2Policy::Exclusive));
+                    .partition(|&&i| crate::experiment::config_is_predictable(&configs[i]));
                 if !predictable.is_empty() {
                     units.push(PredictUnit::Predict { stream, members: predictable });
                 }
-                let mut fams: Vec<(u32, Vec<usize>)> = Vec::new();
-                for i in exclusive {
-                    let ways = configs[i].l2.expect("exclusive is two-level").ways;
-                    match fams.iter_mut().find(|(w, _)| *w == ways) {
+                type FamilyKey = (L2Policy, u32, tlc_cache::ReplacementKind);
+                let mut fams: Vec<(FamilyKey, Vec<usize>)> = Vec::new();
+                for i in replayed {
+                    let s = configs[i].l2.expect("unpredictable members are two-level");
+                    let key = (s.policy, s.ways, s.repl);
+                    match fams.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, v)) => v.push(i),
-                        None => fams.push((ways, vec![i])),
+                        None => fams.push((key, vec![i])),
                     }
                 }
                 for (_, members) in fams {

@@ -88,6 +88,17 @@ pub enum Counter {
     L2ExclusiveSwaps,
     /// Dirty lines written back out of the L2 in the measured window.
     L2Writebacks,
+    /// L2 fill generations started (lifetime, summed over family
+    /// members; warm-up included, like [`Counter::L2LfsrDraws`]).
+    L2Fills,
+    /// Fill generations that ended with zero demand hits
+    /// (`l2.dead_on_arrival + l2.live_fills == l2.fills`).
+    L2DeadOnArrival,
+    /// Fill generations that saw at least one demand hit.
+    L2LiveFills,
+    /// Fill generations that saw two or more demand hits (a subset of
+    /// [`Counter::L2LiveFills`]).
+    L2MultiHit,
     /// Design points fully evaluated (TPI + area computed).
     RunnerConfigsCompleted,
     /// L1 groups too small to amortise miss-stream capture, demoted to
@@ -129,7 +140,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters (size of the [`CounterSet`] array).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 32;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -146,6 +157,10 @@ impl Counter {
         Counter::L2LfsrDraws,
         Counter::L2ExclusiveSwaps,
         Counter::L2Writebacks,
+        Counter::L2Fills,
+        Counter::L2DeadOnArrival,
+        Counter::L2LiveFills,
+        Counter::L2MultiHit,
         Counter::RunnerConfigsCompleted,
         Counter::RunnerFallbackSingleton,
         Counter::RunnerFallbackByteLimit,
@@ -179,6 +194,10 @@ impl Counter {
             Counter::L2LfsrDraws => "l2.lfsr_draws",
             Counter::L2ExclusiveSwaps => "l2.exclusive_swaps",
             Counter::L2Writebacks => "l2.writebacks",
+            Counter::L2Fills => "l2.fills",
+            Counter::L2DeadOnArrival => "l2.dead_on_arrival",
+            Counter::L2LiveFills => "l2.live_fills",
+            Counter::L2MultiHit => "l2.multi_hit",
             Counter::RunnerConfigsCompleted => "runner.configs_completed",
             Counter::RunnerFallbackSingleton => "runner.fallback_singleton",
             Counter::RunnerFallbackByteLimit => "runner.fallback_byte_limit",

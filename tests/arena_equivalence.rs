@@ -11,9 +11,12 @@
 
 use proptest::prelude::*;
 use tlc_area::AreaModel;
-use tlc_cache::filter::MissStream;
-use tlc_cache::filter_family::replay_conventional_family;
-use tlc_cache::{Associativity, CacheConfig, L1FrontEnd, MemorySystem, ReplacementKind};
+use tlc_cache::filter::{replay_conventional, replay_exclusive, MissStream};
+use tlc_cache::filter_family::{replay_conventional_family, replay_exclusive_family};
+use tlc_cache::{
+    naive_replay_conventional, naive_replay_exclusive, Associativity, CacheConfig, L1FrontEnd,
+    MemorySystem, ReplacementKind,
+};
 use tlc_core::experiment::{
     capture_benchmark, capture_miss_stream, evaluate, evaluate_arena, evaluate_dyn,
     evaluate_family, evaluate_filtered, SimBudget,
@@ -177,6 +180,94 @@ fn family_equivalence() {
                         cfg.label()
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Every replacement policy through every L2 engine: for each
+/// [`ReplacementKind`] (including SRRIP) and both set-associative and
+/// direct-mapped geometries, the family-batched engine must reproduce
+/// the scalar filtered engine bit for bit, and both must match the
+/// hand-verifiable naive oracle — on conventional and exclusive
+/// hierarchies alike.
+#[test]
+fn replacement_policies_agree_family_scalar_and_oracle() {
+    for benchmark in [SpecBenchmark::Li, SpecBenchmark::Doduc] {
+        let arena = capture_benchmark(benchmark, BUDGET);
+        let stream = capture_miss_stream(2 * 1024, 16, &arena, BUDGET, usize::MAX)
+            .expect("unbounded capture succeeds");
+        for repl in ReplacementKind::ALL {
+            for assoc in [Associativity::Direct, Associativity::SetAssoc(4)] {
+                let cfgs: Vec<CacheConfig> = [8u64, 16, 64]
+                    .iter()
+                    .map(|&kb| CacheConfig::new(kb * 1024, 16, assoc, repl).expect("valid L2"))
+                    .collect();
+                let conv = replay_conventional_family(&cfgs, &stream);
+                let excl = replay_exclusive_family(&cfgs, &stream);
+                for (cfg, (fam_conv, fam_excl)) in cfgs.iter().zip(conv.iter().zip(&excl)) {
+                    let label = format!("{benchmark:?} {repl} {assoc:?} {}B", cfg.size_bytes());
+                    let scalar = replay_conventional(*cfg, &stream);
+                    assert_eq!(&scalar, fam_conv, "{label}: conventional family vs scalar");
+                    let oracle =
+                        naive_replay_conventional(cfg.size_bytes(), cfg.ways(), repl, &stream);
+                    assert_eq!(scalar, oracle, "{label}: conventional engine vs naive oracle");
+                    let scalar = replay_exclusive(*cfg, &stream);
+                    assert_eq!(&scalar, fam_excl, "{label}: exclusive family vs scalar");
+                    let oracle =
+                        naive_replay_exclusive(cfg.size_bytes(), cfg.ways(), repl, &stream);
+                    assert_eq!(scalar, oracle, "{label}: exclusive engine vs naive oracle");
+                }
+            }
+        }
+    }
+}
+
+/// Non-baseline policies survive the full `DesignPoint` pipeline: a
+/// machine configured with FIFO, tree-PLRU, or SRRIP L2 replacement
+/// must produce identical points from the generator-driven, arena,
+/// filtered, and family-batched engines — and single-level machines
+/// (where the knob is inert) ride along in the same mixed family list.
+#[test]
+fn replacement_policies_agree_across_design_point_engines() {
+    let tm = TimingModel::paper();
+    let am = AreaModel::new();
+    let benchmark = SpecBenchmark::Eqntott;
+    let arena = capture_benchmark(benchmark, BUDGET);
+    let stream = capture_miss_stream(4 * 1024, 16, &arena, BUDGET, usize::MAX)
+        .expect("unbounded capture succeeds");
+    let with_repl = |mut cfg: MachineConfig, repl: ReplacementKind| {
+        if let Some(spec) = cfg.l2.as_mut() {
+            spec.repl = repl;
+        }
+        cfg
+    };
+    for repl in [ReplacementKind::Fifo, ReplacementKind::TreePlru, ReplacementKind::Srrip] {
+        for base in hierarchy_kinds() {
+            let family = vec![with_repl(base, repl), with_repl(base, repl), with_repl(base, repl)];
+            let batched = evaluate_family(&family, &stream, &tm, &am);
+            for (cfg, got) in family.iter().zip(&batched) {
+                let filtered = evaluate_filtered(cfg, &stream, &tm, &am);
+                assert_eq!(
+                    &filtered,
+                    got,
+                    "{repl} on {}: family-batched engine diverged from filtered",
+                    cfg.label()
+                );
+                let replayed = evaluate_arena(cfg, &arena, BUDGET, &tm, &am);
+                assert_eq!(
+                    filtered,
+                    replayed,
+                    "{repl} on {}: filtered engine diverged from arena replay",
+                    cfg.label()
+                );
+                let generated = evaluate(cfg, benchmark, BUDGET, &tm, &am);
+                assert_eq!(
+                    generated,
+                    replayed,
+                    "{repl} on {}: arena replay diverged from generation",
+                    cfg.label()
+                );
             }
         }
     }

@@ -102,6 +102,7 @@ fn synthetic_corpus_entry_round_trips_and_agrees() {
             size_bytes: 4096,
             ways: 2,
             policy: tlc_core::L2Policy::Conventional,
+            repl: tlc_cache::ReplacementKind::PseudoRandom,
         }),
         note: "synthetic pipeline check; engines agree".to_string(),
         expect_divergence: false,

@@ -265,6 +265,21 @@ def check_manifest(doc):
     if l2_hits + l2_misses != probes:
         fail(f"l2.hits ({l2_hits}) + l2.misses ({l2_misses}) != l2.probes ({probes})")
 
+    # Block-liveness accounting: every L2 fill's generation ends exactly
+    # once, classified as dead-on-arrival (no demand hit before
+    # departure) or live; multi-hit generations are a subset of live.
+    fills = counter("l2.fills")
+    dead = counter("l2.dead_on_arrival")
+    live = counter("l2.live_fills")
+    multi = counter("l2.multi_hit")
+    if dead + live != fills:
+        fail(
+            f"l2.dead_on_arrival ({dead}) + l2.live_fills ({live}) "
+            f"!= l2.fills ({fills})"
+        )
+    if multi > live:
+        fail(f"l2.multi_hit ({multi}) > l2.live_fills ({live})")
+
     if doc["command"] == "sweep":
         done = counter("runner.configs_completed")
         phases = counters.get("sample.phases", 0)
